@@ -1,0 +1,97 @@
+// Ablation — wireless fading exposure (beyond the paper's constant b).
+//
+// The offloading schemes are computed against the analytic constant-
+// bandwidth model; the radio then fades (Gilbert–Elliott). Every unit
+// of data a scheme pushes across the boundary is exposed to the
+// realized rates, so the algorithm that transmits the least (the
+// spectral pipeline's cheap cuts) should see the smallest energy
+// inflation when the channel turns hostile.
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "mec/costs.hpp"
+#include "mec/offloader.hpp"
+#include "sim/executor.hpp"
+#include "support/reporting.hpp"
+#include "support/workloads.hpp"
+
+namespace {
+
+using namespace mecoff;
+using namespace mecoff::bench;
+
+int run() {
+  const PaperScale scale{1000, 4912};
+  mec::MecSystem system{paper_params(), {make_user(scale, /*seed=*/17)}};
+
+  // One scheme per algorithm, solved against the constant-rate model.
+  struct Entry {
+    std::string name;
+    mec::OffloadingScheme scheme;
+    double analytic_energy;
+  };
+  std::vector<Entry> entries;
+  for (const mec::CutBackend backend : paper_backends()) {
+    mec::PipelineOptions opts;
+    opts.backend = backend;
+    opts.propagation = paper_propagation();
+    opts.maxflow.strategy = mincut::TerminalStrategy::kBestOfK;
+    opts.maxflow.num_pairs = 1;
+    mec::PipelineOffloader offloader(opts);
+    Entry e;
+    e.name = backend_label(backend);
+    e.scheme = offloader.solve(system);
+    e.analytic_energy = mec::evaluate(system, e.scheme).total_energy;
+    entries.push_back(std::move(e));
+  }
+
+  // Fading severities: bad-state rate as a fraction of the good rate.
+  std::vector<std::vector<std::string>> rows;
+  double spectral_inflation = 0.0;
+  double kl_inflation = 0.0;
+  for (const double bad_fraction : {1.0, 0.5, 0.25, 0.1}) {
+    std::vector<std::string> row{format_fixed(bad_fraction, 2)};
+    for (const Entry& e : entries) {
+      sim::SimOptions opts;
+      sim::ChannelModel channel;
+      channel.good_rate = system.params.bandwidth;
+      channel.bad_rate = system.params.bandwidth * bad_fraction;
+      channel.mean_good = 2.0;
+      channel.mean_bad = 1.0;
+      channel.seed = 99;
+      opts.channel = channel;
+      // Average the realized energy over a few channel realizations.
+      double realized = 0.0;
+      constexpr int kRuns = 5;
+      for (int r = 0; r < kRuns; ++r) {
+        opts.channel->seed = 99 + static_cast<std::uint64_t>(97 * r);
+        realized +=
+            sim::simulate_scheme(system, e.scheme, opts).total_energy;
+      }
+      realized /= kRuns;
+      const double inflation = realized / e.analytic_energy;
+      row.push_back(format_fixed(realized, 1) + " (" +
+                    format_fixed(inflation, 3) + "x)");
+      if (bad_fraction == 0.1) {
+        if (e.name == "our algorithm") spectral_inflation = inflation;
+        if (e.name == "Kernighan-Lin") kl_inflation = inflation;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::vector<std::string> header{"bad-state rate (xb)"};
+  for (const Entry& e : entries) header.push_back(e.name);
+  print_table("Ablation: realized energy under Gilbert-Elliott fading "
+              "(schemes solved at constant b; cells: energy (inflation))",
+              header, rows);
+  print_shape_check(
+      "the low-transmission spectral scheme inflates no more than "
+      "Kernighan-Lin under deep fades",
+      spectral_inflation <= kl_inflation + 1e-9);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

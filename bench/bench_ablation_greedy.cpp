@@ -1,0 +1,87 @@
+// Ablation — Algorithm 2's scalarization.
+//
+// The paper's greedy minimizes E + T. This bench compares that choice
+// against energy-only (minimize E), time-only (minimize T), and the
+// no-greedy extremes, evaluating every variant under the full E + T
+// objective. Expected: E+T dominates both single-axis greedies, which
+// each over-optimize their own axis.
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "mec/costs.hpp"
+#include "support/reporting.hpp"
+#include "support/workloads.hpp"
+
+namespace {
+
+using namespace mecoff;
+using namespace mecoff::bench;
+
+mec::SystemCost run_variant(const mec::MecSystem& system,
+                            double energy_weight, double time_weight) {
+  mec::PipelineOptions opts;
+  opts.backend = mec::CutBackend::kSpectral;
+  opts.propagation = paper_propagation();
+  opts.greedy.energy_weight = energy_weight;
+  opts.greedy.time_weight = time_weight;
+  mec::PipelineOffloader offloader(opts);
+  return mec::evaluate(system, offloader.solve(system));
+}
+
+int run() {
+  const mec::MecSystem system =
+      make_multiuser_system(/*users=*/64, kMultiuserPoolSize, /*seed=*/3);
+
+  struct Variant {
+    const char* name;
+    double ew;
+    double tw;
+  };
+  const Variant variants[] = {
+      {"E + T (Algorithm 2)", 1.0, 1.0},
+      {"energy only", 1.0, 0.0},
+      {"time only", 0.0, 1.0},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  double best_objective = 0.0;
+  double algorithm2_objective = 0.0;
+  for (const Variant& variant : variants) {
+    const mec::SystemCost cost = run_variant(system, variant.ew, variant.tw);
+    rows.push_back({variant.name, format_fixed(cost.total_energy, 2),
+                    format_fixed(cost.total_time, 2),
+                    format_fixed(cost.objective(), 2)});
+    if (best_objective == 0.0 || cost.objective() < best_objective)
+      best_objective = cost.objective();
+    if (variant.ew == 1.0 && variant.tw == 1.0)
+      algorithm2_objective = cost.objective();
+  }
+  // Extremes for reference.
+  const mec::SystemCost all_local =
+      mec::evaluate(system, mec::OffloadingScheme::all_local(system));
+  const mec::SystemCost all_remote =
+      mec::evaluate(system, mec::OffloadingScheme::all_remote(system));
+  rows.push_back({"all local (no greedy)",
+                  format_fixed(all_local.total_energy, 2),
+                  format_fixed(all_local.total_time, 2),
+                  format_fixed(all_local.objective(), 2)});
+  rows.push_back({"all remote (no greedy)",
+                  format_fixed(all_remote.total_energy, 2),
+                  format_fixed(all_remote.total_time, 2),
+                  format_fixed(all_remote.objective(), 2)});
+
+  print_table("Ablation: Algorithm 2 scalarization (64 users, evaluated "
+              "under E + T)",
+              {"greedy variant", "E", "T", "E + T"}, rows);
+  print_shape_check("Algorithm 2 (E+T) matches the best variant",
+                    algorithm2_objective <= best_objective + 1e-9);
+  print_shape_check("Algorithm 2 beats both no-greedy extremes",
+                    algorithm2_objective <= all_local.objective() + 1e-9 &&
+                        algorithm2_objective <=
+                            all_remote.objective() + 1e-9);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,79 @@
+// Ablation — one big edge box vs. several smaller ones (beyond the
+// paper, which fixes a single server).
+//
+// Total capacity is held constant while the box count varies. Under the
+// capacity-normalized congestion model (w_t ∝ S/I_S² — the M/M/1-style
+// economy of scale where a faster box drains its queue faster at equal
+// utilization), consolidation should win: splitting multiplies each
+// unit of work's congestion penalty by the box count. The interesting
+// output is HOW MUCH it costs to split — the price a deployment pays
+// for placing boxes near users instead of pooling them.
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "mec/multiserver.hpp"
+#include "support/reporting.hpp"
+#include "support/workloads.hpp"
+
+namespace {
+
+using namespace mecoff;
+using namespace mecoff::bench;
+
+int run() {
+  constexpr std::size_t kUsers = 48;
+  constexpr double kTotalCapacity = 1200.0;
+
+  // Shared user population (distinct graphs per user).
+  std::vector<mec::UserApp> users;
+  for (std::size_t i = 0; i < kUsers; ++i)
+    users.push_back(make_user(PaperScale{250, 1214}, 500 + i));
+
+  std::vector<std::vector<std::string>> rows;
+  double best_objective = 0.0;
+  std::size_t best_boxes = 0;
+  for (const std::size_t boxes : {1u, 2u, 4u, 8u, 16u}) {
+    mec::MultiServerSystem system;
+    system.device = paper_params();
+    system.users = users;
+    for (std::size_t s = 0; s < boxes; ++s)
+      system.servers.push_back(mec::ServerSpec{
+          kTotalCapacity / static_cast<double>(boxes), 20.0, 16.0});
+
+    mec::MultiServerOptions options;
+    options.pipeline.propagation = paper_propagation();
+    options.rebalance_rounds = 1;
+    mec::MultiServerOffloader offloader(options);
+    const mec::MultiServerResult result = offloader.solve(system);
+
+    double max_load = 0.0;
+    for (const double l : result.server_load)
+      max_load = std::max(max_load, l);
+    rows.push_back({std::to_string(boxes),
+                    format_fixed(kTotalCapacity / boxes, 0),
+                    format_fixed(result.total_energy, 1),
+                    format_fixed(result.total_time, 1),
+                    format_fixed(result.objective(), 1),
+                    format_fixed(max_load, 0)});
+    if (best_boxes == 0 || result.objective() < best_objective) {
+      best_objective = result.objective();
+      best_boxes = boxes;
+    }
+  }
+
+  print_table("Ablation: splitting one edge server into several "
+              "(48 users, total capacity fixed at 1200)",
+              {"boxes", "capacity each", "E", "T", "E+T",
+               "max box load"},
+              rows);
+  std::printf("best configuration: %zu box(es).\n", best_boxes);
+  print_shape_check(
+      "consolidation wins under capacity-normalized congestion "
+      "(economy of scale)",
+      best_boxes == 1);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

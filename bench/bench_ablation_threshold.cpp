@@ -1,0 +1,51 @@
+// Ablation — the coupling threshold `w` of the label rule.
+//
+// DESIGN.md question: how does the compression threshold trade graph
+// size against cut quality? Small w merges everything reachable (tiny
+// compressed graphs, coarse parts, inflexible schemes); large w merges
+// nothing (huge graphs, slow cuts). The paper fixes one threshold; this
+// sweep shows the plateau the choice sits on.
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "mec/costs.hpp"
+#include "support/reporting.hpp"
+#include "support/workloads.hpp"
+
+namespace {
+
+using namespace mecoff;
+using namespace mecoff::bench;
+
+int run() {
+  const PaperScale scale{1000, 4912};
+  mec::MecSystem system{paper_params(), {make_user(scale, /*seed=*/5)}};
+
+  std::vector<std::vector<std::string>> rows;
+  for (const double threshold : {2.0, 5.0, 10.0, 20.0, 40.0, 80.0}) {
+    mec::PipelineOptions opts;
+    opts.backend = mec::CutBackend::kSpectral;
+    opts.propagation = paper_propagation();
+    opts.propagation.coupling_threshold = threshold;
+    mec::PipelineOffloader offloader(opts);
+    const mec::OffloadingScheme scheme = offloader.solve(system);
+    const mec::SystemCost cost = mec::evaluate(system, scheme);
+    const auto& stats = offloader.last_stats();
+
+    rows.push_back({format_fixed(threshold, 1),
+                    std::to_string(stats.compression.compressed_nodes),
+                    std::to_string(stats.num_parts),
+                    format_fixed(cost.total_energy, 2),
+                    format_fixed(cost.objective(), 2)});
+  }
+  print_table("Ablation: LPA coupling threshold w (spectral pipeline, "
+              "1000-function graph)",
+              {"threshold", "compressed nodes", "parts", "total energy",
+               "objective E+T"},
+              rows);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,17 @@
+// Figure 4 — transmission energy consumption vs. graph size (single
+// user).
+//
+// Paper series (normalized): our algorithm {0.06, 0.13, 0.14, 0.45,
+// 0.85}, max-flow min-cut {0.07, 0.13, 0.18, 0.53, 0.97}, Kernighan–Lin
+// {0.08, 0.15, 0.19, 0.58, 1.00}. Shape: same growth trend as Fig. 3;
+// ours lowest at every point.
+#include "support/figures.hpp"
+
+int main() {
+  using namespace mecoff::bench;
+  const std::vector<SweepPoint> points = run_size_sweep(/*seed=*/7);
+  print_energy_figure("Figure 4: transmission energy consumption",
+                      "graph size", points,
+                      [](const AlgoResult& r) { return r.transmit_energy; });
+  return 0;
+}

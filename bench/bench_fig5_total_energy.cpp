@@ -1,0 +1,16 @@
+// Figure 5 — total energy consumption vs. graph size (single user).
+//
+// Paper series (normalized): our algorithm {0.02, 0.03, 0.05, 0.16,
+// 0.79}, max-flow min-cut {0.04, 0.05, 0.08, 0.19, 0.95}, Kernighan–Lin
+// {0.04, 0.06, 0.08, 0.21, 1.00}. Total = local + transmission, so the
+// ordering of Figs. 3 and 4 carries over.
+#include "support/figures.hpp"
+
+int main() {
+  using namespace mecoff::bench;
+  const std::vector<SweepPoint> points = run_size_sweep(/*seed=*/7);
+  print_energy_figure("Figure 5: total energy consumption",
+                      "graph size", points,
+                      [](const AlgoResult& r) { return r.total_energy; });
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 8 — total energy consumption vs. user count (graph fixed at
+// 1000 functions).
+//
+// Paper series (normalized): our algorithm {0.03, 0.14, 0.29, 0.45,
+// 0.65}, max-flow min-cut {0.04, 0.21, 0.42, 0.68, 0.95}, Kernighan–Lin
+// {0.04, 0.22, 0.46, 0.72, 1.00}.
+#include "support/figures.hpp"
+
+int main() {
+  using namespace mecoff::bench;
+  const std::vector<SweepPoint> points = run_user_sweep(/*seed=*/21);
+  print_energy_figure(
+      "Figure 8: total energy consumption under multi-user conditions",
+      "user size", points,
+      [](const AlgoResult& r) { return r.total_energy; });
+  return 0;
+}

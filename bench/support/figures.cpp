@@ -1,0 +1,125 @@
+#include "support/figures.hpp"
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace mecoff::bench {
+
+namespace {
+
+/// Mean of per-seed results, element-wise over algorithms.
+std::vector<AlgoResult> average_runs(
+    const std::vector<std::vector<AlgoResult>>& runs) {
+  std::vector<AlgoResult> mean = runs.front();
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    for (std::size_t a = 0; a < mean.size(); ++a) {
+      mean[a].local_energy += runs[r][a].local_energy;
+      mean[a].transmit_energy += runs[r][a].transmit_energy;
+      mean[a].total_energy += runs[r][a].total_energy;
+      mean[a].objective += runs[r][a].objective;
+      mean[a].solve_seconds += runs[r][a].solve_seconds;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(runs.size());
+  for (AlgoResult& a : mean) {
+    a.local_energy *= inv;
+    a.transmit_energy *= inv;
+    a.total_energy *= inv;
+    a.objective *= inv;
+    a.solve_seconds *= inv;
+  }
+  return mean;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> run_size_sweep(std::uint64_t seed) {
+  constexpr std::size_t kSeedsPerPoint = 3;
+  std::vector<SweepPoint> points;
+  for (const PaperScale scale : paper_scales()) {
+    std::vector<std::vector<AlgoResult>> runs;
+    for (std::size_t r = 0; r < kSeedsPerPoint; ++r) {
+      mec::MecSystem system{paper_params(), {make_user(scale, seed + r)}};
+      runs.push_back(run_paper_algorithms(system));
+    }
+    SweepPoint point;
+    point.x = std::to_string(scale.nodes);
+    point.algos = average_runs(runs);
+    points.push_back(std::move(point));
+    std::fprintf(stderr, "  [sweep] graph size %zu done\n", scale.nodes);
+  }
+  return points;
+}
+
+std::vector<SweepPoint> run_user_sweep(std::uint64_t seed) {
+  constexpr std::size_t kSeedsPerPoint = 2;
+  std::vector<SweepPoint> points;
+  for (const std::size_t users : paper_user_counts()) {
+    std::vector<std::vector<AlgoResult>> runs;
+    for (std::size_t r = 0; r < kSeedsPerPoint; ++r) {
+      const mec::MecSystem system = make_multiuser_system(
+          users, kMultiuserPoolSize, seed + 16 * r);
+      runs.push_back(run_paper_algorithms(system, kMultiuserPoolSize));
+    }
+    SweepPoint point;
+    point.x = std::to_string(users);
+    point.algos = average_runs(runs);
+    points.push_back(std::move(point));
+    std::fprintf(stderr, "  [sweep] %zu users done\n", users);
+  }
+  return points;
+}
+
+void print_energy_figure(const std::string& title,
+                         const std::string& x_label,
+                         const std::vector<SweepPoint>& points,
+                         const MetricFn& metric,
+                         double ours_tolerance, bool compare_against_kl) {
+  std::vector<Series> series;
+  if (!points.empty()) {
+    for (const AlgoResult& algo : points.front().algos)
+      series.push_back(Series{algo.algorithm, {}});
+  }
+  std::vector<std::string> xs;
+  for (const SweepPoint& point : points) {
+    xs.push_back(point.x);
+    for (std::size_t a = 0; a < point.algos.size(); ++a)
+      series[a].values.push_back(metric(point.algos[a]));
+  }
+  const double scale = normalize_series(series);
+  print_figure(title + " (normalized; scale = " +
+                   format_fixed(scale, 2) + ")",
+               x_label, xs, series);
+
+  // Shape checks against the paper's qualitative claims.
+  bool ours_lowest = true;
+  const std::size_t compared = compare_against_kl ? series.size() : 2;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    for (std::size_t a = 1; a < compared; ++a)
+      if (series[0].values[i] >
+          series[a].values[i] * (1.0 + ours_tolerance) + 0.02)
+        ours_lowest = false;
+  print_shape_check(
+      std::string("'our algorithm' at or below ") +
+          (compare_against_kl ? "both baselines" : "max-flow min-cut") +
+          " at every point (tol " +
+          format_fixed(100.0 * ours_tolerance, 0) + "%)",
+      ours_lowest);
+  if (!compare_against_kl)
+    std::printf("[SHAPE-NOTE] Kernighan-Lin's LOCAL energy can undercut "
+                "ours here: its poorly-cut components remain stranded on "
+                "the server (less local compute, far more transmission "
+                "in the companion figure). See EXPERIMENTS.md.\n");
+
+  // Saturation plateaus may dip slightly under seed noise; the paper's
+  // claim is the growth trend, not strict pointwise monotonicity.
+  bool monotone = true;
+  for (const Series& s : series)
+    for (std::size_t i = 1; i < s.values.size(); ++i)
+      if (s.values[i] < s.values[i - 1] * 0.85 - 0.02) monotone = false;
+  print_shape_check("every series grows along the x-axis "
+                    "(15% dip allowance)", monotone);
+}
+
+}  // namespace mecoff::bench

@@ -1,0 +1,41 @@
+// Shared experiment drivers for the figure benches. Figures 3–5 plot
+// three metrics of ONE experiment (the single-user graph-size sweep);
+// Figures 6–8 plot the same metrics of the multi-user sweep. Each bench
+// binary calls the driver and selects its metric, so the three views of
+// an experiment can never drift apart.
+#pragma once
+
+#include <functional>
+
+#include "support/reporting.hpp"
+#include "support/workloads.hpp"
+
+namespace mecoff::bench {
+
+struct SweepPoint {
+  std::string x;                  ///< x-axis label (graph size / user count)
+  std::vector<AlgoResult> algos;  ///< one entry per paper algorithm
+};
+
+/// Figs. 3–5: one user, graph sizes from Table I.
+[[nodiscard]] std::vector<SweepPoint> run_size_sweep(std::uint64_t seed);
+
+/// Figs. 6–8: graph fixed at 1000 functions, user counts 250…5000.
+[[nodiscard]] std::vector<SweepPoint> run_user_sweep(std::uint64_t seed);
+
+using MetricFn = std::function<double(const AlgoResult&)>;
+
+/// Render one paper figure: normalized series per algorithm plus the
+/// two shape checks every energy figure shares: "our algorithm" at or
+/// below both baselines (within `ours_tolerance`, a relative slack for
+/// metrics where the model trades axes differently than the paper's —
+/// see EXPERIMENTS.md), and growth along the x-axis (within a small
+/// relative dip allowance for saturation plateaus).
+void print_energy_figure(const std::string& title,
+                         const std::string& x_label,
+                         const std::vector<SweepPoint>& points,
+                         const MetricFn& metric,
+                         double ours_tolerance = 0.05,
+                         bool compare_against_kl = true);
+
+}  // namespace mecoff::bench

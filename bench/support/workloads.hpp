@@ -1,0 +1,88 @@
+// Shared workload builders and experiment drivers for the paper-figure
+// benches. Every bench binary reproduces one table/figure; this library
+// holds the common pieces so the figures stay mutually consistent:
+// identical NETGEN parameters, identical system parameters, identical
+// pipeline configuration — only the metric reported differs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "lpa/propagation.hpp"
+#include "mec/costs.hpp"
+#include "mec/model.hpp"
+#include "mec/offloader.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mecoff::bench {
+
+/// The paper's Table I workload scale: (function number, edge number).
+struct PaperScale {
+  std::size_t nodes;
+  std::size_t edges;
+};
+
+/// {250/1214, 500/2643, 1000/4912, 2000/9578, 5000/40243}.
+[[nodiscard]] const std::vector<PaperScale>& paper_scales();
+
+/// The multi-user x-axis of Figs. 6–8: {250, 500, 1000, 2000, 5000}.
+[[nodiscard]] const std::vector<std::size_t>& paper_user_counts();
+
+/// NETGEN parameters for a paper-scale graph. cluster_size grows with n
+/// so the compression ratio increases with graph size as in Table I.
+[[nodiscard]] graph::NetgenParams netgen_for(PaperScale scale,
+                                             std::uint64_t seed);
+
+/// A user application at the given scale: NETGEN graph with one pinned
+/// UI cluster per software component and amplified UI-boundary traffic.
+/// `components_override` replaces the default granularity (used by the
+/// Fig. 9 runtime study, whose compressed sub-graphs must be large
+/// enough for the eigensolver to be the measured cost — the paper's
+/// Table I granularity of a handful of components per graph).
+[[nodiscard]] mec::UserApp make_user(PaperScale scale, std::uint64_t seed,
+                                     std::size_t components_override = 0);
+
+/// System parameters for the single-user figures (3–5, 9) and the
+/// ablations: a modest per-user server slice.
+[[nodiscard]] mec::SystemParams paper_params();
+
+/// System parameters for the multi-user figures (6–8): one big shared
+/// server whose equal-share slices shrink as users grow.
+[[nodiscard]] mec::SystemParams multiuser_params();
+
+/// LPA configuration shared by all figure benches: the coupling
+/// threshold sits at the NETGEN light/heavy edge-weight boundary.
+[[nodiscard]] lpa::PropagationConfig paper_propagation();
+
+/// The three algorithms of the evaluation, in the paper's order.
+[[nodiscard]] const std::vector<mec::CutBackend>& paper_backends();
+[[nodiscard]] std::string backend_label(mec::CutBackend backend);
+
+/// One algorithm's results on one workload point.
+struct AlgoResult {
+  std::string algorithm;
+  double local_energy = 0.0;     ///< Σ e_c (Figs. 3, 6)
+  double transmit_energy = 0.0;  ///< Σ e_t (Figs. 4, 7)
+  double total_energy = 0.0;     ///< E (Figs. 5, 8)
+  double objective = 0.0;        ///< E + T
+  double solve_seconds = 0.0;    ///< wall clock of solve() (Fig. 9)
+};
+
+/// Run the three pipeline offloaders on `system` and evaluate each
+/// scheme. `identical_user_period` and `pool` forward to the pipeline.
+[[nodiscard]] std::vector<AlgoResult> run_paper_algorithms(
+    const mec::MecSystem& system, std::size_t identical_user_period = 0,
+    parallel::ThreadPool* pool = nullptr);
+
+/// Build the Figs. 6–8 multi-user system: `users` users cycling over
+/// `pool_size` distinct 1000-node graphs.
+[[nodiscard]] mec::MecSystem make_multiuser_system(std::size_t users,
+                                                   std::size_t pool_size,
+                                                   std::uint64_t seed);
+
+/// Size of the prototype pool used by make_multiuser_system.
+inline constexpr std::size_t kMultiuserPoolSize = 4;
+
+}  // namespace mecoff::bench

@@ -1,0 +1,72 @@
+// Channel-aware what-if study: the same application solved under each
+// deployment profile (Wi-Fi campus, LTE small cell, mmWave hotspot,
+// congested venue), then stress-tested on a fading radio.
+//
+// Demonstrates: parameter profiles, scheme sensitivity to the radio
+// (how many functions offload per profile), and the Gilbert–Elliott
+// channel in the batch simulator.
+//
+// Run:  ./channel_aware
+#include <cstdio>
+
+#include "appmodel/synthetic_apps.hpp"
+#include "mec/costs.hpp"
+#include "mec/offloader.hpp"
+#include "mec/profiles.hpp"
+#include "sim/executor.hpp"
+
+int main() {
+  using namespace mecoff;
+
+  const appmodel::Application app = appmodel::make_voice_assistant_app();
+  mec::UserApp user;
+  user.graph = app.to_graph();
+  user.unoffloadable = app.unoffloadable_mask();
+  user.components = app.component_ids();
+
+  std::printf("application '%s': %zu functions\n\n", app.name().c_str(),
+              app.num_functions());
+  std::printf("%-18s | %-9s | %-10s | %-12s | %-16s | %s\n", "profile",
+              "offloaded", "E (solve)", "E (fading)", "energy inflation",
+              "makespan (fading)");
+
+  for (const mec::NamedProfile& profile : mec::all_profiles()) {
+    mec::MecSystem system{profile.params, {user}};
+    mec::PipelineOptions options;
+    options.propagation.coupling_threshold = 50.0;
+    mec::PipelineOffloader offloader(options);
+    const mec::OffloadingScheme scheme = offloader.solve(system);
+    const mec::SystemCost analytic = mec::evaluate(system, scheme);
+
+    // Stress on a fading radio: bad state at 20% of the nominal rate.
+    sim::SimOptions fading;
+    sim::ChannelModel channel;
+    channel.good_rate = profile.params.bandwidth;
+    channel.bad_rate = profile.params.bandwidth * 0.2;
+    channel.mean_good = 2.0;
+    channel.mean_bad = 1.0;
+    channel.seed = 7;
+    fading.channel = channel;
+    const sim::SimReport realized =
+        sim::simulate_scheme(system, scheme, fading);
+
+    std::printf("%-18s | %3zu/%-5zu | %10.2f | %12.2f | %15.3fx | %.3f\n",
+                profile.name.c_str(), scheme.remote_count(0),
+                app.num_functions(), analytic.total_energy,
+                realized.total_energy,
+                realized.total_energy /
+                    std::max(analytic.total_energy, 1e-12),
+                realized.makespan);
+  }
+
+  std::printf(
+      "\nReading: the pipeline lands on the same placement here — the "
+      "pinned wake-word boundary\nis narrow (small text/audio payloads), "
+      "so offloading the whole ASR+NLU stack survives\neven the priciest "
+      "radio. What changes per profile is the BILL: the congested venue "
+      "pays\n~15x the mmWave hotspot for the identical scheme, and "
+      "fading inflates exactly the\nprofiles whose radio time already "
+      "dominates (1.47x at the venue vs 1.00x on mmWave,\nwhose transfers "
+      "fit inside one good-state dwell).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Multi-user campus scenario: one edge server, a crowd of users running
+// a mix of applications (AR game, video analytics, face recognition).
+//
+// Demonstrates: the COPMECS multi-user coordination — as the crowd
+// grows, the shared server saturates and the greedy pulls work back to
+// the devices; the spectral pipeline degrades most gracefully. Also
+// cross-checks the analytic waiting-time model against the
+// discrete-event FIFO server.
+//
+// Run:  ./multi_user_campus [users=<n>]
+#include <cstdio>
+
+#include "appmodel/synthetic_apps.hpp"
+#include "common/config.hpp"
+#include "mec/costs.hpp"
+#include "mec/offloader.hpp"
+#include "sim/executor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mecoff;
+
+  const Config cfg = Config::from_args(argc, argv);
+  const std::size_t max_users =
+      static_cast<std::size_t>(cfg.get_int("users", 96));
+
+  // Application mix: three archetypes from the appmodel library.
+  std::vector<mec::UserApp> mix;
+  for (const appmodel::Application& app :
+       {appmodel::make_ar_game_app(), appmodel::make_video_analytics_app(),
+        appmodel::make_face_recognition_app()}) {
+    mec::UserApp user;
+    user.graph = app.to_graph();
+    user.unoffloadable = app.unoffloadable_mask();
+    user.components = app.component_ids();
+    mix.push_back(std::move(user));
+  }
+
+  mec::SystemParams params;
+  params.mobile_capacity = 4.0;
+  params.server_capacity = 300.0;  // modest campus edge box
+  params.bandwidth = 30.0;
+  params.contention_factor = 1.0;
+
+  std::printf("%-8s | %-10s | %-12s | %-10s | %-12s | %s\n", "users",
+              "offloaded", "E (analytic)", "T (analytic)", "avg DES wait",
+              "greedy moves");
+  for (std::size_t users = 12; users <= max_users; users *= 2) {
+    const mec::MecSystem system =
+        mec::make_uniform_system(params, mix, users);
+
+    mec::PipelineOptions options;
+    options.backend = mec::CutBackend::kSpectral;
+    options.propagation.coupling_threshold = 50.0;
+    options.identical_user_period = mix.size();
+    mec::PipelineOffloader offloader(options);
+    const mec::OffloadingScheme scheme = offloader.solve(system);
+    const mec::SystemCost cost = mec::evaluate(system, scheme);
+    const sim::SimReport sim = sim::simulate_scheme(system, scheme);
+
+    std::size_t offloaded = 0;
+    std::size_t total = 0;
+    for (std::size_t u = 0; u < users; ++u) {
+      offloaded += scheme.remote_count(u);
+      total += system.users[u].graph.num_nodes();
+    }
+    double wait = 0.0;
+    for (const sim::UserOutcome& outcome : sim.users)
+      wait += outcome.server_wait;
+
+    std::printf("%-8zu | %4zu/%-5zu | %12.1f | %10.1f | %12.3f | %zu\n",
+                users, offloaded, total, cost.total_energy, cost.total_time,
+                wait / static_cast<double>(users),
+                offloader.last_stats().greedy_moves);
+  }
+  std::printf("\nNote: offloaded share shrinks as the crowd grows — the "
+              "shared server saturates and Algorithm 2 pulls parts back "
+              "onto the devices.\n");
+  return 0;
+}

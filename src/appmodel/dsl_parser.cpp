@@ -1,0 +1,119 @@
+#include "appmodel/dsl_parser.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace mecoff::appmodel {
+
+namespace {
+
+/// Parse "key=value" into (key, value); returns false on no '='.
+bool split_kv(const std::string& token, std::string& key, std::string& value) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos) return false;
+  key = token.substr(0, eq);
+  value = token.substr(eq + 1);
+  return true;
+}
+
+}  // namespace
+
+Result<Application> parse_app_dsl(const std::string& text) {
+  std::istringstream in(text);
+  Application app;
+  bool named = false;
+  std::string current_component;
+  std::string line;
+  std::size_t line_no = 0;
+
+  const auto fail = [&](const std::string& why) {
+    return Error("line " + std::to_string(line_no) + ": " + why);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments, then whitespace.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> tokens = split_ws(line);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "app") {
+      if (tokens.size() != 2) return fail("expected 'app <name>'");
+      if (named) return fail("duplicate 'app' directive");
+      app = Application(tokens[1]);
+      named = true;
+    } else if (tokens[0] == "component") {
+      if (tokens.size() != 2)
+        return fail("expected 'component <name>' ('-' resets)");
+      current_component = tokens[1] == "-" ? "" : tokens[1];
+    } else if (tokens[0] == "function") {
+      if (tokens.size() < 2) return fail("expected 'function <name> ...'");
+      FunctionInfo info;
+      info.name = tokens[1];
+      info.component = current_component;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        if (tokens[i] == "unoffloadable") {
+          info.unoffloadable = true;
+          continue;
+        }
+        std::string key;
+        std::string value;
+        if (!split_kv(tokens[i], key, value))
+          return fail("unknown function attribute '" + tokens[i] + "'");
+        if (key == "compute") {
+          if (!parse_double(value, info.computation) || info.computation < 0)
+            return fail("bad compute value '" + value + "'");
+        } else {
+          return fail("unknown function attribute key '" + key + "'");
+        }
+      }
+      if (app.find_function(info.name) != Application::npos)
+        return fail("duplicate function '" + info.name + "'");
+      app.add_function(std::move(info));
+    } else if (tokens[0] == "call") {
+      if (tokens.size() != 4) return fail("expected 'call <a> <b> data=<x>'");
+      const std::size_t a = app.find_function(tokens[1]);
+      const std::size_t b = app.find_function(tokens[2]);
+      if (a == Application::npos)
+        return fail("unknown function '" + tokens[1] + "'");
+      if (b == Application::npos)
+        return fail("unknown function '" + tokens[2] + "'");
+      if (a == b) return fail("self-call is not a data exchange");
+      std::string key;
+      std::string value;
+      double amount = 0;
+      if (!split_kv(tokens[3], key, value) || key != "data" ||
+          !parse_double(value, amount) || amount < 0)
+        return fail("expected data=<non-negative amount>");
+      app.add_exchange(a, b, amount);
+    } else {
+      return fail("unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (app.num_functions() == 0) return Error("no functions declared");
+  return app;
+}
+
+std::string to_app_dsl(const Application& app) {
+  std::ostringstream out;
+  out << "app " << app.name() << '\n';
+  std::string current_component;  // parser starts in the anonymous one
+  for (const FunctionInfo& f : app.functions()) {
+    if (f.component != current_component) {
+      current_component = f.component;
+      out << "component "
+          << (current_component.empty() ? "-" : current_component) << '\n';
+    }
+    out << "function " << f.name << " compute=" << f.computation;
+    if (f.unoffloadable) out << " unoffloadable";
+    out << '\n';
+  }
+  for (const DataExchange& x : app.exchanges())
+    out << "call " << app.function(x.from).name << ' '
+        << app.function(x.to).name << " data=" << x.amount << '\n';
+  return out.str();
+}
+
+}  // namespace mecoff::appmodel

@@ -1,0 +1,154 @@
+#include "appmodel/trace_import.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace mecoff::appmodel {
+
+namespace {
+
+/// Accumulated observations for one function.
+struct FunctionObs {
+  double self_time = 0.0;
+  std::size_t invocations = 0;
+  bool pinned = false;
+  std::string component;
+};
+
+struct OpenFrame {
+  std::size_t function;
+  double entered_at;
+  double child_time = 0.0;  ///< time spent inside callees
+};
+
+}  // namespace
+
+Result<TraceImport> import_trace(const std::string& text,
+                                 const TraceImportOptions& options) {
+  std::istringstream in(text);
+
+  std::map<std::string, std::size_t> index;
+  std::vector<std::string> names;
+  std::vector<FunctionObs> observations;
+  // Accumulated payload per (min, max) function pair.
+  std::map<std::pair<std::size_t, std::size_t>, double> payload;
+  // Call edges observed via nesting (caller, callee).
+  std::map<std::pair<std::size_t, std::size_t>, bool> call_edges;
+
+  const auto intern = [&](const std::string& name) {
+    const auto [it, inserted] = index.try_emplace(name, names.size());
+    if (inserted) {
+      names.push_back(name);
+      observations.emplace_back();
+    }
+    return it->second;
+  };
+
+  std::vector<OpenFrame> stack;
+  TraceImport result;
+  double last_time = 0.0;
+  std::string line;
+  std::size_t line_no = 0;
+
+  const auto fail = [&](const std::string& why) {
+    return Error("line " + std::to_string(line_no) + ": " + why);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> tokens = split_ws(line);
+    if (tokens.empty()) continue;
+    ++result.records;
+
+    if (tokens[0] == "enter" || tokens[0] == "exit") {
+      double ts = 0.0;
+      if (tokens.size() != 3 || !parse_double(tokens[2], ts))
+        return fail("expected '" + tokens[0] + " <function> <timestamp>'");
+      if (ts < 0.0) return fail("negative timestamp");
+      if (ts < last_time) return fail("time runs backwards");
+      last_time = ts;
+
+      if (tokens[0] == "enter") {
+        const std::size_t fn = intern(tokens[1]);
+        if (!stack.empty())
+          call_edges[{stack.back().function, fn}] = true;
+        stack.push_back(OpenFrame{fn, ts, 0.0});
+      } else {
+        if (stack.empty()) return fail("'exit' with empty call stack");
+        const auto it = index.find(tokens[1]);
+        if (it == index.end() || stack.back().function != it->second)
+          return fail("'exit " + tokens[1] +
+                      "' does not match the open frame '" +
+                      names[stack.back().function] + "'");
+        const OpenFrame frame = stack.back();
+        stack.pop_back();
+        const double span = ts - frame.entered_at;
+        const double self = span - frame.child_time;
+        if (self < -1e-9) return fail("negative self time (overlapping frames)");
+        FunctionObs& obs = observations[frame.function];
+        obs.self_time += std::max(self, 0.0);
+        ++obs.invocations;
+        ++result.invocations;
+        if (!stack.empty()) stack.back().child_time += span;
+        result.total_traced_seconds =
+            std::max(result.total_traced_seconds, ts);
+      }
+    } else if (tokens[0] == "send") {
+      double bytes = 0.0;
+      if (tokens.size() != 4 || !parse_double(tokens[3], bytes) ||
+          bytes < 0.0)
+        return fail("expected 'send <from> <to> <bytes>=0'");
+      const std::size_t a = intern(tokens[1]);
+      const std::size_t b = intern(tokens[2]);
+      if (a == b) return fail("send to self is not an exchange");
+      payload[std::minmax(a, b)] += bytes;
+    } else if (tokens[0] == "pin") {
+      if (tokens.size() != 2) return fail("expected 'pin <function>'");
+      observations[intern(tokens[1])].pinned = true;
+    } else if (tokens[0] == "component") {
+      if (tokens.size() != 3)
+        return fail("expected 'component <function> <name>'");
+      observations[intern(tokens[1])].component = tokens[2];
+    } else {
+      return fail("unknown record '" + tokens[0] + "'");
+    }
+  }
+  if (!stack.empty())
+    return Error("trace ended with " + std::to_string(stack.size()) +
+                 " unclosed frame(s); first open: '" +
+                 names[stack.front().function] + "'");
+  if (names.empty()) return Error("empty trace");
+
+  // Assemble the Application.
+  Application app(options.app_name);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    FunctionInfo info;
+    info.name = names[i];
+    info.computation = observations[i].self_time * options.compute_scale;
+    info.unoffloadable = observations[i].pinned;
+    info.component = observations[i].component;
+    app.add_function(std::move(info));
+  }
+  // Exchanges: every observed payload, plus default bytes for call
+  // edges that never sent explicit data.
+  for (const auto& [pair, bytes] : payload)
+    app.add_exchange(pair.first, pair.second, bytes * options.data_scale);
+  for (const auto& [edge, seen] : call_edges) {
+    (void)seen;
+    const auto key = std::minmax(edge.first, edge.second);
+    if (payload.count({key.first, key.second}) == 0)
+      app.add_exchange(edge.first, edge.second,
+                       options.default_call_bytes);
+  }
+
+  result.app = std::move(app);
+  return result;
+}
+
+}  // namespace mecoff::appmodel

@@ -1,0 +1,55 @@
+// Execution-trace front end — the dynamic-analysis complement to the
+// static DSL (dsl_parser.hpp). Where Soot-style static analysis yields
+// the call structure, a profiler run yields the WEIGHTS: how much time
+// each function actually burns and how many bytes actually flow between
+// functions. This importer turns such a trace into an Application.
+//
+// Trace format (one record per line, '#' comments):
+//   enter <function> <timestamp>
+//   exit  <function> <timestamp>
+//   send  <from> <to> <bytes>
+//   pin   <function>                 # observed touching sensors/IO
+//   component <function> <name>      # optional component annotation
+//
+// Semantics:
+//  * enter/exit pairs must nest properly (a per-trace call stack);
+//  * a function's computation weight is its SELF time — wall time inside
+//    it minus time inside callees — summed over invocations and scaled
+//    by `compute_scale`;
+//  * an `enter` while another function is open records a call edge
+//    caller → callee; call edges with no observed `send` still carry
+//    `default_call_bytes` of data (arguments/returns);
+//  * `send` accumulates payload bytes on the pair's exchange (scaled by
+//    `data_scale`).
+#pragma once
+
+#include <string>
+
+#include "appmodel/application.hpp"
+#include "common/result.hpp"
+
+namespace mecoff::appmodel {
+
+struct TraceImportOptions {
+  /// Computation units per second of self time.
+  double compute_scale = 100.0;
+  /// Data units per traced byte.
+  double data_scale = 1.0 / 1024.0;  // KiB
+  /// Data units charged to a call edge never seen in a `send` record.
+  double default_call_bytes = 0.5;
+  std::string app_name = "traced_app";
+};
+
+struct TraceImport {
+  Application app;
+  std::size_t records = 0;
+  std::size_t invocations = 0;
+  double total_traced_seconds = 0.0;
+};
+
+/// Parse a trace; errors carry line numbers (unbalanced enter/exit,
+/// negative timestamps, time running backwards, malformed records).
+[[nodiscard]] Result<TraceImport> import_trace(
+    const std::string& text, const TraceImportOptions& options = {});
+
+}  // namespace mecoff::appmodel

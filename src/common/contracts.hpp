@@ -1,0 +1,49 @@
+// Lightweight contract macros in the spirit of the C++ Core Guidelines
+// (I.6 / GSL Expects/Ensures). Violations throw, so tests can assert on
+// misuse, and release builds keep the checks (they are cheap relative to
+// the graph algorithms they guard).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mecoff {
+
+/// Thrown when a function precondition is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a function postcondition or internal invariant is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail_pre(const char* cond, const char* file,
+                                           int line) {
+  throw PreconditionError(std::string("precondition failed: ") + cond + " at " +
+                          file + ":" + std::to_string(line));
+}
+[[noreturn]] inline void contract_fail_inv(const char* cond, const char* file,
+                                           int line) {
+  throw InvariantError(std::string("invariant failed: ") + cond + " at " +
+                       file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace mecoff
+
+#define MECOFF_EXPECTS(cond)                                             \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::mecoff::detail::contract_fail_pre(#cond, __FILE__, __LINE__);    \
+  } while (false)
+
+#define MECOFF_ENSURES(cond)                                             \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::mecoff::detail::contract_fail_inv(#cond, __FILE__, __LINE__);    \
+  } while (false)

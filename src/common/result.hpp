@@ -1,0 +1,72 @@
+// A minimal Result<T> for operations whose failure is an expected outcome
+// (parsing, file I/O) rather than a programming error. Modeled on
+// std::expected (not available in this toolchain's C++20 mode).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mecoff {
+
+/// Describes why an operation failed, with a human-readable message.
+struct Error {
+  std::string message;
+
+  explicit Error(std::string msg) : message(std::move(msg)) {}
+};
+
+/// Value-or-error carrier. Either holds a T or an Error.
+///
+/// Usage:
+///   Result<Application> app = parse(text);
+///   if (!app.ok()) { log(app.error().message); return; }
+///   use(app.value());
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}    // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
+
+  /// Access the value. Throws std::logic_error if this holds an error.
+  [[nodiscard]] const T& value() const& {
+    require_ok();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    require_ok();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    require_ok();
+    return std::get<T>(std::move(data_));
+  }
+
+  /// Access the error. Throws std::logic_error if this holds a value.
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::logic_error("Result holds a value, not an error");
+    return std::get<Error>(data_);
+  }
+
+  /// Value if present, otherwise `fallback`.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  void require_ok() const {
+    if (!ok())
+      throw std::logic_error("Result holds an error: " +
+                             std::get<Error>(data_).message);
+  }
+
+  std::variant<T, Error> data_;
+};
+
+}  // namespace mecoff

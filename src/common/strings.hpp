@@ -1,0 +1,33 @@
+// Small string utilities shared by the DSL parser, graph I/O and the
+// bench table printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mecoff {
+
+/// Split `text` on `delim`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Split `text` on any run of whitespace, dropping empty fields.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// Join `parts` with `sep` between elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Parse helpers returning false on malformed input (no exceptions).
+bool parse_double(std::string_view text, double& out);
+bool parse_int(std::string_view text, long long& out);
+
+/// Format a double with `precision` digits after the point.
+std::string format_fixed(double value, int precision);
+
+}  // namespace mecoff

@@ -1,0 +1,45 @@
+#include "graph/components.hpp"
+
+#include <queue>
+
+namespace mecoff::graph {
+
+ComponentLabels connected_components(const WeightedGraph& g) {
+  const std::size_t n = g.num_nodes();
+  ComponentLabels out;
+  out.component_of.assign(n, UINT32_MAX);
+
+  std::queue<NodeId> frontier;
+  for (NodeId start = 0; start < n; ++start) {
+    if (out.component_of[start] != UINT32_MAX) continue;
+    const std::uint32_t comp = out.count++;
+    out.component_of[start] = comp;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (const Adjacency& adj : g.neighbors(v)) {
+        if (out.component_of[adj.neighbor] == UINT32_MAX) {
+          out.component_of[adj.neighbor] = comp;
+          frontier.push(adj.neighbor);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<NodeId>> component_node_lists(
+    const ComponentLabels& labels) {
+  std::vector<std::vector<NodeId>> lists(labels.count);
+  for (NodeId v = 0; v < labels.component_of.size(); ++v)
+    lists[labels.component_of[v]].push_back(v);
+  return lists;
+}
+
+bool is_connected(const WeightedGraph& g) {
+  if (g.empty()) return true;
+  return connected_components(g).count == 1;
+}
+
+}  // namespace mecoff::graph

@@ -1,0 +1,31 @@
+// Connected-component analysis. The paper splits the function data flow
+// graph "based on component boundaries" before label propagation; after
+// removing unoffloadable functions, connectivity defines those
+// boundaries (plus any explicit software-component annotation handled in
+// appmodel/).
+#pragma once
+
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+
+namespace mecoff::graph {
+
+struct ComponentLabels {
+  /// component_of[v] in [0, count).
+  std::vector<std::uint32_t> component_of;
+  std::uint32_t count = 0;
+};
+
+/// Label every node with its connected component via BFS. O(V + E).
+[[nodiscard]] ComponentLabels connected_components(const WeightedGraph& g);
+
+/// Node ids grouped per component, each group in ascending order.
+[[nodiscard]] std::vector<std::vector<NodeId>> component_node_lists(
+    const ComponentLabels& labels);
+
+/// True when the whole graph is one connected component (empty graphs
+/// count as connected).
+[[nodiscard]] bool is_connected(const WeightedGraph& g);
+
+}  // namespace mecoff::graph

@@ -1,0 +1,99 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace mecoff::graph {
+
+void write_edge_list(const WeightedGraph& g, std::ostream& out) {
+  out << "nodes " << g.num_nodes() << '\n';
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    out << "node " << v << ' ' << g.node_weight(v) << '\n';
+  for (const Edge& e : g.edges())
+    out << "edge " << e.u << ' ' << e.v << ' ' << e.weight << '\n';
+}
+
+std::string to_edge_list(const WeightedGraph& g) {
+  std::ostringstream out;
+  write_edge_list(g, out);
+  return out.str();
+}
+
+Result<WeightedGraph> read_edge_list(std::istream& in) {
+  GraphBuilder builder;
+  bool saw_nodes = false;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const std::vector<std::string> tokens = split_ws(trimmed);
+    const auto fail = [&](const std::string& why) {
+      return Error("line " + std::to_string(line_no) + ": " + why);
+    };
+    if (tokens[0] == "nodes") {
+      long long n = 0;
+      if (tokens.size() != 2 || !parse_int(tokens[1], n) || n < 0)
+        return fail("expected 'nodes <count>'");
+      if (saw_nodes) return fail("duplicate 'nodes' line");
+      saw_nodes = true;
+      builder = GraphBuilder(static_cast<std::size_t>(n));
+    } else if (tokens[0] == "node") {
+      long long id = 0;
+      double w = 0;
+      if (tokens.size() != 3 || !parse_int(tokens[1], id) ||
+          !parse_double(tokens[2], w) || w < 0)
+        return fail("expected 'node <id> <weight>=0'");
+      if (!saw_nodes) return fail("'node' before 'nodes'");
+      if (id < 0 || static_cast<std::size_t>(id) >= builder.num_nodes())
+        return fail("node id out of range");
+      builder.set_node_weight(static_cast<NodeId>(id), w);
+    } else if (tokens[0] == "edge") {
+      long long u = 0;
+      long long v = 0;
+      double w = 0;
+      if (tokens.size() != 4 || !parse_int(tokens[1], u) ||
+          !parse_int(tokens[2], v) || !parse_double(tokens[3], w) || w < 0)
+        return fail("expected 'edge <u> <v> <weight>=0'");
+      if (!saw_nodes) return fail("'edge' before 'nodes'");
+      const auto n = static_cast<long long>(builder.num_nodes());
+      if (u < 0 || u >= n || v < 0 || v >= n) return fail("endpoint out of range");
+      if (u == v) return fail("self-loop not allowed");
+      builder.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+    } else {
+      return fail("unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (!saw_nodes) return Error("missing 'nodes' line");
+  return builder.build();
+}
+
+Result<WeightedGraph> parse_edge_list(const std::string& text) {
+  std::istringstream in(text);
+  return read_edge_list(in);
+}
+
+std::string to_dot(const WeightedGraph& g,
+                   const std::vector<std::uint8_t>& side) {
+  std::ostringstream out;
+  out << "graph mecoff {\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out << "  n" << v << " [label=\"" << v << " (" << g.node_weight(v)
+        << ")\"";
+    if (side.size() == g.num_nodes())
+      out << ", style=filled, fillcolor=" << (side[v] == 0 ? "\"#a8d5ba\""
+                                                           : "\"#f4a6a6\"");
+    out << "];\n";
+  }
+  for (const Edge& e : g.edges())
+    out << "  n" << e.u << " -- n" << e.v << " [label=\"" << e.weight
+        << "\"];\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace mecoff::graph

@@ -1,0 +1,32 @@
+// Graph serialization: a simple weighted edge-list text format for
+// experiment artifacts, and Graphviz DOT export for inspection.
+//
+// Edge-list format:
+//   # comment lines start with '#'
+//   nodes <n>
+//   node <id> <weight>        (optional; missing nodes default to weight 0)
+//   edge <u> <v> <weight>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace mecoff::graph {
+
+/// Write `g` in the edge-list format above.
+void write_edge_list(const WeightedGraph& g, std::ostream& out);
+std::string to_edge_list(const WeightedGraph& g);
+
+/// Parse the edge-list format. Malformed input is an expected failure.
+[[nodiscard]] Result<WeightedGraph> read_edge_list(std::istream& in);
+[[nodiscard]] Result<WeightedGraph> parse_edge_list(const std::string& text);
+
+/// Graphviz DOT (undirected). `side` may be empty, or one 0/1 entry per
+/// node to color the two partition sides.
+std::string to_dot(const WeightedGraph& g,
+                   const std::vector<std::uint8_t>& side = {});
+
+}  // namespace mecoff::graph

@@ -1,0 +1,41 @@
+#include "graph/subgraph.hpp"
+
+#include "common/contracts.hpp"
+
+namespace mecoff::graph {
+
+Subgraph induced_subgraph(const WeightedGraph& parent,
+                          std::span<const NodeId> nodes) {
+  std::vector<NodeId> to_local(parent.num_nodes(), kInvalidNode);
+  GraphBuilder builder;
+  Subgraph out;
+  out.to_parent.reserve(nodes.size());
+  for (const NodeId v : nodes) {
+    MECOFF_EXPECTS(v < parent.num_nodes());
+    MECOFF_EXPECTS(to_local[v] == kInvalidNode);  // uniqueness
+    to_local[v] = builder.add_node(parent.node_weight(v));
+    out.to_parent.push_back(v);
+  }
+  for (const NodeId v : nodes) {
+    for (const Adjacency& adj : parent.neighbors(v)) {
+      // Visit each edge once from its lower-local-id endpoint.
+      if (to_local[adj.neighbor] == kInvalidNode) continue;
+      if (to_local[v] < to_local[adj.neighbor])
+        builder.add_edge(to_local[v], to_local[adj.neighbor], adj.weight);
+    }
+  }
+  out.graph = builder.build();
+  return out;
+}
+
+Subgraph remove_nodes(const WeightedGraph& parent,
+                      const std::vector<bool>& remove) {
+  MECOFF_EXPECTS(remove.size() == parent.num_nodes());
+  std::vector<NodeId> keep;
+  keep.reserve(parent.num_nodes());
+  for (NodeId v = 0; v < parent.num_nodes(); ++v)
+    if (!remove[v]) keep.push_back(v);
+  return induced_subgraph(parent, keep);
+}
+
+}  // namespace mecoff::graph

@@ -1,0 +1,30 @@
+// Induced subgraph extraction with provenance mapping — used when the
+// pipeline splits the application graph at component boundaries and must
+// later translate per-subgraph results back to original node ids.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+
+namespace mecoff::graph {
+
+/// An induced subgraph plus the mapping back to the parent graph.
+struct Subgraph {
+  WeightedGraph graph;
+  /// to_parent[local id] = parent node id.
+  std::vector<NodeId> to_parent;
+};
+
+/// Induced subgraph on `nodes` (must be unique, valid ids). Edges with
+/// both endpoints inside `nodes` are kept; weights are preserved.
+[[nodiscard]] Subgraph induced_subgraph(const WeightedGraph& parent,
+                                        std::span<const NodeId> nodes);
+
+/// Copy of `parent` with `remove[v] == true` nodes dropped (and their
+/// incident edges). `to_parent` maps surviving local ids to parent ids.
+[[nodiscard]] Subgraph remove_nodes(const WeightedGraph& parent,
+                                    const std::vector<bool>& remove);
+
+}  // namespace mecoff::graph

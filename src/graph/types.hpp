@@ -1,0 +1,18 @@
+// Fundamental identifier types for the graph layer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mecoff::graph {
+
+/// Index of a node within one WeightedGraph. Dense, 0-based.
+using NodeId = std::uint32_t;
+
+/// Index of an undirected edge within one WeightedGraph. Dense, 0-based.
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+}  // namespace mecoff::graph

@@ -1,0 +1,80 @@
+#include "graph/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace mecoff::graph {
+
+ValidationReport validate(const WeightedGraph& g) {
+  ValidationReport report;
+  const std::size_t n = g.num_nodes();
+
+  // Node weights.
+  for (NodeId v = 0; v < n; ++v) {
+    const double w = g.node_weight(v);
+    if (!std::isfinite(w) || w < 0.0)
+      report.fail("node " + std::to_string(v) + " has invalid weight");
+  }
+
+  // Edge list: ranges, loops, duplicates, weights.
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const Edge& e : g.edges()) {
+    if (e.u >= n || e.v >= n) {
+      report.fail("edge endpoint out of range");
+      continue;
+    }
+    if (e.u == e.v) report.fail("self-loop at node " + std::to_string(e.u));
+    const auto key = std::minmax(e.u, e.v);
+    if (!seen.insert({key.first, key.second}).second)
+      report.fail("duplicate edge {" + std::to_string(e.u) + ", " +
+                  std::to_string(e.v) + "}");
+    if (!std::isfinite(e.weight) || e.weight < 0.0)
+      report.fail("edge {" + std::to_string(e.u) + ", " +
+                  std::to_string(e.v) + "} has invalid weight");
+  }
+
+  // Adjacency consistency: each undirected edge appears exactly once in
+  // each endpoint's list, with matching weight and edge id.
+  std::size_t degree_sum = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    degree_sum += g.degree(v);
+    for (const Adjacency& adj : g.neighbors(v)) {
+      if (adj.neighbor >= n) {
+        report.fail("adjacency of " + std::to_string(v) + " out of range");
+        continue;
+      }
+      if (adj.edge >= g.num_edges()) {
+        report.fail("adjacency of " + std::to_string(v) +
+                    " references bad edge id");
+        continue;
+      }
+      const Edge& e = g.edge(adj.edge);
+      const bool endpoints_match =
+          (e.u == v && e.v == adj.neighbor) ||
+          (e.v == v && e.u == adj.neighbor);
+      if (!endpoints_match)
+        report.fail("adjacency of " + std::to_string(v) +
+                    " disagrees with its edge record");
+      if (e.weight != adj.weight)
+        report.fail("adjacency weight of " + std::to_string(v) +
+                    " disagrees with its edge record");
+    }
+  }
+  if (degree_sum != 2 * g.num_edges())
+    report.fail("degree sum != 2 * edge count");
+
+  return report;
+}
+
+std::vector<std::size_t> degree_histogram(const WeightedGraph& g) {
+  std::size_t max_degree = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    max_degree = std::max(max_degree, g.degree(v));
+  std::vector<std::size_t> histogram(max_degree + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++histogram[g.degree(v)];
+  if (g.num_nodes() == 0) histogram.clear();
+  return histogram;
+}
+
+}  // namespace mecoff::graph

@@ -1,0 +1,37 @@
+// Structural self-checks for WeightedGraph — the invariants the
+// builder is supposed to guarantee, verified explicitly. Used by tests
+// as a catch-all oracle after every transformation (subgraphs,
+// compression, generators) and by the CLI's `stats` subcommand on
+// untrusted input files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+
+namespace mecoff::graph {
+
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> problems;
+
+  void fail(std::string problem) {
+    ok = false;
+    problems.push_back(std::move(problem));
+  }
+};
+
+/// Check every representation invariant:
+///  * edge endpoints in range, no self-loops, no duplicate pairs;
+///  * weights finite and non-negative (nodes and edges);
+///  * adjacency lists consistent with the edge list in both directions
+///    (same multiset of (neighbor, weight, edge-id) half-edges);
+///  * degree sums equal 2·|E|.
+[[nodiscard]] ValidationReport validate(const WeightedGraph& g);
+
+/// Histogram of node degrees: result[d] = number of nodes of degree d.
+[[nodiscard]] std::vector<std::size_t> degree_histogram(
+    const WeightedGraph& g);
+
+}  // namespace mecoff::graph

@@ -1,0 +1,128 @@
+#include "graph/weighted_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace mecoff::graph {
+
+double WeightedGraph::node_weight(NodeId v) const {
+  MECOFF_EXPECTS(v < num_nodes());
+  return data_->node_weights[v];
+}
+
+std::span<const Adjacency> WeightedGraph::neighbors(NodeId v) const {
+  MECOFF_EXPECTS(v < num_nodes());
+  return {data_->adjacency.data() + data_->offsets[v],
+          data_->offsets[v + 1] - data_->offsets[v]};
+}
+
+std::size_t WeightedGraph::degree(NodeId v) const {
+  MECOFF_EXPECTS(v < num_nodes());
+  return data_->offsets[v + 1] - data_->offsets[v];
+}
+
+double WeightedGraph::weighted_degree(NodeId v) const {
+  double sum = 0.0;
+  for (const Adjacency& adj : neighbors(v)) sum += adj.weight;
+  return sum;
+}
+
+const Edge& WeightedGraph::edge(EdgeId e) const {
+  MECOFF_EXPECTS(e < num_edges());
+  return data_->edges[e];
+}
+
+double WeightedGraph::total_node_weight() const {
+  if (!data_) return 0.0;
+  return std::accumulate(data_->node_weights.begin(),
+                         data_->node_weights.end(), 0.0);
+}
+
+double WeightedGraph::total_edge_weight() const {
+  double sum = 0.0;
+  for (const Edge& e : edges()) sum += e.weight;
+  return sum;
+}
+
+bool WeightedGraph::has_edge(NodeId u, NodeId v) const {
+  for (const Adjacency& adj : neighbors(u))
+    if (adj.neighbor == v) return true;
+  return false;
+}
+
+double WeightedGraph::edge_weight_between(NodeId u, NodeId v) const {
+  for (const Adjacency& adj : neighbors(u))
+    if (adj.neighbor == v) return adj.weight;
+  return 0.0;
+}
+
+GraphBuilder::GraphBuilder(std::size_t n) : node_weights_(n, 0.0) {}
+
+NodeId GraphBuilder::add_node(double weight) {
+  MECOFF_EXPECTS(weight >= 0.0 && std::isfinite(weight));
+  node_weights_.push_back(weight);
+  return static_cast<NodeId>(node_weights_.size() - 1);
+}
+
+void GraphBuilder::set_node_weight(NodeId v, double weight) {
+  MECOFF_EXPECTS(v < node_weights_.size());
+  MECOFF_EXPECTS(weight >= 0.0 && std::isfinite(weight));
+  node_weights_[v] = weight;
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v, double weight) {
+  MECOFF_EXPECTS(u < node_weights_.size());
+  MECOFF_EXPECTS(v < node_weights_.size());
+  MECOFF_EXPECTS(u != v);
+  MECOFF_EXPECTS(weight >= 0.0 && std::isfinite(weight));
+  raw_edges_.push_back(Edge{u, v, weight});
+}
+
+WeightedGraph GraphBuilder::build() {
+  auto data = std::make_shared<WeightedGraph::Data>();
+  data->node_weights = std::move(node_weights_);
+  node_weights_.clear();
+
+  // Merge parallel edges by canonical (min, max) endpoint key.
+  std::map<std::pair<NodeId, NodeId>, double> merged;
+  for (const Edge& e : raw_edges_) {
+    const auto key = std::minmax(e.u, e.v);
+    merged[{key.first, key.second}] += e.weight;
+  }
+  raw_edges_.clear();
+
+  data->edges.reserve(merged.size());
+  for (const auto& [key, weight] : merged)
+    data->edges.push_back(Edge{key.first, key.second, weight});
+
+  // Build CSR adjacency (each undirected edge appears in both lists).
+  const std::size_t n = data->node_weights.size();
+  std::vector<std::size_t> counts(n, 0);
+  for (const Edge& e : data->edges) {
+    ++counts[e.u];
+    ++counts[e.v];
+  }
+  data->offsets.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v)
+    data->offsets[v + 1] = data->offsets[v] + counts[v];
+  data->adjacency.resize(data->offsets[n]);
+
+  std::vector<std::size_t> cursor(data->offsets.begin(),
+                                  data->offsets.end() - 1);
+  for (EdgeId id = 0; id < data->edges.size(); ++id) {
+    const Edge& e = data->edges[id];
+    data->adjacency[cursor[e.u]++] = Adjacency{e.v, e.weight, id};
+    data->adjacency[cursor[e.v]++] = Adjacency{e.u, e.weight, id};
+  }
+
+  WeightedGraph g;
+  g.data_ = std::move(data);
+  return g;
+}
+
+}  // namespace mecoff::graph

@@ -1,0 +1,173 @@
+#include "kl/fiduccia_mattheyses.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace mecoff::kl {
+
+using graph::Bipartition;
+using graph::NodeId;
+using graph::WeightedGraph;
+
+namespace {
+
+/// gain[v] = cut reduction if v switches sides
+///         = (external edge weight) − (internal edge weight).
+std::vector<double> compute_gains(const WeightedGraph& g,
+                                  const std::vector<std::uint8_t>& side) {
+  std::vector<double> gain(g.num_nodes(), 0.0);
+  for (const graph::Edge& e : g.edges()) {
+    const double sign = side[e.u] != side[e.v] ? 1.0 : -1.0;
+    gain[e.u] += sign * e.weight;
+    gain[e.v] += sign * e.weight;
+  }
+  return gain;
+}
+
+}  // namespace
+
+FmResult fm_refine(const WeightedGraph& g, Bipartition initial,
+                   const FmOptions& options) {
+  MECOFF_EXPECTS(graph::is_valid_partition(g, initial.side));
+  MECOFF_EXPECTS(options.balance_tolerance >= 0.0 &&
+                 options.balance_tolerance <= 0.5);
+  MECOFF_EXPECTS(options.max_passes >= 1);
+
+  FmResult result;
+  result.partition = std::move(initial);
+  std::vector<std::uint8_t>& side = result.partition.side;
+  const std::size_t n = g.num_nodes();
+  if (n < 2) {
+    result.partition.cut_weight = 0.0;
+    return result;
+  }
+
+  const double total_weight = g.total_node_weight();
+  const double floor_weight =
+      (0.5 - options.balance_tolerance) * total_weight;
+  double side_weight[2] = {0.0, 0.0};
+  std::size_t side_count[2] = {0, 0};
+  for (NodeId v = 0; v < n; ++v) {
+    side_weight[side[v]] += g.node_weight(v);
+    ++side_count[side[v]];
+  }
+
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    std::vector<double> gain = compute_gains(g, side);
+    std::vector<bool> locked(n, false);
+    std::vector<std::uint32_t> version(n, 0);
+
+    // Lazy max-heap of (gain, node, version); stale versions are
+    // discarded on pop.
+    using Entry = std::tuple<double, NodeId, std::uint32_t>;
+    std::priority_queue<Entry> heap;
+    for (NodeId v = 0; v < n; ++v) heap.emplace(gain[v], v, 0);
+
+    struct Move {
+      NodeId node;
+      double gain;
+    };
+    std::vector<Move> sequence;
+    double pass_weight[2] = {side_weight[0], side_weight[1]};
+    std::size_t pass_count[2] = {side_count[0], side_count[1]};
+
+    while (!heap.empty()) {
+      const auto [entry_gain, v, entry_version] = heap.top();
+      heap.pop();
+      if (locked[v] || entry_version != version[v]) continue;
+
+      // Admissibility: a side may never empty, and moving v must not
+      // push its CURRENT side below the weight floor — unless that side
+      // is the heavy one (moves improving balance stay admissible).
+      const std::uint8_t from = side[v];
+      const double w = g.node_weight(v);
+      if (pass_count[from] <= 1) continue;  // would empty the side
+      const bool keeps_floor = pass_weight[from] - w >= floor_weight;
+      const bool improves_balance =
+          pass_weight[from] > pass_weight[1 - from];
+      if (!keeps_floor && !improves_balance) continue;  // skip, stay locked out
+
+      // Tentatively move v.
+      locked[v] = true;
+      sequence.push_back(Move{v, gain[v]});
+      pass_weight[from] -= w;
+      pass_weight[1 - from] += w;
+      --pass_count[from];
+      ++pass_count[1 - from];
+      const std::uint8_t to = static_cast<std::uint8_t>(1 - from);
+      side[v] = to;  // flip in place; rolled back after prefix selection
+
+      for (const graph::Adjacency& adj : g.neighbors(v)) {
+        const NodeId u = adj.neighbor;
+        if (locked[u]) continue;
+        // v moved from `from` to `to`: the edge (u, v) changed category.
+        gain[u] += side[u] == to ? -2.0 * adj.weight : 2.0 * adj.weight;
+        ++version[u];
+        heap.emplace(gain[u], u, version[u]);
+      }
+    }
+
+    // Best prefix.
+    double cumulative = 0.0;
+    double best_cumulative = 0.0;
+    std::size_t best_prefix = 0;
+    for (std::size_t i = 0; i < sequence.size(); ++i) {
+      cumulative += sequence[i].gain;
+      if (cumulative > best_cumulative + 1e-12) {
+        best_cumulative = cumulative;
+        best_prefix = i + 1;
+      }
+    }
+
+    // Roll back the tentative tail beyond the committed prefix.
+    for (std::size_t i = sequence.size(); i-- > best_prefix;) {
+      const NodeId v = sequence[i].node;
+      side[v] = static_cast<std::uint8_t>(1 - side[v]);
+    }
+    // Recompute committed side weights and counts.
+    side_weight[0] = side_weight[1] = 0.0;
+    side_count[0] = side_count[1] = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      side_weight[side[v]] += g.node_weight(v);
+      ++side_count[side[v]];
+    }
+
+    result.passes = pass + 1;
+    if (best_prefix == 0) break;  // converged
+    result.total_gain += best_cumulative;
+  }
+
+  result.partition.cut_weight = graph::cut_weight(g, side);
+  return result;
+}
+
+FmBipartitioner::FmBipartitioner(FmOptions options) : options_(options) {}
+
+Bipartition FmBipartitioner::bipartition(const WeightedGraph& g) {
+  Bipartition initial;
+  initial.side.assign(g.num_nodes(), 0);
+  if (g.num_nodes() < 2) return initial;
+
+  // Random weight-balanced start: shuffle, then fill side 1 until it
+  // holds half the total node weight.
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  Rng rng(options_.seed);
+  rng.shuffle(order);
+  const double half = g.total_node_weight() / 2.0;
+  double acc = 0.0;
+  for (const NodeId v : order) {
+    if (acc >= half) break;
+    initial.side[v] = 1;
+    acc += g.node_weight(v);
+  }
+  initial.cut_weight = graph::cut_weight(g, initial.side);
+  return fm_refine(g, std::move(initial), options_).partition;
+}
+
+}  // namespace mecoff::kl

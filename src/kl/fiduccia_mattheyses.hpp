@@ -1,0 +1,56 @@
+// Fiduccia–Mattheyses refinement [FM, DAC 1982] — single-node moves
+// with gain ordering and a weight-balance constraint, the successor
+// heuristic to Kernighan–Lin (pair swaps) and the standard inner loop
+// of modern multilevel partitioners. Included as the library's fourth
+// cutter: it gives the cut-quality ablation a stronger heuristic
+// baseline and downstream users a faster alternative to exact KL.
+//
+// Each pass tentatively moves every node at most once, always the
+// highest-gain move that keeps both sides above the balance floor, then
+// commits the best prefix if its cumulative gain is positive. Gains are
+// edge weights (doubles), so the classic integer bucket array is
+// replaced by a lazy max-heap with per-node version stamps.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/partition.hpp"
+
+namespace mecoff::kl {
+
+struct FmOptions {
+  /// Each side must keep at least (0.5 − balance_tolerance) of the
+  /// total NODE WEIGHT. 0.5 disables the constraint entirely.
+  double balance_tolerance = 0.1;
+  std::size_t max_passes = 16;
+  std::uint64_t seed = 0xf14;
+};
+
+struct FmResult {
+  graph::Bipartition partition;
+  std::size_t passes = 0;
+  double total_gain = 0.0;  ///< cut-weight reduction across all passes
+};
+
+/// Refine `initial` under the balance constraint. If `initial` itself
+/// violates the constraint, moves that improve balance are always
+/// admissible, so the result may legally remain outside the floor.
+[[nodiscard]] FmResult fm_refine(const graph::WeightedGraph& g,
+                                 graph::Bipartition initial,
+                                 const FmOptions& options);
+
+/// Full cutter: random weight-balanced start, then FM passes.
+class FmBipartitioner final : public graph::Bipartitioner {
+ public:
+  explicit FmBipartitioner(FmOptions options = {});
+
+  [[nodiscard]] graph::Bipartition bipartition(
+      const graph::WeightedGraph& g) override;
+
+  [[nodiscard]] std::string name() const override { return "fm"; }
+
+ private:
+  FmOptions options_;
+};
+
+}  // namespace mecoff::kl

@@ -1,0 +1,114 @@
+#include "kl/multilevel.hpp"
+
+#include <numeric>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace mecoff::kl {
+
+using graph::Bipartition;
+using graph::NodeId;
+using graph::WeightedGraph;
+
+CoarseningStep heavy_edge_matching(const WeightedGraph& g,
+                                   std::uint64_t seed) {
+  const std::size_t n = g.num_nodes();
+  CoarseningStep step;
+  step.coarse_of.assign(n, graph::kInvalidNode);
+
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  Rng rng(seed);
+  rng.shuffle(order);
+
+  // match[v] = partner, or v itself when unmatched.
+  std::vector<NodeId> match(n);
+  std::iota(match.begin(), match.end(), NodeId{0});
+  std::vector<bool> taken(n, false);
+  for (const NodeId v : order) {
+    if (taken[v]) continue;
+    NodeId best = v;
+    double best_weight = -1.0;
+    for (const graph::Adjacency& adj : g.neighbors(v)) {
+      if (taken[adj.neighbor] || adj.neighbor == v) continue;
+      if (adj.weight > best_weight) {
+        best_weight = adj.weight;
+        best = adj.neighbor;
+      }
+    }
+    taken[v] = true;
+    if (best != v) {
+      taken[best] = true;
+      match[v] = best;
+      match[best] = v;
+    }
+  }
+
+  // Contract pairs.
+  graph::GraphBuilder builder;
+  for (NodeId v = 0; v < n; ++v) {
+    if (step.coarse_of[v] != graph::kInvalidNode) continue;
+    const NodeId partner = match[v];
+    const double weight =
+        g.node_weight(v) + (partner != v ? g.node_weight(partner) : 0.0);
+    const NodeId coarse = builder.add_node(weight);
+    step.coarse_of[v] = coarse;
+    if (partner != v) step.coarse_of[partner] = coarse;
+  }
+  for (const graph::Edge& e : g.edges()) {
+    const NodeId cu = step.coarse_of[e.u];
+    const NodeId cv = step.coarse_of[e.v];
+    if (cu != cv) builder.add_edge(cu, cv, e.weight);  // builder merges
+  }
+  step.coarse = builder.build();
+  return step;
+}
+
+MultilevelBipartitioner::MultilevelBipartitioner(MultilevelOptions options)
+    : options_(options) {}
+
+Bipartition MultilevelBipartitioner::bipartition(const WeightedGraph& g) {
+  stats_ = MultilevelStats{};
+  Bipartition out;
+  out.side.assign(g.num_nodes(), 0);
+  if (g.num_nodes() < 2) return out;
+
+  // Coarsening phase.
+  std::vector<CoarseningStep> hierarchy;
+  const WeightedGraph* current = &g;
+  for (std::size_t level = 0; level < options_.max_levels &&
+                              current->num_nodes() > options_.coarsest_size;
+       ++level) {
+    CoarseningStep step =
+        heavy_edge_matching(*current, options_.seed + level);
+    if (step.coarse.num_nodes() == current->num_nodes()) break;  // stuck
+    hierarchy.push_back(std::move(step));
+    current = &hierarchy.back().coarse;
+  }
+  stats_.levels = hierarchy.size();
+  stats_.coarsest_nodes = current->num_nodes();
+
+  // Initial cut at the coarsest level (FM from a random balanced start).
+  FmOptions fm = options_.fm;
+  fm.seed = options_.seed ^ 0x5a5a;
+  Bipartition cut = FmBipartitioner(fm).bipartition(*current);
+
+  // Uncoarsening with refinement at every level.
+  for (std::size_t level = hierarchy.size(); level-- > 0;) {
+    const CoarseningStep& step = hierarchy[level];
+    const WeightedGraph& fine =
+        level == 0 ? g : hierarchy[level - 1].coarse;
+    Bipartition projected;
+    projected.side.resize(fine.num_nodes());
+    for (NodeId v = 0; v < fine.num_nodes(); ++v)
+      projected.side[v] = cut.side[step.coarse_of[v]];
+    projected.cut_weight = graph::cut_weight(fine, projected.side);
+    cut = fm_refine(fine, std::move(projected), options_.fm).partition;
+  }
+
+  MECOFF_ENSURES(cut.side.size() == g.num_nodes());
+  return cut;
+}
+
+}  // namespace mecoff::kl

@@ -1,0 +1,59 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace mecoff::linalg {
+
+CgResult conjugate_gradient(const LinearOperator& op,
+                            std::span<const double> b,
+                            const CgOptions& options) {
+  MECOFF_EXPECTS(b.size() == op.dim);
+  const std::size_t n = op.dim;
+
+  const auto project = [&](Vec& x) {
+    for (const Vec& d : options.deflate) deflate(x, d);
+  };
+
+  Vec rhs(b.begin(), b.end());
+  project(rhs);
+
+  CgResult result;
+  result.x.assign(n, 0.0);
+  Vec r = rhs;           // r = b - A·0
+  Vec p = r;
+  Vec ap(n, 0.0);
+
+  const double b_norm = std::max(norm2(rhs), 1e-300);
+  double rr = dot(r, r);
+  result.residual_norm = std::sqrt(rr);
+  if (result.residual_norm / b_norm <= options.tolerance) {
+    result.converged = true;
+    return result;
+  }
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    op.apply(p, ap);
+    project(ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // not SPD on this subspace; give up cleanly
+    const double alpha = rr / pap;
+    axpy(alpha, p, result.x);
+    axpy(-alpha, ap, r);
+    const double rr_new = dot(r, r);
+    result.iterations = it + 1;
+    result.residual_norm = std::sqrt(rr_new);
+    if (result.residual_norm / b_norm <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    const double beta = rr_new / rr;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rr = rr_new;
+  }
+  project(result.x);
+  return result;
+}
+
+}  // namespace mecoff::linalg

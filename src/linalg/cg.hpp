@@ -1,0 +1,31 @@
+// Conjugate gradient for symmetric positive (semi-)definite systems.
+// Used by tests as an independent check on the Laplacian (solving
+// L x = b restricted to the complement of the null space) and available
+// for shift-invert style solvers.
+#pragma once
+
+#include "linalg/lanczos.hpp"
+
+namespace mecoff::linalg {
+
+struct CgOptions {
+  double tolerance = 1e-10;  ///< on ‖r‖ / ‖b‖
+  std::size_t max_iterations = 10000;
+  std::vector<Vec> deflate;  ///< project iterates off these directions
+};
+
+struct CgResult {
+  Vec x;
+  bool converged = false;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;
+};
+
+/// Solve op·x = b by CG. With deflation directions supplied, solves in
+/// the orthogonal complement (b is projected too), which makes singular
+/// PSD systems (graph Laplacians) well-posed.
+[[nodiscard]] CgResult conjugate_gradient(const LinearOperator& op,
+                                          std::span<const double> b,
+                                          const CgOptions& options);
+
+}  // namespace mecoff::linalg

@@ -1,0 +1,35 @@
+// Cyclic Jacobi eigendecomposition for dense symmetric matrices.
+//
+// O(n³) per sweep and unconditionally robust — the reference solver the
+// test suite uses as an oracle against Lanczos on arbitrary graphs, and
+// a sensible choice for the tiny compressed sub-graphs when exactness
+// beats speed. Not for large n.
+#pragma once
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace mecoff::linalg {
+
+struct JacobiResult {
+  /// Eigenvalues in ascending order.
+  Vec values;
+  /// Column j of `vectors` is the (unit) eigenvector for values[j].
+  DenseMatrix vectors;
+  std::size_t sweeps = 0;
+  bool converged = false;
+};
+
+struct JacobiOptions {
+  /// Stop when the off-diagonal Frobenius norm falls below
+  /// tolerance · ‖A‖_F.
+  double tolerance = 1e-12;
+  std::size_t max_sweeps = 64;
+};
+
+/// Full eigendecomposition of the symmetric matrix `a`.
+/// Precondition: a is square and numerically symmetric.
+[[nodiscard]] JacobiResult jacobi_eigen(const DenseMatrix& a,
+                                        const JacobiOptions& options = {});
+
+}  // namespace mecoff::linalg

@@ -1,0 +1,62 @@
+// Lanczos iteration with full reorthogonalization for the smallest
+// eigenpairs of a symmetric operator. This is the paper's "graph
+// spectrum calculation": the Fiedler pair (λ₂, v₂) of each compressed
+// sub-graph Laplacian. The operator is abstracted so the mini-Spark
+// engine can substitute a parallel SpMV (the Fig. 9 "with Spark" path).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "linalg/sparse_matrix.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace mecoff::linalg {
+
+/// A symmetric linear operator y = A·x of dimension `dim`.
+struct LinearOperator {
+  std::size_t dim = 0;
+  std::function<void(std::span<const double> x, std::span<double> y)> apply;
+};
+
+/// Serial CSR-backed operator.
+[[nodiscard]] LinearOperator make_operator(const SparseMatrix& matrix);
+
+struct EigenPair {
+  double value = 0.0;
+  Vec vector;
+};
+
+struct LanczosOptions {
+  /// Number of smallest eigenpairs wanted (after deflation).
+  std::size_t num_pairs = 1;
+  /// Residual tolerance, relative to the operator's norm estimate.
+  double tolerance = 1e-8;
+  /// Initial Krylov subspace size (0 = auto). Grows geometrically on
+  /// restart up to `max_subspace`.
+  std::size_t initial_subspace = 0;
+  std::size_t max_subspace = 400;
+  /// Unit-norm directions to project out of the iteration (e.g. the
+  /// constant null vector of a connected Laplacian).
+  std::vector<Vec> deflate;
+  std::uint64_t seed = 0x5eed;
+};
+
+struct LanczosResult {
+  std::vector<EigenPair> pairs;  ///< Ascending by eigenvalue.
+  bool converged = false;
+  std::size_t matvec_count = 0;
+  double max_residual = 0.0;  ///< ‖A v − λ v‖ over returned pairs.
+};
+
+/// Smallest `options.num_pairs` eigenpairs of `op` restricted to the
+/// orthogonal complement of `options.deflate`.
+///
+/// Robust to tiny problems: if the effective dimension is smaller than
+/// the requested pair count, fewer pairs are returned.
+[[nodiscard]] LanczosResult lanczos_smallest(const LinearOperator& op,
+                                             const LanczosOptions& options);
+
+}  // namespace mecoff::linalg

@@ -1,0 +1,87 @@
+#include "linalg/power_iteration.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace mecoff::linalg {
+
+namespace {
+
+void project_out(Vec& x, const std::vector<Vec>& dirs) {
+  for (const Vec& d : dirs) deflate(x, d);
+}
+
+}  // namespace
+
+PowerResult power_dominant(const LinearOperator& op,
+                           const PowerOptions& options) {
+  MECOFF_EXPECTS(op.dim >= 1);
+  const std::size_t n = op.dim;
+
+  Rng rng(options.seed);
+  Vec v(n);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  project_out(v, options.deflate);
+  const double start_norm = norm2(v);
+  PowerResult result;
+  if (start_norm <= 1e-300) return result;  // deflation spans everything
+  scale(v, 1.0 / start_norm);
+
+  Vec av(n, 0.0);
+  double lambda = 0.0;
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    op.apply(v, av);
+    project_out(av, options.deflate);
+    const double norm = norm2(av);
+    if (norm <= 1e-300) {
+      // v is (numerically) in the null space: eigenvalue 0.
+      result.pair = EigenPair{0.0, v};
+      result.converged = true;
+      result.iterations = it + 1;
+      return result;
+    }
+    scale(av, 1.0 / norm);
+    const double new_lambda = [&] {
+      Vec tmp(n, 0.0);
+      op.apply(av, tmp);
+      return dot(tmp, av);
+    }();
+    const double drift = max_abs_diff(av, v);
+    // The iterate may flip sign each step for negative eigenvalues;
+    // compare against both orientations.
+    Vec neg = av;
+    scale(neg, -1.0);
+    const double drift_neg = max_abs_diff(neg, v);
+    v = av;
+    result.iterations = it + 1;
+    if (std::min(drift, drift_neg) < options.tolerance &&
+        std::abs(new_lambda - lambda) <
+            options.tolerance * (std::abs(new_lambda) + 1.0)) {
+      lambda = new_lambda;
+      result.converged = true;
+      break;
+    }
+    lambda = new_lambda;
+  }
+  result.pair = EigenPair{lambda, v};
+  return result;
+}
+
+PowerResult power_smallest_shifted(const LinearOperator& op,
+                                   double gershgorin,
+                                   const PowerOptions& options) {
+  MECOFF_EXPECTS(gershgorin >= 0.0);
+  const double c = gershgorin + 1.0;  // strict bound avoids a zero shift
+  LinearOperator shifted{
+      op.dim, [&op, c](std::span<const double> x, std::span<double> y) {
+        op.apply(x, y);
+        for (std::size_t i = 0; i < x.size(); ++i) y[i] = c * x[i] - y[i];
+      }};
+  PowerResult result = power_dominant(shifted, options);
+  result.pair.value = c - result.pair.value;
+  return result;
+}
+
+}  // namespace mecoff::linalg

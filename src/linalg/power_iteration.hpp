@@ -1,0 +1,37 @@
+// Power-method based eigensolvers. Kept alongside Lanczos as the
+// simpler alternative the ablation bench compares against
+// (bench_ablation_eigensolver), and as an independent oracle in tests.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/lanczos.hpp"
+
+namespace mecoff::linalg {
+
+struct PowerOptions {
+  double tolerance = 1e-9;
+  std::size_t max_iterations = 20000;
+  std::vector<Vec> deflate;
+  std::uint64_t seed = 0x5eed;
+};
+
+struct PowerResult {
+  EigenPair pair;
+  bool converged = false;
+  std::size_t iterations = 0;
+};
+
+/// Dominant (largest-magnitude) eigenpair of `op` restricted to the
+/// complement of the deflation set.
+[[nodiscard]] PowerResult power_dominant(const LinearOperator& op,
+                                         const PowerOptions& options);
+
+/// Smallest eigenpair of a PSD operator via the spectral shift
+/// B = c·I − A with c ≥ λ_max (Gershgorin): the dominant pair of B is
+/// the smallest pair of A. `gershgorin` must upper-bound λ_max(A).
+[[nodiscard]] PowerResult power_smallest_shifted(const LinearOperator& op,
+                                                 double gershgorin,
+                                                 const PowerOptions& options);
+
+}  // namespace mecoff::linalg

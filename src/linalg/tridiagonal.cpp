@@ -1,0 +1,108 @@
+#include "linalg/tridiagonal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/contracts.hpp"
+
+namespace mecoff::linalg {
+
+// Implicit-shift QL for symmetric tridiagonal matrices, following the
+// classic EISPACK/JAMA `tql2` routine (0-based). Eigenvalues land in
+// d[], accumulated rotations in z (columns are eigenvectors).
+TridiagonalEigen tridiagonal_eigen(Vec diag, Vec off) {
+  const std::size_t n = diag.size();
+  MECOFF_EXPECTS(n >= 1);
+  MECOFF_EXPECTS(off.size() == n - 1);
+
+  Vec d = std::move(diag);
+  // e[i] couples rows i and i+1; e[n-1] is a zero sentinel.
+  Vec e(n, 0.0);
+  std::copy(off.begin(), off.end(), e.begin());
+
+  DenseMatrix z(n, n);
+  for (std::size_t i = 0; i < n; ++i) z(i, i) = 1.0;
+
+  constexpr double kEps = 0x1p-52;
+  constexpr int kMaxIterations = 60;
+  double f = 0.0;
+  double tst1 = 0.0;
+
+  for (std::size_t l = 0; l < n; ++l) {
+    tst1 = std::max(tst1, std::abs(d[l]) + std::abs(e[l]));
+    std::size_t m = l;
+    while (m < n && std::abs(e[m]) > kEps * tst1) ++m;
+
+    if (m > l) {
+      int iter = 0;
+      do {
+        if (++iter > kMaxIterations)
+          throw InvariantError("tridiagonal QL failed to converge");
+
+        // Compute implicit shift.
+        double g = d[l];
+        double p = (d[l + 1] - g) / (2.0 * e[l]);
+        double r = std::hypot(p, 1.0);
+        if (p < 0) r = -r;
+        d[l] = e[l] / (p + r);
+        d[l + 1] = e[l] * (p + r);
+        const double dl1 = d[l + 1];
+        double h = g - d[l];
+        for (std::size_t i = l + 2; i < n; ++i) d[i] -= h;
+        f += h;
+
+        // Implicit QL transformation.
+        p = d[m];
+        double c = 1.0;
+        double c2 = c;
+        double c3 = c;
+        const double el1 = e[l + 1];
+        double s = 0.0;
+        double s2 = 0.0;
+        for (std::size_t i = m; i-- > l;) {
+          c3 = c2;
+          c2 = c;
+          s2 = s;
+          g = c * e[i];
+          h = c * p;
+          r = std::hypot(p, e[i]);
+          e[i + 1] = s * r;
+          s = e[i] / r;
+          c = p / r;
+          p = c * d[i] - s * g;
+          d[i + 1] = h + s * (c * g + s * d[i]);
+
+          // Accumulate the rotation into the eigenvector matrix.
+          for (std::size_t k = 0; k < n; ++k) {
+            h = z(k, i + 1);
+            z(k, i + 1) = s * z(k, i) + c * h;
+            z(k, i) = c * z(k, i) - s * h;
+          }
+        }
+        p = -s * s2 * c3 * el1 * e[l] / dl1;
+        e[l] = s * p;
+        d[l] = c * p;
+      } while (std::abs(e[l]) > kEps * tst1);
+    }
+    d[l] += f;
+    e[l] = 0.0;
+  }
+
+  // Sort eigenvalues ascending, permuting eigenvector columns to match.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return d[a] < d[b]; });
+
+  TridiagonalEigen out;
+  out.values.resize(n);
+  out.vectors = DenseMatrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = d[order[j]];
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = z(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace mecoff::linalg

@@ -1,0 +1,27 @@
+// Symmetric tridiagonal eigensolver (implicit QL with Wilkinson-style
+// shifts, the classic `tql2` routine). This is the inner solver of the
+// Lanczos method: Lanczos reduces the Laplacian to a small tridiagonal
+// T whose eigenpairs approximate the extremal pairs of L.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace mecoff::linalg {
+
+struct TridiagonalEigen {
+  /// Eigenvalues in ascending order.
+  Vec values;
+  /// Column j of `vectors` is the eigenvector for values[j].
+  DenseMatrix vectors;
+};
+
+/// Eigendecomposition of the symmetric tridiagonal matrix with main
+/// diagonal `diag` (size n) and off-diagonal `off` (size n-1; off[i]
+/// couples rows i and i+1). Throws InvariantError if QL fails to
+/// converge (pathological input; never observed for Lanczos output).
+[[nodiscard]] TridiagonalEigen tridiagonal_eigen(Vec diag, Vec off);
+
+}  // namespace mecoff::linalg

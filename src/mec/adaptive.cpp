@@ -1,0 +1,197 @@
+#include "mec/adaptive.hpp"
+
+#include "common/contracts.hpp"
+
+namespace mecoff::mec {
+
+namespace {
+
+/// The per-user half of the pipeline — compression then a two-way cut
+/// per component — producing the user's parts. Computed once at
+/// arrival and cached in the user's slot; every later placement
+/// decision (incremental or global) reuses them.
+std::vector<Part> parts_for(const UserApp& user,
+                            const PipelineOptions& options,
+                            const SystemParams& params) {
+  (void)params;
+  PipelineOptions opts = options;
+  opts.identical_user_period = 0;
+  const std::vector<bool> mask =
+      user.unoffloadable.empty()
+          ? std::vector<bool>(user.graph.num_nodes(), false)
+          : user.unoffloadable;
+  const lpa::CompressionPipelineResult pipeline = lpa::compress_application(
+      user.graph, mask, opts.propagation, opts.pool,
+      user.components.empty() ? nullptr : &user.components);
+
+  std::unique_ptr<graph::Bipartitioner> cutter;
+  switch (opts.backend) {
+    case CutBackend::kSpectral:
+      cutter = std::make_unique<spectral::SpectralBipartitioner>(
+          opts.spectral);
+      break;
+    case CutBackend::kMaxFlow:
+      cutter = std::make_unique<mincut::MaxFlowBipartitioner>(opts.maxflow);
+      break;
+    case CutBackend::kKernighanLin:
+      cutter = std::make_unique<kl::KernighanLinBipartitioner>(opts.kl);
+      break;
+  }
+  MECOFF_ENSURES(cutter != nullptr);
+
+  std::vector<Part> parts;
+  for (std::size_t c = 0; c < pipeline.components.size(); ++c) {
+    const lpa::CompressedComponent& comp = pipeline.components[c];
+    const graph::Bipartition cut =
+        cutter->bipartition(comp.compression.compressed);
+    for (std::uint8_t side = 0; side <= 1; ++side) {
+      Part part;
+      part.group = c;
+      for (graph::NodeId super = 0;
+           super < comp.compression.compressed.num_nodes(); ++super) {
+        if (cut.side[super] != side) continue;
+        for (const graph::NodeId orig : pipeline.original_members(c, super)) {
+          part.nodes.push_back(orig);
+          part.weight += user.graph.node_weight(orig);
+        }
+      }
+      if (!part.nodes.empty()) parts.push_back(std::move(part));
+    }
+  }
+  return parts;
+}
+
+}  // namespace
+
+AdaptiveCoordinator::AdaptiveCoordinator(SystemParams params,
+                                         PipelineOptions options)
+    : params_(params), options_(std::move(options)) {
+  MECOFF_EXPECTS(params_.valid());
+}
+
+MecSystem AdaptiveCoordinator::compact_system(
+    std::vector<std::size_t>& ids) const {
+  MecSystem system;
+  system.params = params_;
+  ids.clear();
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    if (!slots_[id].has_value()) continue;
+    ids.push_back(id);
+    system.users.push_back(slots_[id]->app);
+  }
+  return system;
+}
+
+std::vector<Part> AdaptiveCoordinator::compact_parts(
+    const std::vector<std::size_t>& ids) const {
+  std::vector<Part> parts;
+  for (std::size_t u = 0; u < ids.size(); ++u) {
+    for (Part part : slots_[ids[u]]->parts) {
+      part.user = u;
+      part.frozen = false;
+      part.initially_local = false;
+      parts.push_back(std::move(part));
+    }
+  }
+  return parts;
+}
+
+std::pair<OffloadingScheme, SystemCost>
+AdaptiveCoordinator::fresh_solve() const {
+  std::vector<std::size_t> ids;
+  const MecSystem system = compact_system(ids);
+  const GreedyResult greedy =
+      generate_scheme(system, compact_parts(ids), options_.greedy);
+  return {greedy.scheme, evaluate(system, greedy.scheme)};
+}
+
+std::size_t AdaptiveCoordinator::add_user(UserApp app) {
+  Slot slot;
+  slot.parts = parts_for(app, options_, params_);
+  slot.app = std::move(app);
+  slot.placement.assign(slot.app.graph.num_nodes(), Placement::kLocal);
+  slots_.push_back(std::move(slot));
+  const std::size_t new_id = slots_.size() - 1;
+
+  // Place the newcomer with everyone else frozen at their current
+  // placement (represented as one frozen pseudo-part per user holding
+  // its remote nodes).
+  std::vector<std::size_t> ids;
+  const MecSystem system = compact_system(ids);
+  std::vector<Part> parts;
+  std::size_t new_compact = SIZE_MAX;
+  for (std::size_t u = 0; u < ids.size(); ++u) {
+    const Slot& existing = *slots_[ids[u]];
+    if (ids[u] == new_id) {
+      new_compact = u;
+      for (Part part : existing.parts) {
+        part.user = u;
+        parts.push_back(std::move(part));
+      }
+      continue;
+    }
+    Part frozen;
+    frozen.user = u;
+    frozen.frozen = true;
+    for (graph::NodeId v = 0; v < existing.app.graph.num_nodes(); ++v) {
+      if (existing.placement[v] == Placement::kRemote) {
+        frozen.nodes.push_back(v);
+        frozen.weight += existing.app.graph.node_weight(v);
+      }
+    }
+    if (!frozen.nodes.empty()) parts.push_back(std::move(frozen));
+  }
+  MECOFF_ENSURES(new_compact != SIZE_MAX);
+
+  const GreedyResult greedy =
+      generate_scheme(system, parts, options_.greedy);
+  slots_[new_id]->placement = greedy.scheme.placement[new_compact];
+  return new_id;
+}
+
+void AdaptiveCoordinator::remove_user(std::size_t id) {
+  MECOFF_EXPECTS(id < slots_.size() && slots_[id].has_value());
+  slots_[id].reset();
+}
+
+std::size_t AdaptiveCoordinator::active_users() const {
+  std::size_t count = 0;
+  for (const auto& slot : slots_)
+    if (slot.has_value()) ++count;
+  return count;
+}
+
+const std::vector<Placement>& AdaptiveCoordinator::placement_of(
+    std::size_t id) const {
+  MECOFF_EXPECTS(id < slots_.size() && slots_[id].has_value());
+  return slots_[id]->placement;
+}
+
+SystemCost AdaptiveCoordinator::current_cost() const {
+  std::vector<std::size_t> ids;
+  const MecSystem system = compact_system(ids);
+  OffloadingScheme scheme;
+  for (const std::size_t id : ids)
+    scheme.placement.push_back(slots_[id]->placement);
+  if (system.users.empty()) return SystemCost{};
+  return evaluate(system, scheme);
+}
+
+double AdaptiveCoordinator::drift() const {
+  if (active_users() == 0) return 0.0;
+  return current_cost().objective() - fresh_solve().second.objective();
+}
+
+double AdaptiveCoordinator::reoptimize() {
+  if (active_users() == 0) return 0.0;
+  const double before = current_cost().objective();
+  std::vector<std::size_t> ids;
+  (void)compact_system(ids);
+  const auto [scheme, cost] = fresh_solve();
+  if (cost.objective() >= before) return 0.0;  // keep the better state
+  for (std::size_t u = 0; u < ids.size(); ++u)
+    slots_[ids[u]]->placement = scheme.placement[u];
+  return before - cost.objective();
+}
+
+}  // namespace mecoff::mec

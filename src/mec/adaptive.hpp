@@ -1,0 +1,85 @@
+// Adaptive multi-user coordination — the dynamic counterpart of the
+// paper's static multi-user solve. Users arrive and depart over time;
+// recomputing every user's scheme per arrival is wasteful and disrupts
+// running sessions, so the coordinator:
+//
+//  * on ARRIVAL: runs the pipeline (compression + cut) for the new user
+//    only, then places its parts with Algorithm 2's greedy while every
+//    existing user's placement is FROZEN (they still contribute to the
+//    server load the newcomer sees);
+//  * on DEPARTURE: drops the user; everyone else's placement stands
+//    (costs only improve when load leaves);
+//  * on REOPTIMIZE: re-runs the global greedy from scratch for all
+//    current users, collecting the drift the incremental decisions
+//    accumulated.
+//
+// `drift()` reports how far the current incremental state is from a
+// fresh global solve without committing to it — the signal an operator
+// would use to schedule reoptimization windows.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mec/costs.hpp"
+#include "mec/offloader.hpp"
+
+namespace mecoff::mec {
+
+class AdaptiveCoordinator {
+ public:
+  AdaptiveCoordinator(SystemParams params, PipelineOptions options = {});
+
+  /// Admit a user; returns a stable id. The user's functions are
+  /// compressed, cut and placed immediately (existing users frozen).
+  std::size_t add_user(UserApp app);
+
+  /// Remove a user. Id becomes invalid; other ids are unaffected.
+  void remove_user(std::size_t id);
+
+  [[nodiscard]] std::size_t active_users() const;
+
+  /// Placement of one user's functions (throws for dead/unknown ids).
+  [[nodiscard]] const std::vector<Placement>& placement_of(
+      std::size_t id) const;
+
+  /// Cost of the CURRENT placements over all active users.
+  [[nodiscard]] SystemCost current_cost() const;
+
+  /// Objective gap between the current incremental state and a fresh
+  /// global solve; does not commit anything. Positive = reoptimizing
+  /// would help. Can be NEGATIVE: the greedy is path-dependent, and a
+  /// sequence of frozen-arrival placements sometimes lands in a better
+  /// local optimum than the all-remote fresh start.
+  [[nodiscard]] double drift() const;
+
+  /// Re-run the global greedy for all active users and adopt the fresh
+  /// solution IF it improves on the current one; returns the objective
+  /// improvement achieved (0 when the incremental state was already at
+  /// least as good).
+  double reoptimize();
+
+ private:
+  struct Slot {
+    UserApp app;
+    /// Parts from this user's pipeline run (ids in the user's graph).
+    std::vector<Part> parts;
+    std::vector<Placement> placement;
+  };
+
+  /// Compact system of active users; `ids` maps compact index → slot id.
+  [[nodiscard]] MecSystem compact_system(std::vector<std::size_t>& ids) const;
+
+  /// Parts for a full (unfrozen) solve of the compact system.
+  [[nodiscard]] std::vector<Part> compact_parts(
+      const std::vector<std::size_t>& ids) const;
+
+  /// Solve the compact system from scratch; returns scheme + cost.
+  [[nodiscard]] std::pair<OffloadingScheme, SystemCost> fresh_solve() const;
+
+  SystemParams params_;
+  PipelineOptions options_;
+  std::vector<std::optional<Slot>> slots_;
+};
+
+}  // namespace mecoff::mec

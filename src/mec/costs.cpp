@@ -1,0 +1,74 @@
+#include "mec/costs.hpp"
+
+#include "common/contracts.hpp"
+
+namespace mecoff::mec {
+
+double SystemCost::local_energy() const {
+  double sum = 0.0;
+  for (const UserCost& u : users) sum += u.local_energy;
+  return sum;
+}
+
+double SystemCost::transmit_energy() const {
+  double sum = 0.0;
+  for (const UserCost& u : users) sum += u.transmit_energy;
+  return sum;
+}
+
+SystemCost evaluate(const MecSystem& system, const OffloadingScheme& scheme) {
+  MECOFF_EXPECTS(system.valid());
+  MECOFF_EXPECTS(scheme.valid_for(system));
+  const SystemParams& p = system.params;
+
+  SystemCost cost;
+  cost.users.resize(system.users.size());
+
+  // Pass 1: per-user weights.
+  double total_remote = 0.0;
+  std::size_t active_offloaders = 0;
+  for (std::size_t u = 0; u < system.users.size(); ++u) {
+    const UserApp& user = system.users[u];
+    UserCost& uc = cost.users[u];
+    for (graph::NodeId v = 0; v < user.graph.num_nodes(); ++v) {
+      const double w = user.graph.node_weight(v);
+      if (scheme.placement[u][v] == Placement::kLocal)
+        uc.local_weight += w;
+      else
+        uc.remote_weight += w;
+    }
+    for (const graph::Edge& e : user.graph.edges())
+      if (scheme.placement[u][e.u] != scheme.placement[u][e.v])
+        uc.cross_weight += e.weight;
+    total_remote += uc.remote_weight;
+    if (uc.remote_weight > 0.0) ++active_offloaders;
+  }
+
+  // Pass 2: formulas (1)–(5) per user, with the server share and the
+  // contention-based waiting time depending on global load.
+  const double server_share =
+      active_offloaders > 0
+          ? p.server_capacity / static_cast<double>(active_offloaders)
+          : p.server_capacity;
+  for (UserCost& uc : cost.users) {
+    uc.local_compute_time = uc.local_weight / p.mobile_capacity;
+    uc.local_energy = uc.local_compute_time * p.mobile_power;
+    if (uc.remote_weight > 0.0) {
+      uc.remote_compute_time = uc.remote_weight / server_share;
+      // Convex congestion: each unit of own remote work queues behind
+      // the total offered load S (see model.hpp).
+      uc.wait_time = p.contention_factor * total_remote *
+                     uc.remote_weight /
+                     (p.server_capacity * p.server_capacity);
+    }
+    uc.transmit_time = uc.cross_weight / p.bandwidth;
+    uc.transmit_energy = uc.transmit_time * p.transmit_power;
+
+    cost.total_energy += uc.local_energy + uc.transmit_energy;
+    cost.total_time += uc.local_compute_time + uc.remote_compute_time +
+                       uc.wait_time + uc.transmit_time;
+  }
+  return cost;
+}
+
+}  // namespace mecoff::mec

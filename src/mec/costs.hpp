@@ -1,0 +1,55 @@
+// The cost model — formulas (1)–(6) of the paper, evaluated for a
+// concrete offloading scheme.
+//
+//   t_c^i = Σ_{v∈V_c} w_v / I_c                              (1)
+//   t_s^i = Σ_{v∈V_s} w_v / I_s^i + w_t^i                    (2)
+//   e_c^i = t_c^i · p_c                                      (3)
+//   e_t^i = Σ_{cross edges} s(v_j,v_l) · p_t / b             (4)
+//   t_t^i = Σ_{cross edges} s(v_j,v_l) / b                   (5)
+//   min E = Σ e_c + Σ e_t ;  min T = Σ t_c + Σ t_s + Σ w_t   (6)
+//
+// with I_s^i = I_S / K (equal share over the K active offloaders) and
+// w_t^i = κ · S · W_s^i / I_S² (convex congestion; see model.hpp). We
+// additionally add
+// Σ t_t to T: the paper defines t_t in (5) but omits it from the T sum;
+// counting transmission time is physically necessary and is noted as a
+// deviation in EXPERIMENTS.md. The scalarized objective used by
+// Algorithm 2's greedy loop is E + T.
+#pragma once
+
+#include "mec/model.hpp"
+#include "mec/scheme.hpp"
+
+namespace mecoff::mec {
+
+struct UserCost {
+  double local_weight = 0.0;    ///< Σ w over V_c
+  double remote_weight = 0.0;   ///< Σ w over V_s
+  double cross_weight = 0.0;    ///< Σ s over cut edges
+
+  double local_compute_time = 0.0;   ///< t_c
+  double remote_compute_time = 0.0;  ///< W_s / I_s (excl. waiting)
+  double wait_time = 0.0;            ///< w_t
+  double transmit_time = 0.0;        ///< t_t
+  double local_energy = 0.0;         ///< e_c
+  double transmit_energy = 0.0;      ///< e_t
+};
+
+struct SystemCost {
+  std::vector<UserCost> users;
+  double total_energy = 0.0;  ///< E
+  double total_time = 0.0;    ///< T
+
+  [[nodiscard]] double objective() const { return total_energy + total_time; }
+
+  /// Σ e_c — the paper's "local energy consumption" series (Figs. 3, 6).
+  [[nodiscard]] double local_energy() const;
+  /// Σ e_t — the "transmission energy consumption" series (Figs. 4, 7).
+  [[nodiscard]] double transmit_energy() const;
+};
+
+/// Evaluate the full cost model. O(Σ_i (V_i + E_i)).
+[[nodiscard]] SystemCost evaluate(const MecSystem& system,
+                                  const OffloadingScheme& scheme);
+
+}  // namespace mecoff::mec

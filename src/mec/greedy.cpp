@@ -1,0 +1,363 @@
+#include "mec/greedy.hpp"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
+#include <queue>
+
+#include "common/contracts.hpp"
+
+namespace mecoff::mec {
+
+namespace {
+
+constexpr std::uint32_t kNoPart = UINT32_MAX;
+constexpr double kImprovementEps = 1e-12;
+
+/// Coupled server term of T for K active offloaders with total remote
+/// weight S:
+///   Σ t_s = Σ W_s^i / (I_S/K) = K·S/I_S
+///   Σ w_t = Σ κ·S·W_s^i/I_S² = κ·S²/I_S²
+double coupled_time(double total_remote, std::size_t active_users,
+                    const SystemParams& p) {
+  if (active_users == 0) return 0.0;
+  const double k = static_cast<double>(active_users);
+  const double linear = k * total_remote / p.server_capacity;
+  const double congestion = p.contention_factor * total_remote *
+                            total_remote /
+                            (p.server_capacity * p.server_capacity);
+  return linear + congestion;
+}
+
+}  // namespace
+
+GreedyResult generate_scheme(const MecSystem& system,
+                             const std::vector<Part>& parts,
+                             const GreedyOptions& options) {
+  MECOFF_EXPECTS(system.valid());
+  const SystemParams& p = system.params;
+
+  GreedyResult result;
+  result.scheme = OffloadingScheme::all_local(system);
+
+  // Scalarized objective factors: moving weight w to the device adds
+  // local_factor·w; cross-weight x adds cross_factor·x; the coupled
+  // server term (pure time) scales by time_weight.
+  const double local_factor = (options.time_weight +
+                               options.energy_weight * p.mobile_power) /
+                              p.mobile_capacity;
+  const double cross_factor = (options.time_weight +
+                               options.energy_weight * p.transmit_power) /
+                              p.bandwidth;
+
+  // part_of[user][node] = index into `parts` (kNoPart for pinned nodes).
+  std::vector<std::vector<std::uint32_t>> part_of(system.num_users());
+  for (std::size_t u = 0; u < system.num_users(); ++u)
+    part_of[u].assign(system.users[u].graph.num_nodes(), kNoPart);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const Part& part = parts[i];
+    MECOFF_EXPECTS(part.user < system.num_users());
+    for (const graph::NodeId v : part.nodes) {
+      MECOFF_EXPECTS(v < part_of[part.user].size());
+      MECOFF_EXPECTS(part_of[part.user][v] == kNoPart);  // disjointness
+      part_of[part.user][v] = static_cast<std::uint32_t>(i);
+      result.scheme.placement[part.user][v] =
+          part.initially_local ? Placement::kLocal : Placement::kRemote;
+    }
+  }
+
+  // Composite-move groups (user-components). Dense group list from the
+  // sparse Part::group ids.
+  std::vector<std::vector<std::size_t>> group_members;
+  if (options.enable_group_moves) {
+    std::map<std::pair<std::size_t, std::size_t>, std::size_t> dense;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (parts[i].group == SIZE_MAX) continue;
+      const auto key = std::make_pair(parts[i].user, parts[i].group);
+      const auto [it, inserted] =
+          dense.try_emplace(key, group_members.size());
+      if (inserted) group_members.emplace_back();
+      group_members[it->second].push_back(i);
+    }
+    // Singleton groups add nothing over their lone part.
+    std::erase_if(group_members,
+                  [](const std::vector<std::size_t>& m) {
+                    return m.size() < 2;
+                  });
+  }
+
+  // Per-user aggregates under the current placement.
+  std::vector<double> user_local_w(system.num_users(), 0.0);
+  std::vector<double> user_remote_w(system.num_users(), 0.0);
+  std::vector<double> user_cross_w(system.num_users(), 0.0);
+  double total_remote = 0.0;
+  std::size_t active_users = 0;
+  double separable = 0.0;  // Σ (t_c + e_c + t_t + e_t), scalarized
+
+  for (std::size_t u = 0; u < system.num_users(); ++u) {
+    const UserApp& user = system.users[u];
+    for (graph::NodeId v = 0; v < user.graph.num_nodes(); ++v) {
+      const double w = user.graph.node_weight(v);
+      if (result.scheme.placement[u][v] == Placement::kLocal)
+        user_local_w[u] += w;
+      else
+        user_remote_w[u] += w;
+    }
+    for (const graph::Edge& e : user.graph.edges())
+      if (result.scheme.placement[u][e.u] != result.scheme.placement[u][e.v])
+        user_cross_w[u] += e.weight;
+    total_remote += user_remote_w[u];
+    if (user_remote_w[u] > 0.0) ++active_users;
+    separable += user_local_w[u] * local_factor +
+                 user_cross_w[u] * cross_factor;
+  }
+
+  double objective =
+      separable +
+      options.time_weight * coupled_time(total_remote, active_users, p);
+  result.objective_history.push_back(objective);
+
+  std::vector<std::uint8_t> is_remote(parts.size(), 1);
+  for (std::size_t i = 0; i < parts.size(); ++i)
+    if (parts[i].initially_local) is_remote[i] = 0;
+
+  // Δcross of moving the still-remote parts in `move` (all same user)
+  // from remote to local under the CURRENT placement: edges to remote
+  // outsiders become cross (+), edges to local outsiders stop being
+  // cross (−); edges internal to the moving set never cross. Scratch
+  // membership marks use an epoch stamp so the per-call cost is the
+  // moving set's size, not the user's whole graph.
+  std::vector<std::uint64_t> in_move_epoch;
+  std::uint64_t move_epoch = 0;
+  const auto cross_delta = [&](const std::vector<std::size_t>& move) {
+    const std::size_t user_index = parts[move.front()].user;
+    const UserApp& user = system.users[user_index];
+    if (in_move_epoch.size() < user.graph.num_nodes())
+      in_move_epoch.resize(user.graph.num_nodes(), 0);
+    ++move_epoch;
+    for (const std::size_t i : move)
+      for (const graph::NodeId v : parts[i].nodes)
+        in_move_epoch[v] = move_epoch;
+    double delta = 0.0;
+    for (const std::size_t i : move) {
+      for (const graph::NodeId v : parts[i].nodes) {
+        for (const graph::Adjacency& adj : user.graph.neighbors(v)) {
+          if (in_move_epoch[adj.neighbor] == move_epoch) continue;
+          delta += result.scheme.placement[user_index][adj.neighbor] ==
+                           Placement::kRemote
+                       ? adj.weight
+                       : -adj.weight;
+        }
+      }
+    }
+    return delta;
+  };
+
+  // Candidate id space: [0, P) single parts, [P, P+G) group retreats.
+  const std::size_t num_parts = parts.size();
+  const std::size_t num_candidates = num_parts + group_members.size();
+
+  std::vector<std::size_t> move_scratch;
+  const auto candidate_moves =
+      [&](std::size_t id) -> const std::vector<std::size_t>& {
+    move_scratch.clear();
+    if (id < num_parts) {
+      if (is_remote[id] && !parts[id].frozen) move_scratch.push_back(id);
+    } else {
+      for (const std::size_t i : group_members[id - num_parts])
+        if (is_remote[i] && !parts[i].frozen) move_scratch.push_back(i);
+    }
+    return move_scratch;
+  };
+
+  // Cached separable delta and moving weight per candidate; only a
+  // commit by the SAME user can change them, so they are refreshed
+  // exactly then. kInvalid marks exhausted candidates.
+  constexpr double kInvalid = std::numeric_limits<double>::infinity();
+  std::vector<double> cand_sep(num_candidates, kInvalid);
+  std::vector<double> cand_weight(num_candidates, 0.0);
+  std::vector<std::size_t> cand_user(num_candidates, 0);
+  const auto refresh_candidate = [&](std::size_t id) {
+    const std::vector<std::size_t>& move = candidate_moves(id);
+    if (move.empty()) {
+      cand_sep[id] = kInvalid;
+      return;
+    }
+    double weight = 0.0;
+    for (const std::size_t i : move) weight += parts[i].weight;
+    cand_weight[id] = weight;
+    cand_user[id] = parts[move.front()].user;
+    cand_sep[id] =
+        weight * local_factor + cross_delta(move) * cross_factor;
+  };
+
+
+  // Replica classes: candidates with identical (separable delta,
+  // moving weight, deactivation flag) have identical objective deltas
+  // under ANY global state, so they are interchangeable argmins. In
+  // multi-user systems whose users cycle over a few prototype graphs,
+  // thousands of candidates collapse into a handful of classes — and
+  // collapsing them is what keeps the lazy queue from thrashing on
+  // bitwise ties (cycling an entire tie class per commit, O(P²)).
+  struct ClassKey {
+    double sep;
+    double weight;
+    bool deactivates;
+    auto operator<=>(const ClassKey&) const = default;
+  };
+  const auto key_of = [&](std::size_t id) {
+    return ClassKey{cand_sep[id], cand_weight[id],
+                    user_remote_w[cand_user[id]] - cand_weight[id] <=
+                        kImprovementEps};
+  };
+  // Delta shared by every member of a class — O(1).
+  const auto class_delta = [&](const ClassKey& key) {
+    const double coupled_now =
+        options.time_weight * coupled_time(total_remote, active_users, p);
+    const double coupled_after =
+        options.time_weight *
+        coupled_time(total_remote - key.weight,
+                     key.deactivates ? active_users - 1 : active_users, p);
+    return key.sep + (coupled_after - coupled_now);
+  };
+
+  // One live queue entry per class keeps the lazy queue duplicate-free:
+  // without this, every membership change pushes another entry and the
+  // validate loop drowns in stale duplicates.
+  struct ClassBucket {
+    std::vector<std::size_t> ids;
+    bool queued = false;
+  };
+  std::map<ClassKey, ClassBucket> classes;
+  std::vector<ClassKey> cand_key(num_candidates);
+  std::vector<std::size_t> cand_pos(num_candidates, SIZE_MAX);
+
+  // Lazy best-first queue over CLASSES (CELF-style). Key monotonicity:
+  // for a fixed (sep, weight, deactivates), the delta only INCREASES as
+  // S and K shrink; members whose sep/deactivation change (same-user
+  // commits only) are re-classed with a fresh queue entry. A popped
+  // stale key is therefore a lower bound on the class's current delta,
+  // so validating the head against the next stale key reproduces the
+  // exact argmin scan of Algorithm 2 at O(log P) per evaluation.
+  using QueueEntry = std::pair<double, ClassKey>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+
+  const auto insert_candidate = [&](std::size_t id) {
+    if (cand_sep[id] == kInvalid) return;
+    const ClassKey key = key_of(id);
+    cand_key[id] = key;
+    ClassBucket& bucket = classes[key];
+    cand_pos[id] = bucket.ids.size();
+    bucket.ids.push_back(id);
+    if (!bucket.queued) {
+      bucket.queued = true;
+      queue.emplace(class_delta(key), key);
+    }
+  };
+  const auto remove_candidate = [&](std::size_t id) {
+    if (cand_pos[id] == SIZE_MAX) return;
+    const auto it = classes.find(cand_key[id]);
+    std::vector<std::size_t>& ids = it->second.ids;
+    const std::size_t last = ids.back();
+    ids[cand_pos[id]] = last;
+    cand_pos[last] = cand_pos[id];
+    ids.pop_back();
+    cand_pos[id] = SIZE_MAX;
+    if (ids.empty()) classes.erase(it);  // a queued stale entry may
+                                         // float; pops skip it safely
+  };
+
+  std::vector<std::vector<std::size_t>> candidates_of_user(
+      system.num_users());
+  for (std::size_t id = 0; id < num_candidates; ++id) {
+    refresh_candidate(id);
+    insert_candidate(id);
+    const std::size_t user_index =
+        id < num_parts ? parts[id].user
+                       : parts[group_members[id - num_parts].front()].user;
+    candidates_of_user[user_index].push_back(id);
+  }
+
+  // Greedy loop.
+  while (result.moves < options.max_moves) {
+    double best_delta = std::numeric_limits<double>::infinity();
+    std::size_t best = SIZE_MAX;
+    ClassKey best_key{};
+    while (!queue.empty()) {
+      const auto [stale_delta, key] = queue.top();
+      queue.pop();
+      const auto it = classes.find(key);
+      if (it == classes.end()) continue;  // class dissolved
+      const double fresh = class_delta(key);
+      if (queue.empty() || fresh <= queue.top().first + 1e-15) {
+        it->second.queued = false;  // its entry is consumed
+        best = it->second.ids.back();  // members are interchangeable
+        best_key = key;
+        best_delta = fresh;
+        break;
+      }
+      queue.emplace(fresh, key);  // single live entry, refreshed key
+    }
+    if (best == SIZE_MAX || best_delta >= -kImprovementEps) {
+      // Leave consistent state for a hypothetical continuation.
+      if (best != SIZE_MAX) {
+        const auto it = classes.find(best_key);
+        if (it != classes.end() && !it->second.queued) {
+          it->second.queued = true;
+          queue.emplace(best_delta, best_key);
+        }
+      }
+      break;
+    }
+
+    // Commit: move every still-remote part of the candidate local.
+    const std::vector<std::size_t> move = candidate_moves(best);
+    MECOFF_ENSURES(!move.empty());
+    const std::size_t user_index = parts[move.front()].user;
+    const double dx = cross_delta(move);
+    double weight = 0.0;
+    for (const std::size_t i : move) {
+      weight += parts[i].weight;
+      for (const graph::NodeId v : parts[i].nodes)
+        result.scheme.placement[user_index][v] = Placement::kLocal;
+      is_remote[i] = 0;
+    }
+    user_local_w[user_index] += weight;
+    user_remote_w[user_index] -= weight;
+    if (user_remote_w[user_index] <= kImprovementEps) {
+      user_remote_w[user_index] = 0.0;
+      --active_users;
+    }
+    user_cross_w[user_index] += dx;
+    total_remote -= weight;
+    if (total_remote < 0.0) total_remote = 0.0;
+    separable += weight * local_factor + dx * cross_factor;
+    objective = separable + options.time_weight *
+                                coupled_time(total_remote, active_users, p);
+    result.objective_history.push_back(objective);
+    ++result.moves;
+
+    // This user's candidates changed (cross weights, remaining group
+    // members, deactivation): re-class them with fresh queue entries so
+    // the lazy queue's lower-bound invariant holds.
+    for (const std::size_t id : candidates_of_user[user_index]) {
+      remove_candidate(id);
+      refresh_candidate(id);
+      insert_candidate(id);
+    }
+    // The selected class consumed its queue entry; if it survived the
+    // refresh with members left, give it a fresh one.
+    if (const auto it = classes.find(best_key);
+        it != classes.end() && !it->second.queued) {
+      it->second.queued = true;
+      queue.emplace(class_delta(best_key), best_key);
+    }
+  }
+
+  return result;
+}
+
+}  // namespace mecoff::mec

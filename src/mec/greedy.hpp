@@ -1,0 +1,81 @@
+// Algorithm 2's greedy scheme generation. The cut step hands us parts —
+// each a set of functions that stays together (one side of a compressed
+// sub-graph's minimum cut). All parts start on the edge server (V2);
+// every round tentatively moves each remaining part to the device and
+// commits the move with the lowest resulting E + T, stopping when no
+// move lowers the objective ("while E_t + T_t < E_{t−1} + T_{t−1}").
+//
+// The scan uses incremental deltas — O(1) per part for the coupled
+// server-contention term plus O(deg(part)) cross-weight updates only for
+// parts of a user whose placement just changed — so multi-user runs with
+// tens of thousands of parts stay tractable. Tests verify the
+// incremental objective against a full evaluate() after every move.
+#pragma once
+
+#include <vector>
+
+#include "mec/costs.hpp"
+#include "mec/model.hpp"
+#include "mec/scheme.hpp"
+
+namespace mecoff::mec {
+
+/// A set of functions that the cut step decided must stay together.
+struct Part {
+  std::size_t user = 0;
+  std::vector<graph::NodeId> nodes;  ///< ids in the user's graph
+  double weight = 0.0;               ///< Σ node computation weights
+  /// Algorithm 2's initialization (its "Insert(V2', V1)" step): the cut
+  /// side anchored to the device — typically the one exchanging the
+  /// most data with pinned functions — starts in V1 (local) and never
+  /// moves; all other parts start in V2 (remote) and may be pulled
+  /// local by the greedy loop.
+  bool initially_local = false;
+  /// Parts sharing a group id are the cut sides of one (user,
+  /// component): the greedy may retreat the whole group in one
+  /// composite move (see GreedyOptions::enable_group_moves). SIZE_MAX =
+  /// ungrouped.
+  std::size_t group = SIZE_MAX;
+  /// Frozen parts keep their initial placement and are never move
+  /// candidates — how the adaptive coordinator holds existing users
+  /// fixed while placing an arrival (they still count toward the
+  /// server load the newcomer sees).
+  bool frozen = false;
+};
+
+struct GreedyOptions {
+  /// Safety cap on committed moves (SIZE_MAX = unlimited).
+  std::size_t max_moves = SIZE_MAX;
+  /// Scalarization weights of the double objective (6): the greedy
+  /// minimizes energy_weight·E + time_weight·T. The paper's Algorithm 2
+  /// uses E + T (both 1); the greedy ablation bench sweeps these.
+  double energy_weight = 1.0;
+  double time_weight = 1.0;
+  /// Composite moves: additionally consider pulling ALL remaining
+  /// remote parts of one group (user-component) local in a single step.
+  /// This escapes the pairwise local minimum where both halves of a
+  /// heavily-cut component belong on the device but each half alone is
+  /// blocked by the other's cut exposure. OFF by default — the paper's
+  /// Algorithm 2 moves single parts only, and its evaluation implicitly
+  /// measures the cut algorithms THROUGH that myopia (a bad cut traps a
+  /// component remote). bench_ablation_greedy quantifies how much this
+  /// extension rescues the weaker cutters.
+  bool enable_group_moves = false;
+};
+
+struct GreedyResult {
+  OffloadingScheme scheme;
+  std::size_t moves = 0;
+  /// objective (E + T) after initialization and after every committed
+  /// move; strictly decreasing by construction.
+  std::vector<double> objective_history;
+};
+
+/// Run the greedy over `parts`. Preconditions: parts are disjoint per
+/// user, cover only offloadable nodes, and every node weight is
+/// accounted (part.weight = Σ of its nodes' weights).
+[[nodiscard]] GreedyResult generate_scheme(const MecSystem& system,
+                                           const std::vector<Part>& parts,
+                                           const GreedyOptions& options = {});
+
+}  // namespace mecoff::mec

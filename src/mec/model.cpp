@@ -1,0 +1,38 @@
+#include "mec/model.hpp"
+
+#include "common/contracts.hpp"
+
+namespace mecoff::mec {
+
+bool SystemParams::valid() const {
+  return mobile_power > 0.0 && transmit_power > 0.0 && bandwidth > 0.0 &&
+         mobile_capacity > 0.0 && server_capacity > 0.0 &&
+         contention_factor >= 0.0;
+}
+
+bool MecSystem::valid() const {
+  if (!params.valid()) return false;
+  for (const UserApp& user : users) {
+    if (!user.unoffloadable.empty() &&
+        user.unoffloadable.size() != user.graph.num_nodes())
+      return false;
+    if (!user.components.empty() &&
+        user.components.size() != user.graph.num_nodes())
+      return false;
+  }
+  return true;
+}
+
+MecSystem make_uniform_system(SystemParams params,
+                              const std::vector<UserApp>& pool,
+                              std::size_t num_users) {
+  MECOFF_EXPECTS(!pool.empty());
+  MecSystem system;
+  system.params = params;
+  system.users.reserve(num_users);
+  for (std::size_t i = 0; i < num_users; ++i)
+    system.users.push_back(pool[i % pool.size()]);
+  return system;
+}
+
+}  // namespace mecoff::mec

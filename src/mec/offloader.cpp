@@ -1,0 +1,176 @@
+#include "mec/offloader.hpp"
+
+#include <array>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace mecoff::mec {
+
+PipelineOffloader::PipelineOffloader(PipelineOptions options)
+    : options_(std::move(options)) {}
+
+std::string PipelineOffloader::name() const {
+  switch (options_.backend) {
+    case CutBackend::kSpectral: return "spectral";
+    case CutBackend::kMaxFlow: return "maxflow";
+    case CutBackend::kKernighanLin: return "kl";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<graph::Bipartitioner> PipelineOffloader::make_cutter() const {
+  switch (options_.backend) {
+    case CutBackend::kSpectral: {
+      spectral::SpectralOptions opts = options_.spectral;
+      opts.fiedler.pool = options_.pool;
+      return std::make_unique<spectral::SpectralBipartitioner>(opts);
+    }
+    case CutBackend::kMaxFlow:
+      return std::make_unique<mincut::MaxFlowBipartitioner>(options_.maxflow);
+    case CutBackend::kKernighanLin:
+      return std::make_unique<kl::KernighanLinBipartitioner>(options_.kl);
+  }
+  throw PreconditionError("unknown cut backend");
+}
+
+OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
+  MECOFF_EXPECTS(system.valid());
+  stats_ = SolveStats{};
+
+  const std::unique_ptr<graph::Bipartitioner> cutter = make_cutter();
+
+  // Parts for one user, computed from scratch.
+  const auto parts_for_user = [&](std::size_t u) {
+    const UserApp& user = system.users[u];
+    const std::vector<bool> mask =
+        user.unoffloadable.empty()
+            ? std::vector<bool>(user.graph.num_nodes(), false)
+            : user.unoffloadable;
+    const lpa::CompressionPipelineResult pipeline = lpa::compress_application(
+        user.graph, mask, options_.propagation, options_.pool,
+        user.components.empty() ? nullptr : &user.components);
+
+    const lpa::CompressionStats agg = pipeline.aggregate_stats();
+    stats_.compression.original_nodes += agg.original_nodes;
+    stats_.compression.original_edges += agg.original_edges;
+    stats_.compression.compressed_nodes += agg.compressed_nodes;
+    stats_.compression.compressed_edges += agg.compressed_edges;
+    stats_.compression.absorbed_edge_weight += agg.absorbed_edge_weight;
+
+    std::vector<Part> parts;
+    for (std::size_t c = 0; c < pipeline.components.size(); ++c) {
+      const lpa::CompressedComponent& comp = pipeline.components[c];
+      const graph::Bipartition cut =
+          cutter->bipartition(comp.compression.compressed);
+
+      // One part per non-empty cut side, in ORIGINAL node ids.
+      std::array<Part, 2> sides;
+      std::array<double, 2> pinned_boundary{0.0, 0.0};
+      for (std::uint8_t side = 0; side <= 1; ++side) {
+        Part& part = sides[side];
+        part.user = u;
+        part.group = c;  // enables the whole-component retreat move
+        for (graph::NodeId super = 0;
+             super < comp.compression.compressed.num_nodes(); ++super) {
+          if (cut.side[super] != side) continue;
+          for (const graph::NodeId orig :
+               pipeline.original_members(c, super)) {
+            part.nodes.push_back(orig);
+            part.weight += user.graph.node_weight(orig);
+            // Data exchanged with pinned (device-anchored) functions.
+            for (const graph::Adjacency& adj : user.graph.neighbors(orig))
+              if (mask[adj.neighbor]) pinned_boundary[side] += adj.weight;
+          }
+        }
+      }
+      // Algorithm 2 initialization ("Insert(V2', V1)"): choose this
+      // component's starting configuration — both sides remote, or one
+      // side anchored to the device — by myopic cost under the same
+      // scalarization the greedy uses. Anchoring a side pays its local
+      // compute but moves its pinned-boundary traffic off the network
+      // (and exposes the cut); starting fully remote keeps the greedy
+      // free to pull either side later.
+      if (options_.anchor_initial_parts) {
+        const SystemParams& params = system.params;
+        const double lf = (options_.greedy.time_weight +
+                           options_.greedy.energy_weight *
+                               params.mobile_power) /
+                          params.mobile_capacity;
+        const double cf = (options_.greedy.time_weight +
+                           options_.greedy.energy_weight *
+                               params.transmit_power) /
+                          params.bandwidth;
+        // Marginal server cost per remote unit, at the optimistic
+        // single-offloader, low-load corner (the greedy corrects for
+        // real load afterwards — it can only pull work local, so the
+        // initializer must not over-commit to the device).
+        const double mc =
+            options_.greedy.time_weight / params.server_capacity;
+        const double wa = sides[0].weight;
+        const double wb = sides[1].weight;
+        const double pba = pinned_boundary[0];
+        const double pbb = pinned_boundary[1];
+        const double cost_rr = cf * (pba + pbb) + mc * (wa + wb);
+        const double cost_a =
+            lf * wa + cf * (pbb + cut.cut_weight) + mc * wb;
+        const double cost_b =
+            lf * wb + cf * (pba + cut.cut_weight) + mc * wa;
+        if (cost_a < cost_rr && cost_a <= cost_b && !sides[0].nodes.empty())
+          sides[0].initially_local = true;
+        else if (cost_b < cost_rr && !sides[1].nodes.empty())
+          sides[1].initially_local = true;
+      }
+      for (Part& part : sides)
+        if (!part.nodes.empty()) parts.push_back(std::move(part));
+    }
+    return parts;
+  };
+
+  std::vector<Part> all_parts;
+  const std::size_t period = options_.identical_user_period;
+  std::vector<std::vector<Part>> prototypes;
+  for (std::size_t u = 0; u < system.num_users(); ++u) {
+    if (period > 0 && u >= period) {
+      // Identical graph to user u % period: replicate its parts.
+      for (Part part : prototypes[u % period]) {
+        part.user = u;
+        all_parts.push_back(std::move(part));
+      }
+      continue;
+    }
+    std::vector<Part> parts = parts_for_user(u);
+    if (period > 0) prototypes.push_back(parts);
+    for (Part& part : parts) all_parts.push_back(std::move(part));
+  }
+
+  stats_.num_parts = all_parts.size();
+  const GreedyResult greedy =
+      generate_scheme(system, all_parts, options_.greedy);
+  stats_.greedy_moves = greedy.moves;
+  stats_.final_objective = greedy.objective_history.back();
+  return greedy.scheme;
+}
+
+RandomOffloader::RandomOffloader(double remote_probability,
+                                 std::uint64_t seed)
+    : remote_probability_(remote_probability), seed_(seed) {
+  MECOFF_EXPECTS(remote_probability >= 0.0 && remote_probability <= 1.0);
+}
+
+OffloadingScheme RandomOffloader::solve(const MecSystem& system) {
+  Rng rng(seed_);
+  OffloadingScheme scheme = OffloadingScheme::all_local(system);
+  for (std::size_t u = 0; u < system.num_users(); ++u) {
+    const UserApp& user = system.users[u];
+    for (graph::NodeId v = 0; v < user.graph.num_nodes(); ++v) {
+      const bool pinned =
+          !user.unoffloadable.empty() && user.unoffloadable[v];
+      if (!pinned && rng.bernoulli(remote_probability_))
+        scheme.placement[u][v] = Placement::kRemote;
+    }
+  }
+  return scheme;
+}
+
+}  // namespace mecoff::mec

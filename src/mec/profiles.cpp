@@ -1,0 +1,69 @@
+#include "mec/profiles.hpp"
+
+namespace mecoff::mec {
+
+SystemParams wifi_campus_profile() {
+  SystemParams p;
+  p.mobile_power = 1.0;
+  p.transmit_power = 5.0;    // Wi-Fi radio is relatively cheap
+  p.bandwidth = 40.0;        // fat link
+  p.mobile_capacity = 5.0;
+  p.server_capacity = 80.0;  // modest shared box
+  p.contention_factor = 0.02;
+  return p;
+}
+
+SystemParams lte_smallcell_profile() {
+  SystemParams p;
+  p.mobile_power = 1.0;
+  p.transmit_power = 16.0;   // cellular uplink burns
+  p.bandwidth = 12.0;
+  p.mobile_capacity = 5.0;
+  p.server_capacity = 120.0;
+  p.contention_factor = 0.03;
+  return p;
+}
+
+SystemParams mmwave_hotspot_profile() {
+  SystemParams p;
+  p.mobile_power = 1.0;
+  p.transmit_power = 10.0;
+  p.bandwidth = 120.0;        // mmWave burst rate
+  p.mobile_capacity = 5.0;
+  p.server_capacity = 400.0;  // MEC rack behind the hotspot
+  p.contention_factor = 0.01;
+  return p;
+}
+
+SystemParams congested_venue_profile() {
+  SystemParams p;
+  p.mobile_power = 1.0;
+  p.transmit_power = 20.0;   // contention-driven retransmissions
+  p.bandwidth = 6.0;
+  p.mobile_capacity = 5.0;
+  p.server_capacity = 40.0;  // everyone hammers one box
+  p.contention_factor = 0.08;
+  return p;
+}
+
+const std::vector<NamedProfile>& all_profiles() {
+  static const std::vector<NamedProfile> kProfiles{
+      {"wifi_campus", wifi_campus_profile()},
+      {"lte_smallcell", lte_smallcell_profile()},
+      {"mmwave_hotspot", mmwave_hotspot_profile()},
+      {"congested_venue", congested_venue_profile()},
+  };
+  return kProfiles;
+}
+
+bool find_profile(const std::string& name, SystemParams& out) {
+  for (const NamedProfile& profile : all_profiles()) {
+    if (profile.name == name) {
+      out = profile.params;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mecoff::mec

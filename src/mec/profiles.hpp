@@ -1,0 +1,38 @@
+// Canned system-parameter profiles — concrete deployment flavors for
+// examples, the CLI and quick experiments. Values are relative model
+// units (see costs.hpp); the RATIOS are what characterizes each
+// deployment: radio energy per bit, link rate vs device speed, server
+// headroom.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mec/model.hpp"
+
+namespace mecoff::mec {
+
+/// Campus Wi-Fi: fat cheap link, modest shared server.
+[[nodiscard]] SystemParams wifi_campus_profile();
+
+/// LTE small cell: slower, energy-hungry uplink; decent edge box.
+[[nodiscard]] SystemParams lte_smallcell_profile();
+
+/// 5G mmWave hotspot: very fast link, short reach, big MEC rack.
+[[nodiscard]] SystemParams mmwave_hotspot_profile();
+
+/// Congested public venue: every resource oversubscribed.
+[[nodiscard]] SystemParams congested_venue_profile();
+
+/// Profile registry for name-based lookup (CLI `profile=` option).
+struct NamedProfile {
+  std::string name;
+  SystemParams params;
+};
+[[nodiscard]] const std::vector<NamedProfile>& all_profiles();
+
+/// Lookup by name; returns false (and leaves `out` untouched) when the
+/// name is unknown.
+[[nodiscard]] bool find_profile(const std::string& name, SystemParams& out);
+
+}  // namespace mecoff::mec

@@ -1,0 +1,47 @@
+#include "mec/scheme.hpp"
+
+namespace mecoff::mec {
+
+OffloadingScheme OffloadingScheme::all_local(const MecSystem& system) {
+  OffloadingScheme scheme;
+  scheme.placement.reserve(system.users.size());
+  for (const UserApp& user : system.users)
+    scheme.placement.emplace_back(user.graph.num_nodes(), Placement::kLocal);
+  return scheme;
+}
+
+OffloadingScheme OffloadingScheme::all_remote(const MecSystem& system) {
+  OffloadingScheme scheme;
+  scheme.placement.reserve(system.users.size());
+  for (const UserApp& user : system.users) {
+    std::vector<Placement> p(user.graph.num_nodes(), Placement::kRemote);
+    if (!user.unoffloadable.empty())
+      for (std::size_t v = 0; v < p.size(); ++v)
+        if (user.unoffloadable[v]) p[v] = Placement::kLocal;
+    scheme.placement.push_back(std::move(p));
+  }
+  return scheme;
+}
+
+bool OffloadingScheme::valid_for(const MecSystem& system) const {
+  if (placement.size() != system.users.size()) return false;
+  for (std::size_t u = 0; u < placement.size(); ++u) {
+    const UserApp& user = system.users[u];
+    if (placement[u].size() != user.graph.num_nodes()) return false;
+    if (!user.unoffloadable.empty()) {
+      for (std::size_t v = 0; v < placement[u].size(); ++v)
+        if (user.unoffloadable[v] && placement[u][v] == Placement::kRemote)
+          return false;
+    }
+  }
+  return true;
+}
+
+std::size_t OffloadingScheme::remote_count(std::size_t user) const {
+  std::size_t count = 0;
+  for (const Placement p : placement[user])
+    if (p == Placement::kRemote) ++count;
+  return count;
+}
+
+}  // namespace mecoff::mec

@@ -1,0 +1,31 @@
+// The offloading scheme: which functions execute on the device (V_c)
+// and which on the edge server (V_s), per user.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mec/model.hpp"
+
+namespace mecoff::mec {
+
+enum class Placement : std::uint8_t { kLocal = 0, kRemote = 1 };
+
+struct OffloadingScheme {
+  /// placement[user][node].
+  std::vector<std::vector<Placement>> placement;
+
+  /// Everything on the device (e_t = 0 by construction).
+  [[nodiscard]] static OffloadingScheme all_local(const MecSystem& system);
+
+  /// Everything offloadable on the server; pinned nodes stay local.
+  [[nodiscard]] static OffloadingScheme all_remote(const MecSystem& system);
+
+  /// Shape matches the system, pinned nodes are local.
+  [[nodiscard]] bool valid_for(const MecSystem& system) const;
+
+  /// Number of remote nodes for `user`.
+  [[nodiscard]] std::size_t remote_count(std::size_t user) const;
+};
+
+}  // namespace mecoff::mec

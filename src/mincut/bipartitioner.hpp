@@ -1,0 +1,48 @@
+// The "maximum flow minimum cut" baseline of the paper's evaluation,
+// wrapped as a Bipartitioner so it slots into the same offloading
+// pipeline ("We change the minimum cut calculation process by the above
+// mentioned three algorithms and compare their results").
+//
+// Max-flow computes an s–t cut, but the offloading problem has no
+// natural terminals, so a terminal-selection strategy is part of the
+// baseline:
+//  * kMaxDegreeFarthest — s = heaviest weighted-degree node, t = a
+//    BFS-farthest node from s (one max-flow; the cheap heuristic);
+//  * kBestOfK — best cut over k random terminal pairs (default, k = 8);
+//  * kAllTerminalsFromS — fix s, try every t (n−1 max-flows; exact
+//    global min cut by the standard reduction, used as a test oracle).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/partition.hpp"
+#include "mincut/dinic.hpp"
+
+namespace mecoff::mincut {
+
+enum class TerminalStrategy {
+  kMaxDegreeFarthest,
+  kBestOfK,
+  kAllTerminalsFromS,
+};
+
+struct MaxFlowCutOptions {
+  TerminalStrategy strategy = TerminalStrategy::kBestOfK;
+  std::size_t num_pairs = 8;  ///< k for kBestOfK
+  std::uint64_t seed = 0x7ea1;
+};
+
+class MaxFlowBipartitioner final : public graph::Bipartitioner {
+ public:
+  explicit MaxFlowBipartitioner(MaxFlowCutOptions options = {});
+
+  [[nodiscard]] graph::Bipartition bipartition(
+      const graph::WeightedGraph& g) override;
+
+  [[nodiscard]] std::string name() const override { return "maxflow"; }
+
+ private:
+  MaxFlowCutOptions options_;
+};
+
+}  // namespace mecoff::mincut

@@ -1,0 +1,87 @@
+#include "mincut/dinic.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "common/contracts.hpp"
+
+namespace mecoff::mincut {
+
+using graph::NodeId;
+
+namespace {
+
+/// Assign BFS levels in the residual network; true if t is reachable.
+bool build_levels(const FlowNetwork& net, NodeId s, NodeId t,
+                  std::vector<int>& level) {
+  std::fill(level.begin(), level.end(), -1);
+  std::queue<NodeId> frontier;
+  level[s] = 0;
+  frontier.push(s);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const Arc& arc : net.arcs(u)) {
+      if (arc.capacity > 1e-12 && level[arc.to] < 0) {
+        level[arc.to] = level[u] + 1;
+        frontier.push(arc.to);
+      }
+    }
+  }
+  return level[t] >= 0;
+}
+
+/// DFS one augmenting path in the level graph; returns pushed amount.
+double push_blocking(FlowNetwork& net, NodeId u, NodeId t, double limit,
+                     const std::vector<int>& level,
+                     std::vector<std::size_t>& next_arc) {
+  if (u == t) return limit;
+  for (std::size_t& i = next_arc[u]; i < net.arcs(u).size(); ++i) {
+    Arc& arc = net.arcs(u)[i];
+    if (arc.capacity <= 1e-12 || level[arc.to] != level[u] + 1) continue;
+    const double pushed = push_blocking(
+        net, arc.to, t, std::min(limit, arc.capacity), level, next_arc);
+    if (pushed > 0.0) {
+      net.push(u, i, pushed);
+      return pushed;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+MaxFlowResult dinic(FlowNetwork& net, NodeId s, NodeId t) {
+  MECOFF_EXPECTS(s < net.num_nodes() && t < net.num_nodes() && s != t);
+  MaxFlowResult result;
+  std::vector<int> level(net.num_nodes(), -1);
+  std::vector<std::size_t> next_arc(net.num_nodes(), 0);
+
+  while (build_levels(net, s, t, level)) {
+    std::fill(next_arc.begin(), next_arc.end(), 0);
+    while (true) {
+      const double pushed = push_blocking(
+          net, s, t, std::numeric_limits<double>::infinity(), level,
+          next_arc);
+      if (pushed <= 0.0) break;
+      result.flow_value += pushed;
+      ++result.augmenting_paths;
+    }
+  }
+  result.source_side = net.reachable_from(s);
+  return result;
+}
+
+graph::Bipartition min_st_cut_dinic(const graph::WeightedGraph& g, NodeId s,
+                                    NodeId t) {
+  FlowNetwork net = FlowNetwork::from_graph(g);
+  const MaxFlowResult flow = dinic(net, s, t);
+  graph::Bipartition out;
+  out.side.resize(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    out.side[v] = flow.source_side[v] ? 0 : 1;
+  out.cut_weight = graph::cut_weight(g, out.side);
+  return out;
+}
+
+}  // namespace mecoff::mincut

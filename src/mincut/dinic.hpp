@@ -1,0 +1,20 @@
+// Dinic's algorithm: level-graph BFS + blocking-flow DFS. Asymptotically
+// faster than Edmonds–Karp (O(V²·E)); provided so the min-cut baseline
+// can scale to the 5000-node experiments, and as a cross-check oracle —
+// both must compute identical flow values.
+#pragma once
+
+#include "graph/partition.hpp"
+#include "mincut/edmonds_karp.hpp"  // MaxFlowResult
+
+namespace mecoff::mincut {
+
+/// Max flow s→t via Dinic; network residuals are mutated.
+[[nodiscard]] MaxFlowResult dinic(FlowNetwork& net, graph::NodeId s,
+                                  graph::NodeId t);
+
+/// Min s–t cut of an undirected graph via Dinic.
+[[nodiscard]] graph::Bipartition min_st_cut_dinic(
+    const graph::WeightedGraph& g, graph::NodeId s, graph::NodeId t);
+
+}  // namespace mecoff::mincut

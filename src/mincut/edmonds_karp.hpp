@@ -1,0 +1,30 @@
+// Edmonds–Karp: Ford–Fulkerson with BFS augmenting paths — the exact
+// variant the paper names ("A specialized Ford-Fulkerson algorithm,
+// also called as Edmond-Karp algorithm guarantees to find maximum flow
+// in limited number of iterations"). O(V·E²).
+#pragma once
+
+#include "graph/partition.hpp"
+#include "mincut/flow_network.hpp"
+
+namespace mecoff::mincut {
+
+struct MaxFlowResult {
+  double flow_value = 0.0;
+  std::size_t augmenting_paths = 0;
+  /// Source-side indicator of the induced min cut (1 = reachable from s
+  /// in the residual network).
+  std::vector<std::uint8_t> source_side;
+};
+
+/// Max flow (= min s–t cut, by duality) from `s` to `t`. The network is
+/// consumed (residual capacities are mutated).
+[[nodiscard]] MaxFlowResult edmonds_karp(FlowNetwork& net, graph::NodeId s,
+                                         graph::NodeId t);
+
+/// Convenience: min s–t cut of an undirected weighted graph, returned
+/// as a Bipartition (side 0 = source side).
+[[nodiscard]] graph::Bipartition min_st_cut_edmonds_karp(
+    const graph::WeightedGraph& g, graph::NodeId s, graph::NodeId t);
+
+}  // namespace mecoff::mincut

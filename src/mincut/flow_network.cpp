@@ -1,0 +1,61 @@
+#include "mincut/flow_network.hpp"
+
+#include <queue>
+
+#include "common/contracts.hpp"
+
+namespace mecoff::mincut {
+
+using graph::NodeId;
+
+FlowNetwork::FlowNetwork(std::size_t num_nodes) : arcs_(num_nodes) {}
+
+FlowNetwork FlowNetwork::from_graph(const graph::WeightedGraph& g) {
+  FlowNetwork net(g.num_nodes());
+  for (const graph::Edge& e : g.edges())
+    net.add_undirected_edge(e.u, e.v, e.weight);
+  return net;
+}
+
+void FlowNetwork::add_arc(NodeId u, NodeId v, double capacity) {
+  MECOFF_EXPECTS(u < arcs_.size() && v < arcs_.size() && u != v);
+  MECOFF_EXPECTS(capacity >= 0.0);
+  arcs_[u].push_back(Arc{v, capacity, arcs_[v].size()});
+  arcs_[v].push_back(Arc{u, 0.0, arcs_[u].size() - 1});
+}
+
+void FlowNetwork::add_undirected_edge(NodeId u, NodeId v, double capacity) {
+  MECOFF_EXPECTS(u < arcs_.size() && v < arcs_.size() && u != v);
+  MECOFF_EXPECTS(capacity >= 0.0);
+  arcs_[u].push_back(Arc{v, capacity, arcs_[v].size()});
+  arcs_[v].push_back(Arc{u, capacity, arcs_[u].size() - 1});
+}
+
+void FlowNetwork::push(NodeId u, std::size_t idx, double amount) {
+  MECOFF_EXPECTS(u < arcs_.size() && idx < arcs_[u].size());
+  Arc& arc = arcs_[u][idx];
+  MECOFF_EXPECTS(amount <= arc.capacity + 1e-12);
+  arc.capacity -= amount;
+  arcs_[arc.to][arc.rev].capacity += amount;
+}
+
+std::vector<std::uint8_t> FlowNetwork::reachable_from(NodeId s) const {
+  MECOFF_EXPECTS(s < arcs_.size());
+  std::vector<std::uint8_t> seen(arcs_.size(), 0);
+  std::queue<NodeId> frontier;
+  seen[s] = 1;
+  frontier.push(s);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (const Arc& arc : arcs_[v]) {
+      if (arc.capacity > 1e-12 && !seen[arc.to]) {
+        seen[arc.to] = 1;
+        frontier.push(arc.to);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace mecoff::mincut

@@ -1,0 +1,54 @@
+// Residual flow network shared by the Ford–Fulkerson-family solvers.
+// An undirected edge of capacity c becomes a pair of arcs each with
+// capacity c (standard reduction for undirected min-cut); each arc
+// stores the index of its reverse so residual updates are O(1).
+#pragma once
+
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+
+namespace mecoff::mincut {
+
+struct Arc {
+  graph::NodeId to;
+  double capacity;   ///< remaining residual capacity
+  std::size_t rev;   ///< index of the reverse arc in arcs_[to]
+};
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(std::size_t num_nodes);
+
+  /// Build the residual network of an undirected weighted graph.
+  static FlowNetwork from_graph(const graph::WeightedGraph& g);
+
+  [[nodiscard]] std::size_t num_nodes() const { return arcs_.size(); }
+
+  /// Add a directed arc u→v with `capacity` plus its zero-capacity
+  /// reverse. For an undirected edge call add_undirected_edge instead.
+  void add_arc(graph::NodeId u, graph::NodeId v, double capacity);
+
+  /// Add the two-arc gadget for an undirected edge (both directions get
+  /// full capacity; they serve as each other's residual arcs).
+  void add_undirected_edge(graph::NodeId u, graph::NodeId v, double capacity);
+
+  [[nodiscard]] std::vector<Arc>& arcs(graph::NodeId v) { return arcs_[v]; }
+  [[nodiscard]] const std::vector<Arc>& arcs(graph::NodeId v) const {
+    return arcs_[v];
+  }
+
+  /// Push `amount` through arc `arcs_[u][idx]` (and pull it back on the
+  /// reverse arc).
+  void push(graph::NodeId u, std::size_t idx, double amount);
+
+  /// Nodes reachable from `s` through arcs with positive residual —
+  /// the source side of the min cut once a max flow is in place.
+  [[nodiscard]] std::vector<std::uint8_t> reachable_from(
+      graph::NodeId s) const;
+
+ private:
+  std::vector<std::vector<Arc>> arcs_;
+};
+
+}  // namespace mecoff::mincut

@@ -1,0 +1,19 @@
+// Stoer–Wagner global minimum cut. The max-flow baseline needs a cut
+// with no fixed terminals; Stoer–Wagner finds the global minimum in
+// O(V³) (dense implementation) / O(V·E + V² log V), and doubles as the
+// exact oracle the spectral cut is validated against in tests and the
+// cut-quality ablation. Requires a connected graph for a meaningful
+// answer (a disconnected graph's global min cut is trivially 0 and is
+// returned as such).
+#pragma once
+
+#include "graph/partition.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace mecoff::mincut {
+
+/// Global minimum cut; both sides non-empty whenever the graph has at
+/// least 2 nodes.
+[[nodiscard]] graph::Bipartition stoer_wagner(const graph::WeightedGraph& g);
+
+}  // namespace mecoff::mincut

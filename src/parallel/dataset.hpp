@@ -1,0 +1,137 @@
+// Mini-Spark: an RDD-flavoured distributed-collection abstraction over
+// the local ThreadPool. This is the repo's substitute for the Apache
+// Spark cluster the paper uses to accelerate its matrix computations
+// (see DESIGN.md §2): the programming model (parallelize → map/filter →
+// reduce/collect, partition-granular scheduling) is the same; the
+// executors are threads instead of cluster workers.
+//
+// Datasets are immutable; every transformation yields a new Dataset.
+// Transformations are eager (no lazy DAG) — at the scales of this paper
+// the scheduling win of laziness is irrelevant, and eager semantics keep
+// failure propagation simple (exceptions surface at the call site).
+#pragma once
+
+#include <functional>
+#include <future>
+#include <optional>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mecoff::parallel {
+
+template <typename T>
+class Dataset {
+ public:
+  /// Distribute `items` over the pool in `partitions` slices
+  /// (0 = one per pool thread, minimum 1).
+  static Dataset parallelize(std::vector<T> items, ThreadPool& pool,
+                             std::size_t partitions = 0) {
+    if (partitions == 0) partitions = pool.thread_count();
+    partitions = std::max<std::size_t>(1, std::min(partitions,
+                                                   std::max<std::size_t>(
+                                                       items.size(), 1)));
+    Dataset ds(pool);
+    ds.partitions_.resize(partitions);
+    for (std::size_t i = 0; i < items.size(); ++i)
+      ds.partitions_[i % partitions].push_back(std::move(items[i]));
+    return ds;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& p : partitions_) n += p.size();
+    return n;
+  }
+
+  [[nodiscard]] std::size_t num_partitions() const {
+    return partitions_.size();
+  }
+
+  /// One task per partition, applying `fn` element-wise.
+  template <typename F, typename U = std::invoke_result_t<F, const T&>>
+  Dataset<U> map(F fn) const {
+    Dataset<U> out(*pool_);
+    out.partitions_.resize(partitions_.size());
+    run_per_partition([&](std::size_t p) {
+      out.partitions_[p].reserve(partitions_[p].size());
+      for (const T& item : partitions_[p])
+        out.partitions_[p].push_back(fn(item));
+    });
+    return out;
+  }
+
+  /// Keep elements where `pred` holds.
+  template <typename P>
+  Dataset filter(P pred) const {
+    Dataset out(*pool_);
+    out.partitions_.resize(partitions_.size());
+    run_per_partition([&](std::size_t p) {
+      for (const T& item : partitions_[p])
+        if (pred(item)) out.partitions_[p].push_back(item);
+    });
+    return out;
+  }
+
+  /// Associative + commutative reduction. Returns nullopt when empty.
+  template <typename F>
+  std::optional<T> reduce(F combine) const {
+    std::vector<std::optional<T>> partials(partitions_.size());
+    run_per_partition([&](std::size_t p) {
+      std::optional<T> acc;
+      for (const T& item : partitions_[p]) {
+        if (!acc)
+          acc = item;
+        else
+          acc = combine(*acc, item);
+      }
+      partials[p] = std::move(acc);
+    });
+    std::optional<T> total;
+    for (std::optional<T>& part : partials) {
+      if (!part) continue;
+      if (!total)
+        total = std::move(part);
+      else
+        total = combine(*total, *part);
+    }
+    return total;
+  }
+
+  /// Gather all elements (partition order, then insertion order).
+  [[nodiscard]] std::vector<T> collect() const {
+    std::vector<T> out;
+    out.reserve(size());
+    for (const auto& p : partitions_)
+      out.insert(out.end(), p.begin(), p.end());
+    return out;
+  }
+
+  /// Run `fn(partition_index, elements)` once per partition, in
+  /// parallel. The hook LPA uses: one propagation task per sub-graph.
+  void for_each_partition(
+      const std::function<void(std::size_t, const std::vector<T>&)>& fn)
+      const {
+    run_per_partition([&](std::size_t p) { fn(p, partitions_[p]); });
+  }
+
+ private:
+  template <typename>
+  friend class Dataset;
+
+  explicit Dataset(ThreadPool& pool) : pool_(&pool) {}
+
+  void run_per_partition(const std::function<void(std::size_t)>& fn) const {
+    std::vector<std::future<void>> futures;
+    futures.reserve(partitions_.size());
+    for (std::size_t p = 0; p < partitions_.size(); ++p)
+      futures.push_back(pool_->submit([&fn, p] { fn(p); }));
+    for (auto& f : futures) f.get();
+  }
+
+  ThreadPool* pool_;
+  std::vector<std::vector<T>> partitions_;
+};
+
+}  // namespace mecoff::parallel

@@ -1,0 +1,20 @@
+#include "parallel/parallel_spmv.hpp"
+
+#include "common/contracts.hpp"
+
+namespace mecoff::parallel {
+
+linalg::LinearOperator make_parallel_operator(
+    const linalg::SparseMatrix& matrix, ThreadPool& pool) {
+  MECOFF_EXPECTS(matrix.rows() == matrix.cols());
+  return linalg::LinearOperator{
+      matrix.rows(),
+      [&matrix, &pool](std::span<const double> x, std::span<double> y) {
+        pool.parallel_for_chunks(
+            0, matrix.rows(), [&matrix, x, y](std::size_t lo, std::size_t hi) {
+              matrix.multiply_rows(x, y, lo, hi);
+            });
+      }};
+}
+
+}  // namespace mecoff::parallel

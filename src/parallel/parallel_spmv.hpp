@@ -1,0 +1,19 @@
+// Parallel sparse mat-vec: the kernel the paper offloads to Spark
+// ("we calculate the eigenvalues of L using Spark... the running time
+// is close to the other two algorithms", Fig. 9). Wraps a CSR matrix
+// into a LinearOperator whose apply() distributes row blocks over the
+// thread pool, so Lanczos runs unchanged on either backend.
+#pragma once
+
+#include "linalg/lanczos.hpp"
+#include "linalg/sparse_matrix.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mecoff::parallel {
+
+/// Operator computing y = A·x with row blocks on `pool`. `matrix` and
+/// `pool` must outlive the returned operator.
+[[nodiscard]] linalg::LinearOperator make_parallel_operator(
+    const linalg::SparseMatrix& matrix, ThreadPool& pool);
+
+}  // namespace mecoff::parallel

@@ -1,0 +1,82 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "common/contracts.hpp"
+
+namespace mecoff::parallel {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0)
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_for_chunks(begin, end,
+                      [&fn](std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) fn(i);
+                      });
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  MECOFF_EXPECTS(begin <= end);
+  if (begin == end) return;
+  const std::size_t total = end - begin;
+  const std::size_t chunks =
+      std::min(total, std::max<std::size_t>(1, 3 * thread_count()));
+  const std::size_t chunk_size = (total + chunks - 1) / chunks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    futures.push_back(submit([&fn, lo, hi] { fn(lo, hi); }));
+  }
+  // Wait for EVERY chunk before rethrowing: the chunks reference `fn`
+  // (the caller's frame), so propagating the first exception while
+  // later chunks are still running would leave them touching a
+  // destroyed closure.
+  std::exception_ptr first_error;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace mecoff::parallel

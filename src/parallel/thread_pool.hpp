@@ -1,0 +1,67 @@
+// Fixed-size worker pool. This is the execution backend of the
+// mini-Spark engine (the repo's stand-in for the paper's Spark cluster):
+// per-subgraph label propagation and the blocked SpMV inside Lanczos
+// both fan out over it.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mecoff::parallel {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves with its result (or exception).
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> future = packaged->get_future();
+    {
+      const std::scoped_lock lock(mutex_);
+      queue_.emplace_back([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Run fn(i) for i in [begin, end), partitioned into ~3×threads chunks
+  /// and executed on the pool; blocks until all chunks finish.
+  /// Exceptions from chunks propagate (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Like parallel_for but hands each worker a [chunk_begin, chunk_end)
+  /// range — cheaper for tight loops like SpMV rows.
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace mecoff::parallel

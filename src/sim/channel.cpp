@@ -1,0 +1,75 @@
+#include "sim/channel.hpp"
+
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace mecoff::sim {
+
+GilbertElliottLink::GilbertElliottLink(SimEngine& engine, ChannelModel model)
+    : engine_(engine), model_(model), rng_(model.seed) {
+  MECOFF_EXPECTS(model.valid());
+  next_flip_ = rng_.exponential(model_.mean_good);
+}
+
+void GilbertElliottLink::submit(
+    double size, std::function<void(const JobStats&)> on_complete) {
+  MECOFF_EXPECTS(size >= 0.0);
+  reschedule();  // bring head progress up to date before queue changes
+  Pending job;
+  job.remaining = size;
+  job.stats.admitted = engine_.now();
+  job.on_complete = std::move(on_complete);
+  const bool was_idle = queue_.empty();
+  queue_.push_back(std::move(job));
+  if (was_idle) queue_.front().stats.started = engine_.now();
+  reschedule();
+}
+
+void GilbertElliottLink::reschedule() {
+  const SimTime now = engine_.now();
+
+  // Advance the head job through the elapsed interval. State flips are
+  // handled by the scheduled events, so within [last_update_, now] the
+  // rate is constant.
+  if (!queue_.empty()) {
+    queue_.front().remaining -= rate() * (now - last_update_);
+  }
+  last_update_ = now;
+
+  // Apply due state flips. While busy this is at most one (events are
+  // scheduled at flip times); after an idle stretch it fast-forwards
+  // the whole state process to `now` — idle links schedule no events,
+  // or the engine could never drain.
+  while (now >= next_flip_ - 1e-15) {
+    good_ = !good_;
+    next_flip_ += rng_.exponential(good_ ? model_.mean_good
+                                         : model_.mean_bad);
+  }
+
+  // Pop completed head jobs (numerical tolerance).
+  while (!queue_.empty() && queue_.front().remaining <= 1e-12) {
+    Pending done = std::move(queue_.front());
+    queue_.pop_front();
+    done.stats.completed = now;
+    ++completed_;
+    if (!queue_.empty()) queue_.front().stats.started = now;
+    if (done.on_complete) done.on_complete(done.stats);
+  }
+
+  if (queue_.empty()) {
+    ++epoch_;  // cancel any outstanding event; nothing left to do
+    return;
+  }
+
+  // Next event: head completion at the current rate, or the state flip.
+  const SimTime next = std::min(
+      next_flip_, now + queue_.front().remaining / rate());
+  const std::uint64_t epoch = ++epoch_;
+  engine_.schedule_at(next, [this, epoch] {
+    if (epoch != epoch_) return;  // superseded
+    reschedule();
+  });
+}
+
+}  // namespace mecoff::sim

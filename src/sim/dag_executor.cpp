@@ -1,0 +1,182 @@
+#include "sim/dag_executor.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <queue>
+
+#include "common/contracts.hpp"
+#include "sim/engine.hpp"
+#include "sim/resources.hpp"
+
+namespace mecoff::sim {
+
+namespace {
+
+/// Kahn's algorithm over the directed exchanges; returns indegrees when
+/// acyclic, empty optional otherwise.
+bool kahn_acyclic(const appmodel::Application& app) {
+  const std::size_t n = app.num_functions();
+  std::vector<std::size_t> indegree(n, 0);
+  std::vector<std::vector<std::size_t>> succ(n);
+  for (const appmodel::DataExchange& x : app.exchanges()) {
+    succ[x.from].push_back(x.to);
+    ++indegree[x.to];
+  }
+  std::queue<std::size_t> ready;
+  for (std::size_t v = 0; v < n; ++v)
+    if (indegree[v] == 0) ready.push(v);
+  std::size_t seen = 0;
+  while (!ready.empty()) {
+    const std::size_t v = ready.front();
+    ready.pop();
+    ++seen;
+    for (const std::size_t w : succ[v])
+      if (--indegree[w] == 0) ready.push(w);
+  }
+  return seen == n;
+}
+
+}  // namespace
+
+bool call_graph_is_acyclic(const appmodel::Application& app) {
+  return kahn_acyclic(app);
+}
+
+Result<DagReport> execute_dag(const mec::MecSystem& system,
+                              const std::vector<appmodel::Application>& apps,
+                              const mec::OffloadingScheme& scheme,
+                              const DagOptions& options) {
+  if (!system.valid()) return Error("invalid system");
+  if (!scheme.valid_for(system)) return Error("scheme does not fit system");
+  if (apps.size() != system.num_users())
+    return Error("need one Application per user");
+  for (std::size_t u = 0; u < apps.size(); ++u) {
+    if (apps[u].num_functions() != system.users[u].graph.num_nodes())
+      return Error("user " + std::to_string(u) +
+                   ": application/function-graph size mismatch");
+    if (!kahn_acyclic(apps[u]))
+      return Error("user " + std::to_string(u) +
+                   ": call structure is cyclic");
+  }
+
+  const mec::SystemParams& p = system.params;
+  SimEngine engine;
+  FifoResource server(engine, p.server_capacity);
+
+  DagReport report;
+  report.users.resize(apps.size());
+
+  // Per-user scheduling state, shared with the event closures.
+  struct UserState {
+    std::vector<std::size_t> pending;   ///< unfinished predecessors
+    std::vector<double> finish_time;    ///< per function
+    std::vector<std::vector<std::size_t>> successors;
+    std::unique_ptr<FifoResource> cpu;
+    std::unique_ptr<FifoResource> link;
+  };
+  std::vector<UserState> states(apps.size());
+
+  // Forward declaration of the per-task launcher.
+  std::function<void(std::size_t, std::size_t)> launch;
+
+  const auto on_function_done = [&](std::size_t u, std::size_t v,
+                                    double now) {
+    UserState& st = states[u];
+    st.finish_time[v] = now;
+    DagUserOutcome& outcome = report.users[u];
+    outcome.makespan = std::max(outcome.makespan, now);
+    for (const std::size_t w : st.successors[v])
+      if (--st.pending[w] == 0) launch(u, w);
+  };
+
+  launch = [&](std::size_t u, std::size_t v) {
+    const appmodel::Application& app = apps[u];
+    UserState& st = states[u];
+    const bool remote =
+        scheme.placement[u][v] == mec::Placement::kRemote;
+    const double work = app.function(v).computation;
+
+    // Transfers for incoming cross-boundary edges happen when the
+    // producer finishes; here we charge them as a link task preceding
+    // the function (upload or download — both occupy the radio).
+    double transfer_amount = 0.0;
+    for (const appmodel::DataExchange& x : app.exchanges()) {
+      if (x.to != v) continue;
+      const bool producer_remote =
+          scheme.placement[u][x.from] == mec::Placement::kRemote;
+      if (producer_remote != remote) transfer_amount += x.amount;
+    }
+
+    const auto start_compute = [&engine, &report, &server, &states, u, v,
+                                remote, work, on_function_done,
+                                &options]() {
+      UserState& state = states[u];
+      DagUserOutcome& outcome = report.users[u];
+      const auto on_done = [&report, u, v, remote, work, on_function_done,
+                            &options](const JobStats& stats) {
+        DagUserOutcome& oc = report.users[u];
+        const double service = stats.sojourn() - stats.wait();
+        (remote ? oc.server_busy : oc.device_busy) += service;
+        if (options.record_traces)
+          oc.tasks.push_back(
+              TaskTrace{v, stats.started, stats.completed, remote});
+        on_function_done(u, v, stats.completed);
+        (void)work;
+      };
+      if (remote)
+        server.submit(work, on_done);
+      else
+        state.cpu->submit(work, on_done);
+      (void)outcome;
+    };
+
+    if (transfer_amount > 0.0) {
+      st.link->submit(transfer_amount,
+                      [&states, &report, u, start_compute](
+                          const JobStats& stats) {
+                        report.users[u].link_busy +=
+                            stats.sojourn() - stats.wait();
+                        start_compute();
+                        (void)states;
+                      });
+    } else {
+      start_compute();
+    }
+  };
+
+  // Initialize users and seed the sources.
+  for (std::size_t u = 0; u < apps.size(); ++u) {
+    const appmodel::Application& app = apps[u];
+    const std::size_t n = app.num_functions();
+    UserState& st = states[u];
+    st.pending.assign(n, 0);
+    st.finish_time.assign(n, 0.0);
+    st.successors.assign(n, {});
+    st.cpu = std::make_unique<FifoResource>(engine, p.mobile_capacity);
+    st.link = std::make_unique<FifoResource>(engine, p.bandwidth);
+    for (const appmodel::DataExchange& x : app.exchanges()) {
+      st.successors[x.from].push_back(x.to);
+      ++st.pending[x.to];
+    }
+    for (std::size_t v = 0; v < n; ++v)
+      if (st.pending[v] == 0) launch(u, v);
+  }
+
+  engine.run();
+  report.events = engine.events_executed();
+
+  for (DagUserOutcome& outcome : report.users) {
+    outcome.local_energy = outcome.device_busy * p.mobile_power;
+    outcome.transmit_energy = outcome.link_busy * p.transmit_power;
+    report.makespan = std::max(report.makespan, outcome.makespan);
+    report.total_energy += outcome.local_energy + outcome.transmit_energy;
+    std::sort(outcome.tasks.begin(), outcome.tasks.end(),
+              [](const TaskTrace& a, const TaskTrace& b) {
+                return a.start < b.start;
+              });
+  }
+  return report;
+}
+
+}  // namespace mecoff::sim

@@ -1,0 +1,74 @@
+// Task-graph execution of an offloading scheme — the fine-grained
+// counterpart of executor.hpp's batch model.
+//
+// The batch model lumps each side's work into one blob; real
+// applications run FUNCTIONS with data dependencies, and an offloading
+// boundary in the middle of a call chain serializes compute and
+// transfers along the critical path. This executor takes the DIRECTED
+// call structure from the appmodel layer (caller → callee exchanges),
+// schedules every function as a task on its assigned processor, inserts
+// a radio transfer for every cross-boundary edge, and reports the real
+// makespan.
+//
+// Resources: one serial CPU per device (rate I_c), one radio link per
+// user (rate b, energy p_t per unit time), one shared FIFO edge server
+// (rate I_S) serving every user's remote tasks.
+//
+// Input must be acyclic in the call direction (mutually recursive
+// exchange pairs make task semantics ambiguous); validate with
+// call_graph_is_acyclic() or let execute_dag() return an Error.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "appmodel/application.hpp"
+#include "common/result.hpp"
+#include "mec/model.hpp"
+#include "mec/scheme.hpp"
+
+namespace mecoff::sim {
+
+/// True when the application's directed exchanges form a DAG.
+[[nodiscard]] bool call_graph_is_acyclic(const appmodel::Application& app);
+
+struct TaskTrace {
+  std::size_t function = 0;
+  double start = 0.0;
+  double finish = 0.0;
+  bool remote = false;
+};
+
+struct DagUserOutcome {
+  double makespan = 0.0;        ///< completion of the user's last task
+  double device_busy = 0.0;     ///< CPU time spent on the device
+  double server_busy = 0.0;     ///< service time consumed on the server
+  double link_busy = 0.0;       ///< radio time (uploads + downloads)
+  double local_energy = 0.0;    ///< p_c · device_busy
+  double transmit_energy = 0.0; ///< p_t · link_busy
+  std::vector<TaskTrace> tasks; ///< per-function schedule, by start time
+};
+
+struct DagReport {
+  std::vector<DagUserOutcome> users;
+  double makespan = 0.0;      ///< across users
+  double total_energy = 0.0;  ///< Σ per-user energies
+  std::size_t events = 0;
+};
+
+struct DagOptions {
+  /// When true, results also carry the per-task traces (memory-heavy
+  /// for big systems; examples and tests want them, benches do not).
+  bool record_traces = true;
+};
+
+/// Execute `scheme` with per-function granularity. `apps[u]` supplies
+/// user u's directed call structure; its function count must match the
+/// system graph. Fails (Result error) on cyclic call structures or
+/// shape mismatches.
+[[nodiscard]] Result<DagReport> execute_dag(
+    const mec::MecSystem& system,
+    const std::vector<appmodel::Application>& apps,
+    const mec::OffloadingScheme& scheme, const DagOptions& options = {});
+
+}  // namespace mecoff::sim

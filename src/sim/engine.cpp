@@ -1,0 +1,32 @@
+#include "sim/engine.hpp"
+
+#include "common/contracts.hpp"
+
+namespace mecoff::sim {
+
+void SimEngine::schedule_at(SimTime at, std::function<void()> fn) {
+  MECOFF_EXPECTS(at >= now_);
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void SimEngine::schedule_after(SimTime delay, std::function<void()> fn) {
+  MECOFF_EXPECTS(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+SimTime SimEngine::run() {
+  executed_ = 0;
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the handler is moved out via a copy
+    // of the wrapper before pop (handlers are cheap shared closures).
+    Event event = queue_.top();
+    queue_.pop();
+    MECOFF_ENSURES(event.time >= now_);  // time never flows backwards
+    now_ = event.time;
+    ++executed_;
+    event.fn();
+  }
+  return now_;
+}
+
+}  // namespace mecoff::sim

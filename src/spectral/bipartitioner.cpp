@@ -1,0 +1,45 @@
+#include "spectral/bipartitioner.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "graph/components.hpp"
+
+namespace mecoff::spectral {
+
+using graph::Bipartition;
+using graph::WeightedGraph;
+
+SpectralBipartitioner::SpectralBipartitioner(SpectralOptions options)
+    : options_(std::move(options)) {}
+
+Bipartition SpectralBipartitioner::bipartition(const WeightedGraph& g) {
+  Bipartition out;
+  out.side.assign(g.num_nodes(), 0);
+  out.cut_weight = 0.0;
+  if (g.num_nodes() < 2) return out;
+
+  // A disconnected graph already has a zero cut: put the smallest
+  // component on side 1 (cheapest non-trivial zero-cut split).
+  const graph::ComponentLabels comps = graph::connected_components(g);
+  if (comps.count > 1) {
+    std::vector<std::size_t> sizes(comps.count, 0);
+    for (const std::uint32_t c : comps.component_of) ++sizes[c];
+    const std::uint32_t smallest = static_cast<std::uint32_t>(
+        std::min_element(sizes.begin(), sizes.end()) - sizes.begin());
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v)
+      out.side[v] = comps.component_of[v] == smallest ? 1 : 0;
+    out.cut_weight = 0.0;
+    return out;
+  }
+
+  const FiedlerResult fiedler = fiedler_pair(g, options_.fiedler);
+  if (!fiedler.converged) {
+    MECOFF_LOG_WARN << "Fiedler solver did not reach tolerance (graph n="
+                    << g.num_nodes() << "); using best available vector";
+  }
+  last_fiedler_value_ = fiedler.value;
+  return split_by_policy(g, fiedler.vector, options_.split);
+}
+
+}  // namespace mecoff::spectral

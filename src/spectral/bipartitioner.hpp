@@ -1,0 +1,39 @@
+// The Bipartitioner the paper's offloader plugs in: Fiedler pair then
+// sign/sweep split. Handles the degenerate cases the pure math cannot:
+// empty graphs, single nodes, and disconnected inputs (each component
+// is split recursively against the overall best cut... in practice the
+// pipeline always hands us connected components, but a library must not
+// misbehave when called directly).
+#pragma once
+
+#include "graph/partition.hpp"
+#include "spectral/fiedler.hpp"
+#include "spectral/splitter.hpp"
+
+namespace mecoff::spectral {
+
+struct SpectralOptions {
+  FiedlerOptions fiedler;
+  SplitPolicy split = SplitPolicy::kSweep;
+};
+
+class SpectralBipartitioner final : public graph::Bipartitioner {
+ public:
+  explicit SpectralBipartitioner(SpectralOptions options = {});
+
+  [[nodiscard]] graph::Bipartition bipartition(
+      const graph::WeightedGraph& g) override;
+
+  [[nodiscard]] std::string name() const override { return "spectral"; }
+
+  /// λ₂ of the last connected graph partitioned (diagnostics).
+  [[nodiscard]] double last_fiedler_value() const {
+    return last_fiedler_value_;
+  }
+
+ private:
+  SpectralOptions options_;
+  double last_fiedler_value_ = 0.0;
+};
+
+}  // namespace mecoff::spectral

@@ -1,0 +1,124 @@
+#include "spectral/kway.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "graph/subgraph.hpp"
+
+namespace mecoff::spectral {
+
+using graph::NodeId;
+using graph::WeightedGraph;
+
+namespace {
+
+/// Recursively assign parts [first_label, first_label + budget) to the
+/// nodes of `sub` (ids local to `sub`), writing global labels through
+/// `to_global` into `part_of`.
+void bisect(const graph::Subgraph& sub, std::size_t budget,
+            std::uint32_t first_label, SpectralBipartitioner& cutter,
+            std::vector<std::uint32_t>& part_of,
+            const std::vector<NodeId>& to_global) {
+  MECOFF_EXPECTS(budget >= 1);
+  const WeightedGraph& g = sub.graph;
+  if (budget == 1 || g.num_nodes() <= 1) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      part_of[to_global[sub.to_parent[v]]] = first_label;
+    return;
+  }
+
+  const graph::Bipartition cut = cutter.bipartition(g);
+  std::vector<NodeId> side_nodes[2];
+  double side_weight[2] = {0.0, 0.0};
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    side_nodes[cut.side[v]].push_back(v);
+    side_weight[cut.side[v]] += g.node_weight(v);
+  }
+  if (side_nodes[0].empty() || side_nodes[1].empty()) {
+    // Degenerate cut: cannot split further; collapse to one label.
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      part_of[to_global[sub.to_parent[v]]] = first_label;
+    return;
+  }
+
+  // Weight-proportional budgets, clamped so each side keeps at least
+  // one part: an unbalanced min cut (say one cluster vs. three) must
+  // hand the small side a single part, not force further cuts into it.
+  const double total_weight =
+      std::max(side_weight[0] + side_weight[1], 1e-300);
+  std::size_t budget0 = static_cast<std::size_t>(
+      std::lround(static_cast<double>(budget) * side_weight[0] /
+                  total_weight));
+  budget0 = std::clamp<std::size_t>(budget0, 1, budget - 1);
+  // A side never needs more parts than it has nodes; give the surplus
+  // to the other side (and vice versa), guarding the subtraction.
+  budget0 = std::min(budget0, side_nodes[0].size());
+  if (budget - budget0 > side_nodes[1].size())
+    budget0 = std::min(budget - side_nodes[1].size(),
+                       side_nodes[0].size());
+  const std::size_t budgets[2] = {budget0, budget - budget0};
+
+  std::uint32_t next_label = first_label;
+  for (std::uint8_t s = 0; s <= 1; ++s) {
+    graph::Subgraph child = graph::induced_subgraph(g, side_nodes[s]);
+    // Compose mappings: child-local → sub-local handled by
+    // child.to_parent; sub-local → global by our caller's table.
+    std::vector<NodeId> child_to_global(child.to_parent.size());
+    for (std::size_t i = 0; i < child.to_parent.size(); ++i)
+      child_to_global[i] = to_global[sub.to_parent[child.to_parent[i]]];
+    // Re-wrap as an identity subgraph so recursion sees a flat mapping.
+    graph::Subgraph flat;
+    flat.graph = child.graph;
+    flat.to_parent.resize(child.graph.num_nodes());
+    for (NodeId v = 0; v < child.graph.num_nodes(); ++v)
+      flat.to_parent[v] = v;
+    bisect(flat, budgets[s], next_label, cutter, part_of,
+           child_to_global);
+    next_label += static_cast<std::uint32_t>(budgets[s]);
+  }
+}
+
+}  // namespace
+
+KwayResult kway_partition(const WeightedGraph& g,
+                          const KwayOptions& options) {
+  MECOFF_EXPECTS(options.parts >= 1);
+  KwayResult result;
+  result.part_of.assign(g.num_nodes(), 0);
+  if (g.empty()) return result;
+
+  SpectralBipartitioner cutter(options.spectral);
+  graph::Subgraph whole;
+  whole.graph = g;
+  whole.to_parent.resize(g.num_nodes());
+  std::vector<NodeId> identity(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    whole.to_parent[v] = v;
+    identity[v] = v;
+  }
+  bisect(whole, options.parts, 0, cutter, result.part_of, identity);
+
+  // Densify labels (budget splits can leave gaps when sides ran out of
+  // nodes before exhausting their budget).
+  std::vector<std::uint32_t> remap;
+  for (std::uint32_t& label : result.part_of) {
+    while (remap.size() <= label) remap.push_back(UINT32_MAX);
+    if (remap[label] == UINT32_MAX)
+      remap[label] = result.parts_used++;
+    label = remap[label];
+  }
+  result.total_cut = kway_cut_weight(g, result.part_of);
+  return result;
+}
+
+double kway_cut_weight(const WeightedGraph& g,
+                       const std::vector<std::uint32_t>& part_of) {
+  MECOFF_EXPECTS(part_of.size() == g.num_nodes());
+  double sum = 0.0;
+  for (const graph::Edge& e : g.edges())
+    if (part_of[e.u] != part_of[e.v]) sum += e.weight;
+  return sum;
+}
+
+}  // namespace mecoff::spectral

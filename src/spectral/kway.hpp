@@ -1,0 +1,40 @@
+// K-way spectral partitioning by recursive bisection — the standard
+// generalization of the paper's two-way cut. A user facing SEVERAL edge
+// servers wants k+1 parts (device + one per server); recursive Fiedler
+// bisection with proportional part budgets is the classic way to get
+// them from a two-way cutter.
+#pragma once
+
+#include <cstdint>
+
+#include "spectral/bipartitioner.hpp"
+
+namespace mecoff::spectral {
+
+struct KwayOptions {
+  /// Number of parts (>= 1).
+  std::size_t parts = 4;
+  SpectralOptions spectral;
+};
+
+struct KwayResult {
+  /// part_of[node] in [0, parts_used); labels are dense.
+  std::vector<std::uint32_t> part_of;
+  std::uint32_t parts_used = 0;
+  /// Σ weight of edges whose endpoints lie in different parts.
+  double total_cut = 0.0;
+};
+
+/// Partition `g` into at most `options.parts` parts. Fewer parts come
+/// back when the graph runs out of nodes (each part is non-empty).
+/// Budgets halve proportionally: the heavier cut side receives the
+/// larger share of the remaining part budget.
+[[nodiscard]] KwayResult kway_partition(const graph::WeightedGraph& g,
+                                        const KwayOptions& options);
+
+/// Σ weight of edges crossing between different labels (validation
+/// helper; kway_partition already reports it).
+[[nodiscard]] double kway_cut_weight(const graph::WeightedGraph& g,
+                                     const std::vector<std::uint32_t>& part_of);
+
+}  // namespace mecoff::spectral

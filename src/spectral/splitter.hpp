@@ -1,0 +1,46 @@
+// Turning a Fiedler vector into a two-way cut ("The corresponding two
+// parts of the cut can be gotten from the eigenvector corresponding to
+// the second smallest eigenvalue", Section III-B).
+//
+// Two policies:
+//  * sign split — the paper's q_i ∈ {+1, −1} indicator: side by sign of
+//    v₂[i] (ties to side 0);
+//  * sweep split — sort nodes by v₂ value and take the prefix/suffix
+//    threshold with the smallest cut weight; never worse than the sign
+//    split and standard practice in spectral partitioning. The default.
+#pragma once
+
+#include <span>
+
+#include "graph/partition.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace mecoff::spectral {
+
+enum class SplitPolicy {
+  kSign,
+  kSweep,
+  /// Sweep minimizing the RATIO cut(S, S̄) / min(w(S), w(S̄)) over node
+  /// weights — the balance-aware variant (normalized/ratio-cut family).
+  /// Picks balanced boundaries when plain sweep would shave off slivers.
+  kSweepRatio,
+};
+
+/// Partition by the sign of the Fiedler vector entries.
+[[nodiscard]] graph::Bipartition sign_split(const graph::WeightedGraph& g,
+                                            std::span<const double> fiedler);
+
+/// Sweep over thresholds in Fiedler order, returning the cut-minimizing
+/// split with both sides non-empty.
+[[nodiscard]] graph::Bipartition sweep_split(const graph::WeightedGraph& g,
+                                             std::span<const double> fiedler);
+
+/// Sweep minimizing cut / min-side-node-weight (ratio cut).
+[[nodiscard]] graph::Bipartition sweep_split_ratio(
+    const graph::WeightedGraph& g, std::span<const double> fiedler);
+
+[[nodiscard]] graph::Bipartition split_by_policy(
+    const graph::WeightedGraph& g, std::span<const double> fiedler,
+    SplitPolicy policy);
+
+}  // namespace mecoff::spectral

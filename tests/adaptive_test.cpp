@@ -1,0 +1,159 @@
+// Tests for the adaptive multi-user coordinator.
+#include <gtest/gtest.h>
+
+#include "appmodel/synthetic_apps.hpp"
+#include "common/contracts.hpp"
+#include "graph/generators.hpp"
+#include "mec/adaptive.hpp"
+
+namespace mecoff::mec {
+namespace {
+
+SystemParams adaptive_params() {
+  SystemParams p;
+  p.mobile_power = 1.0;
+  p.transmit_power = 12.0;
+  p.bandwidth = 15.0;
+  p.mobile_capacity = 5.0;
+  p.server_capacity = 60.0;
+  p.contention_factor = 0.05;
+  return p;
+}
+
+UserApp arriving_user(std::uint64_t seed) {
+  graph::NetgenParams gp;
+  gp.nodes = 60;
+  gp.edges = 240;
+  gp.seed = seed;
+  UserApp user;
+  user.graph = graph::netgen_style(gp);
+  user.unoffloadable.assign(60, false);
+  user.unoffloadable[0] = true;
+  return user;
+}
+
+TEST(Adaptive, ArrivalsGetPlacedImmediately) {
+  AdaptiveCoordinator coord(adaptive_params());
+  const std::size_t a = coord.add_user(arriving_user(1));
+  const std::size_t b = coord.add_user(arriving_user(2));
+  EXPECT_EQ(coord.active_users(), 2u);
+  EXPECT_EQ(coord.placement_of(a).size(), 60u);
+  EXPECT_EQ(coord.placement_of(b).size(), 60u);
+  // Pinned node stays local.
+  EXPECT_EQ(coord.placement_of(a)[0], Placement::kLocal);
+  // Something offloaded (heavy compute, decent server).
+  std::size_t remote = 0;
+  for (const Placement p : coord.placement_of(a))
+    if (p == Placement::kRemote) ++remote;
+  EXPECT_GT(remote, 0u);
+}
+
+TEST(Adaptive, ExistingPlacementsAreFrozenOnArrival) {
+  AdaptiveCoordinator coord(adaptive_params());
+  const std::size_t first = coord.add_user(arriving_user(3));
+  const std::vector<Placement> before = coord.placement_of(first);
+  for (std::uint64_t seed = 10; seed < 16; ++seed)
+    coord.add_user(arriving_user(seed));
+  EXPECT_EQ(coord.placement_of(first), before);
+}
+
+TEST(Adaptive, LaterArrivalsSeeMoreContention) {
+  // With the server filling up, later identical users offload no more
+  // than the first one did.
+  AdaptiveCoordinator coord(adaptive_params());
+  const auto remote_count = [&](std::size_t id) {
+    std::size_t remote = 0;
+    for (const Placement p : coord.placement_of(id))
+      if (p == Placement::kRemote) ++remote;
+    return remote;
+  };
+  const std::size_t first = coord.add_user(arriving_user(42));
+  std::size_t last = first;
+  for (int i = 0; i < 10; ++i) last = coord.add_user(arriving_user(42));
+  EXPECT_LE(remote_count(last), remote_count(first));
+}
+
+TEST(Adaptive, RemovalFreesLoad) {
+  AdaptiveCoordinator coord(adaptive_params());
+  std::vector<std::size_t> ids;
+  for (std::uint64_t seed = 20; seed < 26; ++seed)
+    ids.push_back(coord.add_user(arriving_user(seed)));
+  const double crowded = coord.current_cost().objective();
+  coord.remove_user(ids[0]);
+  coord.remove_user(ids[1]);
+  EXPECT_EQ(coord.active_users(), 4u);
+  EXPECT_LT(coord.current_cost().objective(), crowded);
+  EXPECT_THROW((void)coord.placement_of(ids[0]), PreconditionError);
+}
+
+TEST(Adaptive, ReoptimizeCollectsExactlyThePositiveDrift) {
+  AdaptiveCoordinator coord(adaptive_params());
+  for (std::uint64_t seed = 30; seed < 42; ++seed)
+    coord.add_user(arriving_user(seed));
+  // Drift is SIGNED: the path-dependent incremental state may be
+  // better or worse than a fresh all-remote greedy.
+  const double drift = coord.drift();
+  const double gained = coord.reoptimize();
+  if (drift > 0.0) {
+    EXPECT_NEAR(gained, drift, 1e-6 * (1.0 + drift));
+    EXPECT_NEAR(coord.drift(), 0.0, 1e-6 * (1.0 + drift));
+  } else {
+    // Fresh solve was no better: nothing adopted, nothing gained.
+    EXPECT_DOUBLE_EQ(gained, 0.0);
+    EXPECT_NEAR(coord.drift(), drift, 1e-6 * (1.0 + std::abs(drift)));
+  }
+}
+
+TEST(Adaptive, ReoptimizeNeverWorsens) {
+  AdaptiveCoordinator coord(adaptive_params());
+  for (std::uint64_t seed = 50; seed < 58; ++seed)
+    coord.add_user(arriving_user(seed));
+  const double before = coord.current_cost().objective();
+  coord.reoptimize();
+  EXPECT_LE(coord.current_cost().objective(), before + 1e-9);
+}
+
+TEST(Adaptive, ChurnScenarioStaysConsistent) {
+  AdaptiveCoordinator coord(adaptive_params());
+  std::vector<std::size_t> alive;
+  for (std::uint64_t seed = 100; seed < 112; ++seed) {
+    alive.push_back(coord.add_user(arriving_user(seed)));
+    if (alive.size() > 6) {
+      coord.remove_user(alive.front());
+      alive.erase(alive.begin());
+    }
+  }
+  EXPECT_EQ(coord.active_users(), alive.size());
+  for (const std::size_t id : alive)
+    EXPECT_EQ(coord.placement_of(id).size(), 60u);
+  coord.reoptimize();
+  for (const std::size_t id : alive)
+    EXPECT_EQ(coord.placement_of(id)[0], Placement::kLocal);  // pinned
+}
+
+TEST(Adaptive, EmptyCoordinatorIsWellBehaved) {
+  AdaptiveCoordinator coord(adaptive_params());
+  EXPECT_EQ(coord.active_users(), 0u);
+  EXPECT_DOUBLE_EQ(coord.drift(), 0.0);
+  EXPECT_DOUBLE_EQ(coord.reoptimize(), 0.0);
+  EXPECT_DOUBLE_EQ(coord.current_cost().objective(), 0.0);
+}
+
+TEST(Adaptive, RealisticAppsMix) {
+  AdaptiveCoordinator coord(adaptive_params());
+  for (const appmodel::Application& app :
+       {appmodel::make_voice_assistant_app(),
+        appmodel::make_slam_navigation_app(),
+        appmodel::make_face_recognition_app()}) {
+    UserApp user;
+    user.graph = app.to_graph();
+    user.unoffloadable = app.unoffloadable_mask();
+    user.components = app.component_ids();
+    const std::size_t id = coord.add_user(std::move(user));
+    EXPECT_EQ(coord.placement_of(id).size(), app.num_functions());
+  }
+  EXPECT_GE(coord.current_cost().objective(), 0.0);
+}
+
+}  // namespace
+}  // namespace mecoff::mec

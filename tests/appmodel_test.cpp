@@ -1,0 +1,270 @@
+// Unit tests for the application model and the Soot-substitute DSL.
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "appmodel/application.hpp"
+#include "appmodel/dsl_parser.hpp"
+#include "appmodel/synthetic_apps.hpp"
+#include "graph/components.hpp"
+#include "mec/offloader.hpp"
+
+namespace mecoff::appmodel {
+namespace {
+
+TEST(Application, AddAndFindFunctions) {
+  Application app("demo");
+  const std::size_t a = app.add_function({"alpha", 10, false, "ui"});
+  const std::size_t b = app.add_function({"beta", 20, true, "core"});
+  EXPECT_EQ(app.num_functions(), 2u);
+  EXPECT_EQ(app.find_function("alpha"), a);
+  EXPECT_EQ(app.find_function("beta"), b);
+  EXPECT_EQ(app.find_function("gamma"), Application::npos);
+  EXPECT_EQ(app.function(b).component, "core");
+}
+
+TEST(Application, DuplicateNameRejected) {
+  Application app;
+  app.add_function({"f", 1, false, ""});
+  EXPECT_THROW(app.add_function({"f", 2, false, ""}),
+               mecoff::PreconditionError);
+}
+
+TEST(Application, ExchangeValidation) {
+  Application app;
+  app.add_function({"a", 1, false, ""});
+  app.add_function({"b", 1, false, ""});
+  EXPECT_THROW(app.add_exchange(0, 0, 5), mecoff::PreconditionError);
+  EXPECT_THROW(app.add_exchange(0, 9, 5), mecoff::PreconditionError);
+  EXPECT_THROW(app.add_exchange(0, 1, -1), mecoff::PreconditionError);
+}
+
+TEST(Application, ToGraphAccumulatesRepeatedExchanges) {
+  Application app;
+  app.add_function({"a", 3, false, ""});
+  app.add_function({"b", 4, false, ""});
+  app.add_exchange(0, 1, 5);
+  app.add_exchange(1, 0, 7);  // same undirected pair
+  const graph::WeightedGraph g = app.to_graph();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge_weight_between(0, 1), 12.0);
+  EXPECT_DOUBLE_EQ(g.node_weight(0), 3.0);
+}
+
+TEST(Application, MaskAndComponents) {
+  Application app;
+  app.add_function({"a", 1, true, "x"});
+  app.add_function({"b", 1, false, "y"});
+  app.add_function({"c", 1, false, "x"});
+  const std::vector<bool> mask = app.unoffloadable_mask();
+  EXPECT_EQ(mask, (std::vector<bool>{true, false, false}));
+  const std::vector<std::uint32_t> comps = app.component_ids();
+  EXPECT_EQ(comps[0], comps[2]);
+  EXPECT_NE(comps[0], comps[1]);
+}
+
+constexpr const char* kGoodDsl = R"(
+app Demo
+component ui
+  function main compute=5 unoffloadable
+  function render compute=8 unoffloadable
+component vision
+  function detect compute=120
+  function embed compute=200
+call main detect data=64
+call detect embed data=32
+)";
+
+TEST(DslParser, ParsesValidProgram) {
+  const Result<Application> r = parse_app_dsl(kGoodDsl);
+  ASSERT_TRUE(r.ok()) << (r.ok() ? std::string() : r.error().message);
+  const Application& app = r.value();
+  EXPECT_EQ(app.name(), "Demo");
+  EXPECT_EQ(app.num_functions(), 4u);
+  EXPECT_TRUE(app.function(app.find_function("main")).unoffloadable);
+  EXPECT_FALSE(app.function(app.find_function("detect")).unoffloadable);
+  EXPECT_DOUBLE_EQ(app.function(app.find_function("embed")).computation,
+                   200.0);
+  EXPECT_EQ(app.function(app.find_function("detect")).component, "vision");
+  ASSERT_EQ(app.exchanges().size(), 2u);
+  EXPECT_DOUBLE_EQ(app.exchanges()[0].amount, 64.0);
+}
+
+TEST(DslParser, CommentsAndBlankLinesIgnored) {
+  const auto r = parse_app_dsl(
+      "# top comment\napp X\nfunction f compute=1 # trailing\n\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_functions(), 1u);
+}
+
+TEST(DslParser, ErrorsCarryLineNumbers) {
+  const auto r = parse_app_dsl("app X\nfunction f compute=1\nfrobnicate\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("line 3"), std::string::npos);
+}
+
+TEST(DslParser, RejectsUnknownFunctionInCall) {
+  const auto r =
+      parse_app_dsl("app X\nfunction f compute=1\ncall f ghost data=2\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("ghost"), std::string::npos);
+}
+
+TEST(DslParser, RejectsSelfCall) {
+  const auto r =
+      parse_app_dsl("app X\nfunction f compute=1\ncall f f data=2\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DslParser, RejectsBadAttributes) {
+  EXPECT_FALSE(parse_app_dsl("app X\nfunction f compute=abc\n").ok());
+  EXPECT_FALSE(parse_app_dsl("app X\nfunction f turbo=1\n").ok());
+  EXPECT_FALSE(parse_app_dsl("app X\nfunction f compute=-3\n").ok());
+  EXPECT_FALSE(
+      parse_app_dsl("app X\nfunction a compute=1\nfunction b compute=1\n"
+                    "call a b bytes=3\n")
+          .ok());
+}
+
+TEST(DslParser, RejectsDuplicateFunction) {
+  const auto r =
+      parse_app_dsl("app X\nfunction f compute=1\nfunction f compute=2\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DslParser, RejectsEmptyProgram) {
+  EXPECT_FALSE(parse_app_dsl("").ok());
+  EXPECT_FALSE(parse_app_dsl("app OnlyName\n").ok());
+}
+
+TEST(DslParser, RoundTripThroughSerializer) {
+  const Result<Application> first = parse_app_dsl(kGoodDsl);
+  ASSERT_TRUE(first.ok());
+  const std::string serialized = to_app_dsl(first.value());
+  const Result<Application> second = parse_app_dsl(serialized);
+  ASSERT_TRUE(second.ok());
+  const Application& a = first.value();
+  const Application& b = second.value();
+  ASSERT_EQ(a.num_functions(), b.num_functions());
+  for (std::size_t i = 0; i < a.num_functions(); ++i) {
+    EXPECT_EQ(a.function(i).name, b.function(i).name);
+    EXPECT_DOUBLE_EQ(a.function(i).computation, b.function(i).computation);
+    EXPECT_EQ(a.function(i).unoffloadable, b.function(i).unoffloadable);
+    EXPECT_EQ(a.function(i).component, b.function(i).component);
+  }
+  ASSERT_EQ(a.exchanges().size(), b.exchanges().size());
+}
+
+TEST(SyntheticApps, FaceRecognitionShape) {
+  const Application app = make_face_recognition_app();
+  EXPECT_GE(app.num_functions(), 15u);
+  // UI functions are pinned; the vision pipeline is not.
+  EXPECT_TRUE(app.function(app.find_function("camera_capture")).unoffloadable);
+  EXPECT_FALSE(app.function(app.find_function("embed_conv2")).unoffloadable);
+  EXPECT_TRUE(graph::is_connected(app.to_graph()));
+}
+
+TEST(SyntheticApps, ArGameHasCoupledPhysicsCluster) {
+  const Application app = make_ar_game_app();
+  const graph::WeightedGraph g = app.to_graph();
+  // Physics exchanges are the heavy ones.
+  const auto narrow = app.find_function("phys_narrowphase");
+  const auto solve = app.find_function("phys_solver");
+  EXPECT_GE(g.edge_weight_between(static_cast<graph::NodeId>(narrow),
+                                  static_cast<graph::NodeId>(solve)),
+            50.0);
+}
+
+TEST(SyntheticApps, VideoAnalyticsIsLooselyCoupledChain) {
+  const Application app = make_video_analytics_app();
+  const graph::WeightedGraph g = app.to_graph();
+  const auto denoise = app.find_function("denoise");
+  const auto stabilize = app.find_function("stabilize");
+  EXPECT_LE(g.edge_weight_between(static_cast<graph::NodeId>(denoise),
+                                  static_cast<graph::NodeId>(stabilize)),
+            10.0);
+  EXPECT_TRUE(graph::is_connected(g));
+}
+
+TEST(SyntheticApps, AllThreeHavePinnedAndOffloadable) {
+  for (const Application& app :
+       {make_face_recognition_app(), make_ar_game_app(),
+        make_video_analytics_app()}) {
+    const std::vector<bool> mask = app.unoffloadable_mask();
+    std::size_t pinned = 0;
+    for (const bool b : mask)
+      if (b) ++pinned;
+    EXPECT_GT(pinned, 0u) << app.name();
+    EXPECT_LT(pinned, mask.size()) << app.name();
+  }
+}
+
+TEST(SyntheticApps, RandomAppRespectsParameters) {
+  const Application app = make_random_app(100, 0.1, 42);
+  EXPECT_EQ(app.num_functions(), 100u);
+  EXPECT_TRUE(graph::is_connected(app.to_graph()));
+  // Deterministic per seed.
+  const Application again = make_random_app(100, 0.1, 42);
+  EXPECT_EQ(app.exchanges().size(), again.exchanges().size());
+}
+
+}  // namespace
+}  // namespace mecoff::appmodel
+
+namespace mecoff::appmodel {
+namespace {
+
+TEST(SyntheticApps, VoiceAssistantShape) {
+  const Application app = make_voice_assistant_app();
+  EXPECT_TRUE(app.function(app.find_function("wake_word")).unoffloadable);
+  EXPECT_FALSE(
+      app.function(app.find_function("decoder_pass1")).unoffloadable);
+  const graph::WeightedGraph g = app.to_graph();
+  EXPECT_TRUE(graph::is_connected(g));
+  // Decoder coupling dwarfs the text hand-off.
+  const auto am = static_cast<graph::NodeId>(
+      app.find_function("acoustic_model"));
+  const auto d1 = static_cast<graph::NodeId>(
+      app.find_function("decoder_pass1"));
+  const auto d2 = static_cast<graph::NodeId>(
+      app.find_function("decoder_rescore"));
+  const auto intent = static_cast<graph::NodeId>(
+      app.find_function("intent_classify"));
+  EXPECT_GT(g.edge_weight_between(am, d1),
+            20.0 * g.edge_weight_between(d2, intent));
+}
+
+TEST(SyntheticApps, SlamNavigationShape) {
+  const Application app = make_slam_navigation_app();
+  EXPECT_TRUE(app.function(app.find_function("camera_frames")).unoffloadable);
+  EXPECT_FALSE(
+      app.function(app.find_function("global_bundle_adjust")).unoffloadable);
+  // Mapping is the heavy offloadable bulk.
+  double mapping = 0.0;
+  double tracking = 0.0;
+  for (const FunctionInfo& f : app.functions()) {
+    if (f.component == "mapping") mapping += f.computation;
+    if (f.component == "tracking") tracking += f.computation;
+  }
+  EXPECT_GT(mapping, 3.0 * tracking);
+  EXPECT_TRUE(graph::is_connected(app.to_graph()));
+}
+
+TEST(SyntheticApps, NewArchetypesSolveEndToEnd) {
+  for (const Application& app :
+       {make_voice_assistant_app(), make_slam_navigation_app()}) {
+    mec::UserApp user;
+    user.graph = app.to_graph();
+    user.unoffloadable = app.unoffloadable_mask();
+    user.components = app.component_ids();
+    mec::MecSystem system{mec::SystemParams{}, {user}};
+    mec::PipelineOptions opts;
+    opts.propagation.coupling_threshold = 50.0;
+    mec::PipelineOffloader offloader(opts);
+    const mec::OffloadingScheme scheme = offloader.solve(system);
+    EXPECT_TRUE(scheme.valid_for(system)) << app.name();
+    EXPECT_GT(scheme.remote_count(0), 0u) << app.name();
+  }
+}
+
+}  // namespace
+}  // namespace mecoff::appmodel

@@ -1,0 +1,158 @@
+// Tests for the Gilbert–Elliott fading link and its integration into
+// the batch executor.
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "graph/weighted_graph.hpp"
+#include "sim/channel.hpp"
+#include "sim/executor.hpp"
+
+namespace mecoff::sim {
+namespace {
+
+TEST(ChannelModel, Validation) {
+  ChannelModel m;
+  EXPECT_TRUE(m.valid());
+  m.bad_rate = 0.0;
+  EXPECT_FALSE(m.valid());
+  m = ChannelModel{};
+  m.bad_rate = m.good_rate + 1.0;  // bad faster than good: nonsense
+  EXPECT_FALSE(m.valid());
+  m = ChannelModel{};
+  m.mean_good = 0.0;
+  EXPECT_FALSE(m.valid());
+}
+
+TEST(ChannelModel, MeanRateIsTimeWeighted) {
+  ChannelModel m;
+  m.good_rate = 20.0;
+  m.bad_rate = 5.0;
+  m.mean_good = 3.0;
+  m.mean_bad = 1.0;
+  EXPECT_NEAR(m.mean_rate(), (20.0 * 3 + 5.0 * 1) / 4.0, 1e-12);
+}
+
+TEST(GilbertElliottLink, DegeneratesToConstantRateWhenStatesEqual) {
+  ChannelModel m;
+  m.good_rate = m.bad_rate = 10.0;
+  SimEngine engine;
+  GilbertElliottLink link(engine, m);
+  JobStats seen;
+  link.submit(50.0, [&](const JobStats& s) { seen = s; });
+  engine.run();
+  EXPECT_NEAR(seen.completed, 5.0, 1e-9);
+}
+
+TEST(GilbertElliottLink, TransferTimeBracketedByStateRates) {
+  ChannelModel m;
+  m.good_rate = 20.0;
+  m.bad_rate = 2.0;
+  m.mean_good = 1.0;
+  m.mean_bad = 1.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    m.seed = seed;
+    SimEngine engine;
+    GilbertElliottLink link(engine, m);
+    JobStats seen;
+    link.submit(40.0, [&](const JobStats& s) { seen = s; });
+    engine.run();
+    EXPECT_GE(seen.completed, 40.0 / m.good_rate - 1e-9) << seed;
+    EXPECT_LE(seen.completed, 40.0 / m.bad_rate + 1e-9) << seed;
+  }
+}
+
+TEST(GilbertElliottLink, DeterministicPerSeed) {
+  ChannelModel m;
+  m.seed = 77;
+  double first = 0.0;
+  for (int run = 0; run < 2; ++run) {
+    SimEngine engine;
+    GilbertElliottLink link(engine, m);
+    JobStats seen;
+    link.submit(123.0, [&](const JobStats& s) { seen = s; });
+    engine.run();
+    if (run == 0)
+      first = seen.completed;
+    else
+      EXPECT_DOUBLE_EQ(seen.completed, first);
+  }
+}
+
+TEST(GilbertElliottLink, FifoOrderPreserved) {
+  ChannelModel m;
+  m.seed = 5;
+  SimEngine engine;
+  GilbertElliottLink link(engine, m);
+  std::vector<int> order;
+  link.submit(30.0, [&](const JobStats&) { order.push_back(1); });
+  link.submit(10.0, [&](const JobStats&) { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(link.jobs_completed(), 2u);
+}
+
+TEST(GilbertElliottLink, IdleGapsAdvanceTheStateProcess) {
+  // A transfer submitted late must not see a stale state; and the
+  // engine must drain even with long idle stretches.
+  ChannelModel m;
+  m.seed = 9;
+  m.mean_good = 0.5;
+  m.mean_bad = 0.5;
+  SimEngine engine;
+  GilbertElliottLink link(engine, m);
+  JobStats seen;
+  engine.schedule_at(100.0, [&] {
+    link.submit(10.0, [&](const JobStats& s) { seen = s; });
+  });
+  const SimTime end = engine.run();
+  EXPECT_GE(seen.completed, 100.0);
+  EXPECT_DOUBLE_EQ(end, seen.completed);  // drained, no runaway flips
+}
+
+TEST(ExecutorChannel, FadingMatchesConstantWhenDegenerate) {
+  graph::GraphBuilder b;
+  b.add_node(10.0);
+  b.add_node(30.0);
+  b.add_edge(0, 1, 20.0);
+  mec::UserApp app;
+  app.graph = b.build();
+  mec::SystemParams p;
+  p.bandwidth = 10.0;
+  mec::MecSystem system{p, {app}};
+  mec::OffloadingScheme scheme = mec::OffloadingScheme::all_local(system);
+  scheme.placement[0][1] = mec::Placement::kRemote;
+
+  SimOptions fading;
+  fading.channel = ChannelModel{10.0, 10.0, 1.0, 1.0, 1};
+  const SimReport with = simulate_scheme(system, scheme, fading);
+  const SimReport without = simulate_scheme(system, scheme);
+  EXPECT_NEAR(with.users[0].upload_time, without.users[0].upload_time,
+              1e-9);
+  EXPECT_NEAR(with.total_energy, without.total_energy, 1e-9);
+}
+
+TEST(ExecutorChannel, FadingNeverBeatsTheGoodRate) {
+  graph::GraphBuilder b;
+  b.add_node(5.0);
+  b.add_node(50.0);
+  b.add_edge(0, 1, 40.0);
+  mec::UserApp app;
+  app.graph = b.build();
+  mec::SystemParams p;
+  p.bandwidth = 20.0;  // = good rate below
+  mec::MecSystem system{p, {app}};
+  mec::OffloadingScheme scheme = mec::OffloadingScheme::all_local(system);
+  scheme.placement[0][1] = mec::Placement::kRemote;
+
+  SimOptions fading;
+  fading.channel = ChannelModel{20.0, 4.0, 1.0, 0.5, 3};
+  const SimReport report = simulate_scheme(system, scheme, fading);
+  // Realized upload is at best the constant-rate figure, typically
+  // worse; energy scales with it.
+  EXPECT_GE(report.users[0].upload_time, 40.0 / 20.0 - 1e-9);
+  EXPECT_NEAR(report.users[0].transmit_energy,
+              report.users[0].upload_time * p.transmit_power, 1e-9);
+}
+
+}  // namespace
+}  // namespace mecoff::sim

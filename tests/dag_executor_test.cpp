@@ -1,0 +1,214 @@
+// Tests for the task-graph executor: hand-computed schedules, critical
+// paths through offloading boundaries, and error handling.
+#include <gtest/gtest.h>
+
+#include "appmodel/application.hpp"
+#include "appmodel/synthetic_apps.hpp"
+#include "graph/weighted_graph.hpp"
+#include "mec/offloader.hpp"
+#include "sim/dag_executor.hpp"
+#include "sim/executor.hpp"
+
+namespace mecoff::sim {
+namespace {
+
+using appmodel::Application;
+using mec::MecSystem;
+using mec::OffloadingScheme;
+using mec::Placement;
+using mec::SystemParams;
+using mec::UserApp;
+
+SystemParams dag_params() {
+  SystemParams p;
+  p.mobile_power = 2.0;
+  p.transmit_power = 10.0;
+  p.bandwidth = 4.0;
+  p.mobile_capacity = 2.0;
+  p.server_capacity = 10.0;
+  return p;
+}
+
+/// Chain a(8) → b(20) → c(6) with |a→b| = 8, |b→c| = 2.
+Application chain_app() {
+  Application app("chain");
+  app.add_function({"a", 8, false, ""});
+  app.add_function({"b", 20, false, ""});
+  app.add_function({"c", 6, false, ""});
+  app.add_exchange(0, 1, 8);
+  app.add_exchange(1, 2, 2);
+  return app;
+}
+
+UserApp to_user(const Application& app) {
+  UserApp user;
+  user.graph = app.to_graph();
+  user.unoffloadable = app.unoffloadable_mask();
+  return user;
+}
+
+TEST(DagAcyclicity, DetectsCycles) {
+  EXPECT_TRUE(call_graph_is_acyclic(chain_app()));
+  Application cyclic("cyc");
+  cyclic.add_function({"x", 1, false, ""});
+  cyclic.add_function({"y", 1, false, ""});
+  cyclic.add_exchange(0, 1, 1);
+  cyclic.add_exchange(1, 0, 1);
+  EXPECT_FALSE(call_graph_is_acyclic(cyclic));
+}
+
+TEST(DagExecutor, AllLocalChainHandComputed) {
+  const Application app = chain_app();
+  MecSystem system{dag_params(), {to_user(app)}};
+  const auto report =
+      execute_dag(system, {app}, OffloadingScheme::all_local(system));
+  ASSERT_TRUE(report.ok());
+  const DagUserOutcome& u = report.value().users[0];
+  // Serial CPU at rate 2: 4 + 10 + 3 = 17; no radio.
+  EXPECT_NEAR(u.makespan, 17.0, 1e-9);
+  EXPECT_NEAR(u.device_busy, 17.0, 1e-9);
+  EXPECT_DOUBLE_EQ(u.link_busy, 0.0);
+  EXPECT_NEAR(u.local_energy, 34.0, 1e-9);
+  EXPECT_DOUBLE_EQ(u.transmit_energy, 0.0);
+}
+
+TEST(DagExecutor, OffloadMiddleFunctionHandComputed) {
+  // b runs remotely: a (4s on device) → upload 8/4 = 2s → b on server
+  // 20/10 = 2s → download 2/4 = 0.5s → c on device 3s. Makespan 11.5.
+  const Application app = chain_app();
+  MecSystem system{dag_params(), {to_user(app)}};
+  OffloadingScheme scheme = OffloadingScheme::all_local(system);
+  scheme.placement[0][1] = Placement::kRemote;
+  const auto report = execute_dag(system, {app}, scheme);
+  ASSERT_TRUE(report.ok());
+  const DagUserOutcome& u = report.value().users[0];
+  EXPECT_NEAR(u.makespan, 4.0 + 2.0 + 2.0 + 0.5 + 3.0, 1e-9);
+  EXPECT_NEAR(u.device_busy, 7.0, 1e-9);   // a and c
+  EXPECT_NEAR(u.server_busy, 2.0, 1e-9);   // b
+  EXPECT_NEAR(u.link_busy, 2.5, 1e-9);     // 8 up + 2 down at rate 4
+  EXPECT_NEAR(u.transmit_energy, 25.0, 1e-9);
+}
+
+TEST(DagExecutor, TracesAreOrderedAndComplete) {
+  const Application app = chain_app();
+  MecSystem system{dag_params(), {to_user(app)}};
+  const auto report =
+      execute_dag(system, {app}, OffloadingScheme::all_local(system));
+  ASSERT_TRUE(report.ok());
+  const auto& tasks = report.value().users[0].tasks;
+  ASSERT_EQ(tasks.size(), 3u);
+  EXPECT_EQ(tasks[0].function, 0u);
+  EXPECT_EQ(tasks[2].function, 2u);
+  for (std::size_t i = 1; i < tasks.size(); ++i)
+    EXPECT_GE(tasks[i].start, tasks[i - 1].finish - 1e-9);  // chain order
+}
+
+TEST(DagExecutor, TracesCanBeDisabled) {
+  const Application app = chain_app();
+  MecSystem system{dag_params(), {to_user(app)}};
+  DagOptions opts;
+  opts.record_traces = false;
+  const auto report = execute_dag(
+      system, {app}, OffloadingScheme::all_local(system), opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().users[0].tasks.empty());
+}
+
+TEST(DagExecutor, ParallelBranchesOverlapOnServer) {
+  // Fork: root feeds two independent heavy functions; both remote. The
+  // shared FIFO server serializes them; device stays idle meanwhile.
+  Application app("fork");
+  app.add_function({"root", 2, false, ""});
+  app.add_function({"left", 30, false, ""});
+  app.add_function({"right", 30, false, ""});
+  app.add_exchange(0, 1, 4);
+  app.add_exchange(0, 2, 4);
+  MecSystem system{dag_params(), {to_user(app)}};
+  OffloadingScheme scheme = OffloadingScheme::all_local(system);
+  scheme.placement[0][1] = Placement::kRemote;
+  scheme.placement[0][2] = Placement::kRemote;
+  const auto report = execute_dag(system, {app}, scheme);
+  ASSERT_TRUE(report.ok());
+  const DagUserOutcome& u = report.value().users[0];
+  // root 1s; uploads 1s each (serialized on one radio): left enters at
+  // 2, right at 3; server 3s each, FIFO: left 2→5, right 5→8.
+  EXPECT_NEAR(u.makespan, 8.0, 1e-9);
+  EXPECT_NEAR(u.server_busy, 6.0, 1e-9);
+}
+
+TEST(DagExecutor, MultiUserServerContentionIsVisible) {
+  const Application app = chain_app();
+  std::vector<Application> apps{app, app, app, app};
+  MecSystem system{dag_params(),
+                   {to_user(app), to_user(app), to_user(app), to_user(app)}};
+  const OffloadingScheme remote = OffloadingScheme::all_remote(system);
+  const auto crowd = execute_dag(system, apps, remote);
+  ASSERT_TRUE(crowd.ok());
+
+  MecSystem solo{dag_params(), {to_user(app)}};
+  const auto alone =
+      execute_dag(solo, {app}, OffloadingScheme::all_remote(solo));
+  ASSERT_TRUE(alone.ok());
+  EXPECT_GT(crowd.value().makespan, alone.value().makespan);
+}
+
+TEST(DagExecutor, EnergiesMatchBatchExecutorWhenNoTransfers) {
+  // All-local: both executors must bill identical energy.
+  const Application app = appmodel::make_video_analytics_app();
+  UserApp user;
+  user.graph = app.to_graph();
+  user.unoffloadable = app.unoffloadable_mask();
+  MecSystem system{dag_params(), {user}};
+  const OffloadingScheme scheme = OffloadingScheme::all_local(system);
+  const auto dag = execute_dag(system, {app}, scheme);
+  ASSERT_TRUE(dag.ok());
+  const SimReport batch = simulate_scheme(system, scheme);
+  EXPECT_NEAR(dag.value().total_energy, batch.total_energy, 1e-9);
+}
+
+TEST(DagExecutor, RealisticAppEndToEnd) {
+  const Application app = appmodel::make_face_recognition_app();
+  ASSERT_TRUE(call_graph_is_acyclic(app));
+  UserApp user;
+  user.graph = app.to_graph();
+  user.unoffloadable = app.unoffloadable_mask();
+  user.components = app.component_ids();
+  MecSystem system{dag_params(), {user}};
+  mec::PipelineOptions popts;
+  popts.propagation.coupling_threshold = 50.0;
+  mec::PipelineOffloader offloader(popts);
+  const OffloadingScheme scheme = offloader.solve(system);
+  const auto report = execute_dag(system, {app}, scheme);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().makespan, 0.0);
+  EXPECT_EQ(report.value().users[0].tasks.size(), app.num_functions());
+}
+
+TEST(DagExecutor, ErrorsOnBadInput) {
+  const Application app = chain_app();
+  MecSystem system{dag_params(), {to_user(app)}};
+  const OffloadingScheme scheme = OffloadingScheme::all_local(system);
+
+  // Wrong number of apps.
+  EXPECT_FALSE(execute_dag(system, {}, scheme).ok());
+
+  // Cyclic structure.
+  Application cyclic("cyc");
+  cyclic.add_function({"x", 8, false, ""});
+  cyclic.add_function({"y", 20, false, ""});
+  cyclic.add_function({"z", 6, false, ""});
+  cyclic.add_exchange(0, 1, 1);
+  cyclic.add_exchange(1, 2, 1);
+  cyclic.add_exchange(2, 0, 1);
+  const auto r = execute_dag(system, {cyclic}, scheme);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("cyclic"), std::string::npos);
+
+  // Size mismatch.
+  Application small("s");
+  small.add_function({"only", 1, false, ""});
+  EXPECT_FALSE(execute_dag(system, {small}, scheme).ok());
+}
+
+}  // namespace
+}  // namespace mecoff::sim

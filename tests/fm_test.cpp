@@ -1,0 +1,155 @@
+// Tests for the Fiduccia–Mattheyses refinement and cutter.
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "graph/generators.hpp"
+#include "kl/fiduccia_mattheyses.hpp"
+#include "kl/kernighan_lin.hpp"
+#include "mincut/stoer_wagner.hpp"
+
+namespace mecoff::kl {
+namespace {
+
+using graph::Bipartition;
+using graph::NodeId;
+using graph::WeightedGraph;
+
+Bipartition alternating(const WeightedGraph& g) {
+  Bipartition p;
+  p.side.resize(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) p.side[v] = v % 2;
+  p.cut_weight = graph::cut_weight(g, p.side);
+  return p;
+}
+
+TEST(FmRefine, NeverIncreasesCutWeight) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    graph::NetgenParams params;
+    params.nodes = 70;
+    params.edges = 280;
+    params.components = 1;
+    params.seed = seed;
+    const WeightedGraph g = graph::netgen_style(params);
+    const Bipartition initial = alternating(g);
+    const FmResult r = fm_refine(g, initial, {});
+    EXPECT_LE(r.partition.cut_weight, initial.cut_weight + 1e-9);
+    EXPECT_NEAR(initial.cut_weight - r.partition.cut_weight, r.total_gain,
+                1e-6 * (1.0 + initial.cut_weight));
+  }
+}
+
+TEST(FmRefine, RecoversBarbellSplit) {
+  const WeightedGraph g = graph::barbell_graph(5, 1.0, 10.0);
+  const FmResult r = fm_refine(g, alternating(g), {});
+  EXPECT_DOUBLE_EQ(r.partition.cut_weight, 1.0);
+}
+
+TEST(FmRefine, RespectsBalanceFloor) {
+  // Star with a massive hub: the min cut isolates a leaf, but balance
+  // tolerance 0.05 forbids a 1-vs-9 split by node weight.
+  const WeightedGraph g = graph::star_graph(10, 1.0, 1.0);
+  Bipartition initial;
+  initial.side.assign(10, 0);
+  for (NodeId v = 5; v < 10; ++v) initial.side[v] = 1;
+  initial.cut_weight = graph::cut_weight(g, initial.side);
+
+  FmOptions opts;
+  opts.balance_tolerance = 0.05;
+  const FmResult r = fm_refine(g, initial, opts);
+  double w0 = 0;
+  for (NodeId v = 0; v < 10; ++v)
+    if (r.partition.side[v] == 0) w0 += 1.0;
+  EXPECT_GE(w0, 0.45 * 10 - 1e-9);
+  EXPECT_LE(w0, 0.55 * 10 + 1e-9);
+}
+
+TEST(FmRefine, LooseBalanceApproachesGlobalMinimum) {
+  // With the constraint effectively off, FM from a balanced start can
+  // walk toward very unbalanced (cheaper) cuts.
+  graph::GraphBuilder b;
+  for (int i = 0; i < 8; ++i) b.add_node(1.0);
+  // Clique of 7 plus one pendant vertex with a light edge.
+  for (int i = 0; i < 7; ++i)
+    for (int j = i + 1; j < 7; ++j)
+      b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j), 5.0);
+  b.add_edge(6, 7, 0.5);
+  const WeightedGraph g = b.build();
+
+  FmOptions loose;
+  loose.balance_tolerance = 0.5;
+  const FmResult r = fm_refine(g, alternating(g), loose);
+  EXPECT_DOUBLE_EQ(r.partition.cut_weight,
+                   mincut::stoer_wagner(g).cut_weight);
+}
+
+TEST(FmRefine, TinyGraphs) {
+  EXPECT_DOUBLE_EQ(fm_refine(graph::WeightedGraph{}, Bipartition{}, {})
+                       .partition.cut_weight,
+                   0.0);
+  const WeightedGraph one = graph::path_graph(1);
+  Bipartition p;
+  p.side = {0};
+  EXPECT_DOUBLE_EQ(fm_refine(one, p, {}).partition.cut_weight, 0.0);
+}
+
+TEST(FmRefine, InvalidInputsThrow) {
+  const WeightedGraph g = graph::path_graph(4);
+  Bipartition bad;
+  bad.side = {0, 1};
+  EXPECT_THROW(fm_refine(g, bad, {}), mecoff::PreconditionError);
+  Bipartition ok = alternating(g);
+  FmOptions opts;
+  opts.balance_tolerance = 0.7;
+  EXPECT_THROW(fm_refine(g, ok, opts), mecoff::PreconditionError);
+}
+
+TEST(FmBipartitioner, ValidBalancedCuts) {
+  for (const std::uint64_t seed : {5ULL, 6ULL, 7ULL}) {
+    graph::NetgenParams params;
+    params.nodes = 60;
+    params.edges = 240;
+    params.components = 1;
+    params.seed = seed;
+    const WeightedGraph g = graph::netgen_style(params);
+    FmBipartitioner cutter;
+    const Bipartition cut = cutter.bipartition(g);
+    ASSERT_TRUE(graph::is_valid_partition(g, cut.side));
+    EXPECT_NEAR(cut.cut_weight, graph::cut_weight(g, cut.side), 1e-9);
+    double w0 = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      if (cut.side[v] == 0) w0 += g.node_weight(v);
+    const double total = g.total_node_weight();
+    EXPECT_GE(w0, 0.3 * total);  // within the default 0.1 tolerance + slack
+    EXPECT_LE(w0, 0.7 * total);
+  }
+}
+
+TEST(FmBipartitioner, CompetitiveWithKernighanLin) {
+  // FM (single moves, weight balance) should roughly match exact-KL
+  // (pair swaps, count balance) on clustered instances.
+  double fm_total = 0.0;
+  double kl_total = 0.0;
+  for (const std::uint64_t seed : {11ULL, 12ULL, 13ULL, 14ULL}) {
+    graph::NetgenParams params;
+    params.nodes = 50;
+    params.edges = 190;
+    params.components = 1;
+    params.seed = seed;
+    const WeightedGraph g = graph::netgen_style(params);
+    fm_total += FmBipartitioner{}.bipartition(g).cut_weight;
+    KlOptions kl_opts;
+    kl_opts.exact_pair_selection = true;
+    kl_total += KernighanLinBipartitioner{kl_opts}.bipartition(g).cut_weight;
+  }
+  EXPECT_LE(fm_total, 1.5 * kl_total);
+}
+
+TEST(FmBipartitioner, DegenerateInputs) {
+  FmBipartitioner cutter;
+  EXPECT_TRUE(cutter.bipartition(graph::WeightedGraph{}).side.empty());
+  EXPECT_EQ(cutter.bipartition(graph::path_graph(1)).side.size(), 1u);
+  EXPECT_EQ(cutter.name(), "fm");
+}
+
+}  // namespace
+}  // namespace mecoff::kl

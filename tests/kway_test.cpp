@@ -1,0 +1,128 @@
+// Tests for recursive-bisection k-way spectral partitioning.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/contracts.hpp"
+#include "graph/generators.hpp"
+#include "spectral/kway.hpp"
+
+namespace mecoff::spectral {
+namespace {
+
+using graph::NodeId;
+using graph::WeightedGraph;
+
+TEST(Kway, SinglePartIsTrivial) {
+  const WeightedGraph g = graph::grid_graph(3, 3);
+  KwayOptions opts;
+  opts.parts = 1;
+  const KwayResult r = kway_partition(g, opts);
+  EXPECT_EQ(r.parts_used, 1u);
+  EXPECT_DOUBLE_EQ(r.total_cut, 0.0);
+  for (const auto p : r.part_of) EXPECT_EQ(p, 0u);
+}
+
+TEST(Kway, TwoPartsMatchBipartitioner) {
+  const WeightedGraph g = graph::barbell_graph(5, 1.0, 10.0);
+  KwayOptions opts;
+  opts.parts = 2;
+  const KwayResult r = kway_partition(g, opts);
+  EXPECT_EQ(r.parts_used, 2u);
+  EXPECT_DOUBLE_EQ(r.total_cut, 1.0);  // the bridge
+}
+
+TEST(Kway, LabelsAreDenseAndPartsNonEmpty) {
+  graph::NetgenParams p;
+  p.nodes = 80;
+  p.edges = 300;
+  p.components = 1;
+  p.seed = 5;
+  const WeightedGraph g = graph::netgen_style(p);
+  KwayOptions opts;
+  opts.parts = 5;
+  const KwayResult r = kway_partition(g, opts);
+  EXPECT_LE(r.parts_used, 5u);
+  EXPECT_GE(r.parts_used, 2u);
+  std::set<std::uint32_t> seen(r.part_of.begin(), r.part_of.end());
+  EXPECT_EQ(seen.size(), r.parts_used);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), r.parts_used - 1);
+}
+
+TEST(Kway, ReportedCutMatchesRecomputation) {
+  graph::NetgenParams p;
+  p.nodes = 60;
+  p.edges = 240;
+  p.seed = 9;
+  const WeightedGraph g = graph::netgen_style(p);
+  KwayOptions opts;
+  opts.parts = 4;
+  const KwayResult r = kway_partition(g, opts);
+  EXPECT_NEAR(r.total_cut, kway_cut_weight(g, r.part_of), 1e-9);
+}
+
+TEST(Kway, MorePartsNeverCutLess) {
+  const WeightedGraph g = graph::grid_graph(6, 6);
+  double prev = -1.0;
+  for (const std::size_t k : {2u, 4u, 8u}) {
+    KwayOptions opts;
+    opts.parts = k;
+    const double cut = kway_partition(g, opts).total_cut;
+    EXPECT_GE(cut, prev - 1e-9);
+    prev = cut;
+  }
+}
+
+TEST(Kway, PartsCappedByNodeCount) {
+  const WeightedGraph g = graph::path_graph(3);
+  KwayOptions opts;
+  opts.parts = 10;
+  const KwayResult r = kway_partition(g, opts);
+  EXPECT_LE(r.parts_used, 3u);
+  EXPECT_GE(r.parts_used, 1u);
+}
+
+TEST(Kway, FourClustersRecoveredFromFourParts) {
+  // Four heavy cliques chained by light bridges: k = 4 should cut only
+  // bridges.
+  graph::GraphBuilder b;
+  for (int c = 0; c < 4; ++c)
+    for (int i = 0; i < 4; ++i) b.add_node(1.0);
+  for (int c = 0; c < 4; ++c) {
+    const NodeId base = static_cast<NodeId>(4 * c);
+    for (NodeId i = 0; i < 4; ++i)
+      for (NodeId j = i + 1; j < 4; ++j)
+        b.add_edge(base + i, base + j, 20.0);
+  }
+  b.add_edge(3, 4, 1.0);
+  b.add_edge(7, 8, 1.0);
+  b.add_edge(11, 12, 1.0);
+  const WeightedGraph g = b.build();
+
+  KwayOptions opts;
+  opts.parts = 4;
+  const KwayResult r = kway_partition(g, opts);
+  EXPECT_EQ(r.parts_used, 4u);
+  EXPECT_DOUBLE_EQ(r.total_cut, 3.0);  // exactly the three bridges
+  // Every clique uniform.
+  for (int c = 0; c < 4; ++c)
+    for (int i = 1; i < 4; ++i)
+      EXPECT_EQ(r.part_of[4 * c + i], r.part_of[4 * c]);
+}
+
+TEST(Kway, EmptyGraph) {
+  const KwayResult r = kway_partition(WeightedGraph{}, {});
+  EXPECT_EQ(r.parts_used, 0u);
+  EXPECT_TRUE(r.part_of.empty());
+}
+
+TEST(Kway, InvalidOptionsThrow) {
+  KwayOptions opts;
+  opts.parts = 0;
+  EXPECT_THROW(kway_partition(graph::path_graph(3), opts),
+               mecoff::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mecoff::spectral

@@ -1,0 +1,305 @@
+// Unit tests for Algorithm 1: the label rule, propagation termination,
+// the merging compressor, and the parallel per-component pipeline.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "lpa/compressor.hpp"
+#include "lpa/pipeline.hpp"
+#include "lpa/propagation.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mecoff::lpa {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::WeightedGraph;
+
+TEST(Starter, PicksMaxDegreeNode) {
+  // Star graph: the hub has the largest degree.
+  const WeightedGraph g = graph::star_graph(6);
+  EXPECT_EQ(select_starter(g), 0u);
+}
+
+TEST(Starter, EmptyGraph) {
+  EXPECT_EQ(select_starter(WeightedGraph{}), graph::kInvalidNode);
+}
+
+TEST(Starter, TieBreaksToSmallestId) {
+  const WeightedGraph g = graph::cycle_graph(4);  // all degree 2
+  EXPECT_EQ(select_starter(g), 0u);
+}
+
+TEST(Propagation, HeavyEdgesShareLabels) {
+  // Barbell: heavy cliques (w=10) joined by a light bridge (w=1).
+  // With threshold 5, each clique collapses to one label; the bridge
+  // does not propagate.
+  const WeightedGraph g = graph::barbell_graph(4, 1.0, 10.0);
+  PropagationConfig config;
+  config.coupling_threshold = 5.0;
+  const PropagationResult r = propagate_labels(g, config);
+  EXPECT_EQ(r.num_labels, 2u);
+  for (NodeId v = 1; v < 4; ++v) EXPECT_EQ(r.labels[v], r.labels[0]);
+  for (NodeId v = 5; v < 8; ++v) EXPECT_EQ(r.labels[v], r.labels[4]);
+  EXPECT_NE(r.labels[0], r.labels[4]);
+}
+
+TEST(Propagation, ThresholdAboveAllWeightsIsolatesEveryNode) {
+  const WeightedGraph g = graph::complete_graph(5, 1.0, 2.0);
+  PropagationConfig config;
+  config.coupling_threshold = 100.0;
+  const PropagationResult r = propagate_labels(g, config);
+  EXPECT_EQ(r.num_labels, 5u);
+}
+
+TEST(Propagation, ThresholdBelowAllWeightsUnifiesConnectedGraph) {
+  const WeightedGraph g = graph::cycle_graph(7, 1.0, 5.0);
+  PropagationConfig config;
+  config.coupling_threshold = 0.5;
+  const PropagationResult r = propagate_labels(g, config);
+  EXPECT_EQ(r.num_labels, 1u);
+}
+
+TEST(Propagation, ThresholdIsStrict) {
+  // Edge weight exactly equal to the threshold must NOT propagate.
+  const WeightedGraph g = graph::path_graph(3, 1.0, 5.0);
+  PropagationConfig config;
+  config.coupling_threshold = 5.0;
+  const PropagationResult r = propagate_labels(g, config);
+  EXPECT_EQ(r.num_labels, 3u);
+}
+
+TEST(Propagation, RespectsMaxRounds) {
+  const WeightedGraph g = graph::barbell_graph(6, 1.0, 9.0);
+  PropagationConfig config;
+  config.coupling_threshold = 5.0;
+  config.max_rounds = 1;
+  config.min_update_rate = 0.0;
+  const PropagationResult r = propagate_labels(g, config);
+  EXPECT_EQ(r.rounds, 1u);
+  EXPECT_EQ(r.update_rates.size(), 1u);
+}
+
+TEST(Propagation, StopsWhenUpdateRateDrops) {
+  const WeightedGraph g = graph::barbell_graph(5, 1.0, 9.0);
+  PropagationConfig config;
+  config.coupling_threshold = 5.0;
+  config.max_rounds = 50;
+  config.min_update_rate = 0.01;
+  const PropagationResult r = propagate_labels(g, config);
+  EXPECT_LT(r.rounds, 50u);
+  EXPECT_LE(r.update_rates.back(), 0.01);
+}
+
+TEST(Propagation, BfsAndDfsBothClusterBarbell) {
+  const WeightedGraph g = graph::barbell_graph(4, 1.0, 10.0);
+  for (const TraversalPolicy policy :
+       {TraversalPolicy::kBfs, TraversalPolicy::kDfs}) {
+    PropagationConfig config;
+    config.coupling_threshold = 5.0;
+    config.policy = policy;
+    EXPECT_EQ(propagate_labels(g, config).num_labels, 2u);
+  }
+}
+
+TEST(Propagation, EmptyAndSingleNode) {
+  EXPECT_EQ(propagate_labels(WeightedGraph{}, {}).num_labels, 0u);
+  const WeightedGraph one = graph::path_graph(1);
+  const PropagationResult r = propagate_labels(one, {});
+  EXPECT_EQ(r.num_labels, 1u);
+  EXPECT_EQ(r.labels[0], 0u);
+}
+
+TEST(Propagation, LabelsAreDense) {
+  const WeightedGraph g = graph::barbell_graph(3, 1.0, 8.0);
+  PropagationConfig config;
+  config.coupling_threshold = 4.0;
+  const PropagationResult r = propagate_labels(g, config);
+  std::set<std::uint32_t> distinct(r.labels.begin(), r.labels.end());
+  EXPECT_EQ(distinct.size(), r.num_labels);
+  EXPECT_EQ(*distinct.begin(), 0u);
+  EXPECT_EQ(*distinct.rbegin(), r.num_labels - 1);
+}
+
+TEST(Compressor, MergesSameLabelConnectedNodes) {
+  const WeightedGraph g = graph::barbell_graph(4, 1.0, 10.0);
+  PropagationConfig config;
+  config.coupling_threshold = 5.0;
+  const PropagationResult prop = propagate_labels(g, config);
+  const CompressionResult comp = compress_by_labels(g, prop.labels);
+  EXPECT_EQ(comp.compressed.num_nodes(), 2u);
+  EXPECT_EQ(comp.compressed.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(comp.compressed.edge_weight_between(0, 1), 1.0);
+}
+
+TEST(Compressor, ConservesNodeWeight) {
+  const WeightedGraph g = graph::barbell_graph(5, 2.0, 9.0);
+  PropagationConfig config;
+  config.coupling_threshold = 4.0;
+  const PropagationResult prop = propagate_labels(g, config);
+  const CompressionResult comp = compress_by_labels(g, prop.labels);
+  EXPECT_NEAR(comp.compressed.total_node_weight(), g.total_node_weight(),
+              1e-9);
+}
+
+TEST(Compressor, ConservesEdgeWeightPlusAbsorbed) {
+  const WeightedGraph g = graph::barbell_graph(5, 1.5, 7.0);
+  PropagationConfig config;
+  config.coupling_threshold = 4.0;
+  const PropagationResult prop = propagate_labels(g, config);
+  const CompressionResult comp = compress_by_labels(g, prop.labels);
+  EXPECT_NEAR(comp.compressed.total_edge_weight() +
+                  comp.stats.absorbed_edge_weight,
+              g.total_edge_weight(), 1e-9);
+}
+
+TEST(Compressor, NeverMergesAcrossLabels) {
+  const WeightedGraph g = graph::path_graph(4, 1.0, 10.0);
+  // Hand labels: {0,1} and {2,3}.
+  const CompressionResult comp = compress_by_labels(g, {7, 7, 9, 9});
+  EXPECT_EQ(comp.compressed.num_nodes(), 2u);
+  for (const auto& members : comp.members) {
+    std::set<std::uint32_t> labels;
+    for (const NodeId v : members) labels.insert(v < 2 ? 7u : 9u);
+    EXPECT_EQ(labels.size(), 1u);
+  }
+}
+
+TEST(Compressor, SameLabelDisconnectedNodesStaySeparate) {
+  // Nodes 0 and 2 share a label but are not directly connected (and not
+  // connected through a same-label path): they must NOT merge.
+  GraphBuilder b;
+  for (int i = 0; i < 3; ++i) b.add_node(1.0);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 1.0);
+  const WeightedGraph g = b.build();
+  const CompressionResult comp = compress_by_labels(g, {5, 8, 5});
+  EXPECT_EQ(comp.compressed.num_nodes(), 3u);
+}
+
+TEST(Compressor, MembersPartitionTheNodes) {
+  const WeightedGraph g = graph::barbell_graph(4, 1.0, 10.0);
+  PropagationConfig config;
+  config.coupling_threshold = 5.0;
+  const PropagationResult prop = propagate_labels(g, config);
+  const CompressionResult comp = compress_by_labels(g, prop.labels);
+  std::set<NodeId> seen;
+  for (const auto& members : comp.members)
+    for (const NodeId v : members) EXPECT_TRUE(seen.insert(v).second);
+  EXPECT_EQ(seen.size(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_LT(comp.super_of[v], comp.compressed.num_nodes());
+}
+
+TEST(Compressor, IdentityWhenEveryLabelDistinct) {
+  const WeightedGraph g = graph::cycle_graph(5);
+  const CompressionResult comp =
+      compress_by_labels(g, {0, 1, 2, 3, 4});
+  EXPECT_EQ(comp.compressed.num_nodes(), 5u);
+  EXPECT_EQ(comp.compressed.num_edges(), 5u);
+  EXPECT_DOUBLE_EQ(comp.stats.absorbed_edge_weight, 0.0);
+  EXPECT_DOUBLE_EQ(comp.stats.node_reduction(), 0.0);
+}
+
+TEST(Pipeline, RemovesUnoffloadableNodes) {
+  const WeightedGraph g = graph::path_graph(5);
+  const std::vector<bool> pinned{true, false, false, false, true};
+  const CompressionPipelineResult r =
+      compress_application(g, pinned, PropagationConfig{});
+  EXPECT_EQ(r.offloadable.graph.num_nodes(), 3u);
+  EXPECT_EQ(r.offloadable.to_parent, (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(Pipeline, SplitsByConnectivity) {
+  // Removing the middle node splits the path into two components.
+  const WeightedGraph g = graph::path_graph(5);
+  const std::vector<bool> pinned{false, false, true, false, false};
+  const CompressionPipelineResult r =
+      compress_application(g, pinned, PropagationConfig{});
+  EXPECT_EQ(r.components.size(), 2u);
+}
+
+TEST(Pipeline, DeclaredComponentsRefineSplit) {
+  // A connected path of 4 with declared components {A,A,B,B} must yield
+  // two sub-graphs even though the graph is connected.
+  const WeightedGraph g = graph::path_graph(4);
+  const std::vector<bool> pinned(4, false);
+  const std::vector<std::uint32_t> declared{0, 0, 1, 1};
+  const CompressionPipelineResult r = compress_application(
+      g, pinned, PropagationConfig{}, nullptr, &declared);
+  EXPECT_EQ(r.components.size(), 2u);
+}
+
+TEST(Pipeline, OriginalMembersMapThroughBothLayers) {
+  const WeightedGraph g = graph::barbell_graph(3, 1.0, 10.0);
+  const std::vector<bool> pinned{true, false, false, false, false, false};
+  PropagationConfig config;
+  config.coupling_threshold = 5.0;
+  const CompressionPipelineResult r = compress_application(g, pinned, config);
+  std::set<NodeId> all_members;
+  for (std::size_t c = 0; c < r.components.size(); ++c) {
+    const auto& comp = r.components[c];
+    for (NodeId super = 0; super < comp.compression.compressed.num_nodes();
+         ++super) {
+      for (const NodeId orig : r.original_members(c, super)) {
+        EXPECT_FALSE(pinned[orig]);  // pinned never reappears
+        EXPECT_TRUE(all_members.insert(orig).second);
+      }
+    }
+  }
+  EXPECT_EQ(all_members.size(), 5u);
+}
+
+TEST(Pipeline, ParallelMatchesSerial) {
+  graph::NetgenParams p;
+  p.nodes = 200;
+  p.edges = 800;
+  p.components = 4;
+  p.seed = 23;
+  const WeightedGraph g = graph::netgen_style(p);
+  const std::vector<bool> pinned(g.num_nodes(), false);
+  PropagationConfig config;
+  config.coupling_threshold = 10.0;
+
+  const CompressionPipelineResult serial =
+      compress_application(g, pinned, config);
+  parallel::ThreadPool pool(4);
+  const CompressionPipelineResult parallel_r =
+      compress_application(g, pinned, config, &pool);
+
+  const CompressionStats a = serial.aggregate_stats();
+  const CompressionStats b = parallel_r.aggregate_stats();
+  EXPECT_EQ(a.compressed_nodes, b.compressed_nodes);
+  EXPECT_EQ(a.compressed_edges, b.compressed_edges);
+  EXPECT_NEAR(a.absorbed_edge_weight, b.absorbed_edge_weight, 1e-9);
+}
+
+TEST(Pipeline, CompressionShrinksClusteredGraphs) {
+  graph::NetgenParams p;
+  p.nodes = 250;
+  p.edges = 1214;
+  p.seed = 1;
+  const WeightedGraph g = graph::netgen_style(p);
+  const std::vector<bool> pinned(g.num_nodes(), false);
+  PropagationConfig config;
+  // netgen default: light edges <= 10, heavy ~8x heavier.
+  config.coupling_threshold = 10.0;
+  const CompressionPipelineResult r = compress_application(g, pinned, config);
+  const CompressionStats stats = r.aggregate_stats();
+  EXPECT_LT(stats.compressed_nodes, stats.original_nodes / 2);
+}
+
+TEST(Pipeline, AllPinnedYieldsNothing) {
+  const WeightedGraph g = graph::path_graph(4);
+  const std::vector<bool> pinned(4, true);
+  const CompressionPipelineResult r =
+      compress_application(g, pinned, PropagationConfig{});
+  EXPECT_EQ(r.offloadable.graph.num_nodes(), 0u);
+  EXPECT_TRUE(r.components.empty());
+}
+
+}  // namespace
+}  // namespace mecoff::lpa

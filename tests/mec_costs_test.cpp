@@ -1,0 +1,201 @@
+// Unit tests for the cost model: formulas (1)–(6) on hand-computed
+// systems, server sharing, and waiting-time behavior.
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "graph/generators.hpp"
+#include "mec/costs.hpp"
+#include "mec/model.hpp"
+#include "mec/scheme.hpp"
+
+namespace mecoff::mec {
+namespace {
+
+SystemParams simple_params() {
+  SystemParams p;
+  p.mobile_power = 2.0;      // p_c
+  p.transmit_power = 10.0;   // p_t
+  p.bandwidth = 4.0;         // b
+  p.mobile_capacity = 5.0;   // I_c
+  p.server_capacity = 100.0; // I_S
+  p.contention_factor = 1.0;
+  return p;
+}
+
+/// Two functions (weights 10 and 30) joined by one edge of weight 8.
+UserApp two_node_app() {
+  graph::GraphBuilder b;
+  b.add_node(10.0);
+  b.add_node(30.0);
+  b.add_edge(0, 1, 8.0);
+  UserApp app;
+  app.graph = b.build();
+  return app;
+}
+
+TEST(Params, Validation) {
+  EXPECT_TRUE(simple_params().valid());
+  SystemParams bad = simple_params();
+  bad.bandwidth = 0.0;
+  EXPECT_FALSE(bad.valid());
+  bad = simple_params();
+  bad.contention_factor = -1.0;
+  EXPECT_FALSE(bad.valid());
+}
+
+TEST(Scheme, AllLocalAndAllRemoteShapes) {
+  MecSystem system{simple_params(), {two_node_app(), two_node_app()}};
+  const OffloadingScheme local = OffloadingScheme::all_local(system);
+  EXPECT_TRUE(local.valid_for(system));
+  EXPECT_EQ(local.remote_count(0), 0u);
+  const OffloadingScheme remote = OffloadingScheme::all_remote(system);
+  EXPECT_TRUE(remote.valid_for(system));
+  EXPECT_EQ(remote.remote_count(1), 2u);
+}
+
+TEST(Scheme, AllRemoteRespectsPinnedNodes) {
+  UserApp app = two_node_app();
+  app.unoffloadable = {true, false};
+  MecSystem system{simple_params(), {app}};
+  const OffloadingScheme remote = OffloadingScheme::all_remote(system);
+  EXPECT_EQ(remote.placement[0][0], Placement::kLocal);
+  EXPECT_EQ(remote.placement[0][1], Placement::kRemote);
+  EXPECT_TRUE(remote.valid_for(system));
+}
+
+TEST(Scheme, ValidityCatchesPinnedViolation) {
+  UserApp app = two_node_app();
+  app.unoffloadable = {true, false};
+  MecSystem system{simple_params(), {app}};
+  OffloadingScheme bad = OffloadingScheme::all_local(system);
+  bad.placement[0][0] = Placement::kRemote;
+  EXPECT_FALSE(bad.valid_for(system));
+}
+
+TEST(Costs, AllLocalHandComputed) {
+  MecSystem system{simple_params(), {two_node_app()}};
+  const SystemCost cost =
+      evaluate(system, OffloadingScheme::all_local(system));
+  const UserCost& u = cost.users[0];
+  // t_c = 40/5 = 8; e_c = 8*2 = 16; nothing crosses.
+  EXPECT_DOUBLE_EQ(u.local_compute_time, 8.0);
+  EXPECT_DOUBLE_EQ(u.local_energy, 16.0);
+  EXPECT_DOUBLE_EQ(u.transmit_energy, 0.0);
+  EXPECT_DOUBLE_EQ(u.wait_time, 0.0);
+  EXPECT_DOUBLE_EQ(cost.total_energy, 16.0);
+  EXPECT_DOUBLE_EQ(cost.total_time, 8.0);
+}
+
+TEST(Costs, SplitSchemeHandComputed) {
+  MecSystem system{simple_params(), {two_node_app()}};
+  OffloadingScheme scheme = OffloadingScheme::all_local(system);
+  scheme.placement[0][1] = Placement::kRemote;  // offload the 30-weight fn
+  const SystemCost cost = evaluate(system, scheme);
+  const UserCost& u = cost.users[0];
+  // t_c = 10/5 = 2; e_c = 4.
+  EXPECT_DOUBLE_EQ(u.local_compute_time, 2.0);
+  EXPECT_DOUBLE_EQ(u.local_energy, 4.0);
+  // Single offloader: share = 100; t_s = 30/100 = 0.3.
+  EXPECT_DOUBLE_EQ(u.remote_compute_time, 0.3);
+  // Self-congestion: w_t = κ·S·W_s/I_S² = 1·30·30/10000 = 0.09.
+  EXPECT_DOUBLE_EQ(u.wait_time, 0.09);
+  // Cross = 8: t_t = 2; e_t = 20.
+  EXPECT_DOUBLE_EQ(u.transmit_time, 2.0);
+  EXPECT_DOUBLE_EQ(u.transmit_energy, 20.0);
+  EXPECT_DOUBLE_EQ(cost.total_energy, 24.0);
+  EXPECT_DOUBLE_EQ(cost.total_time, 2.0 + 0.3 + 0.09 + 2.0);
+}
+
+TEST(Costs, TwoUsersShareTheServer) {
+  MecSystem system{simple_params(), {two_node_app(), two_node_app()}};
+  OffloadingScheme scheme = OffloadingScheme::all_local(system);
+  scheme.placement[0][1] = Placement::kRemote;
+  scheme.placement[1][1] = Placement::kRemote;
+  const SystemCost cost = evaluate(system, scheme);
+  // K = 2 → share 50 each; t_s = 30/50 = 0.6.
+  EXPECT_DOUBLE_EQ(cost.users[0].remote_compute_time, 0.6);
+  // w_t = κ·S·W_s/I_S² = 1·60·30/10000 = 0.18.
+  EXPECT_DOUBLE_EQ(cost.users[0].wait_time, 0.18);
+  EXPECT_DOUBLE_EQ(cost.users[1].wait_time, 0.18);
+}
+
+TEST(Costs, NonOffloaderHasNoWaitOrServerTime) {
+  MecSystem system{simple_params(), {two_node_app(), two_node_app()}};
+  OffloadingScheme scheme = OffloadingScheme::all_local(system);
+  scheme.placement[0][1] = Placement::kRemote;  // only user 0 offloads
+  const SystemCost cost = evaluate(system, scheme);
+  EXPECT_DOUBLE_EQ(cost.users[1].remote_compute_time, 0.0);
+  EXPECT_DOUBLE_EQ(cost.users[1].wait_time, 0.0);
+  // Alone on the server the only waiting is self-congestion:
+  // κ·S·W_s/I_S² = 1·30·30/10000.
+  EXPECT_DOUBLE_EQ(cost.users[0].wait_time, 0.09);
+}
+
+TEST(Costs, WaitGrowsWithUserCount) {
+  double prev_wait = -1.0;
+  for (const std::size_t n : {2u, 4u, 8u}) {
+    MecSystem system{simple_params(), {}};
+    for (std::size_t i = 0; i < n; ++i)
+      system.users.push_back(two_node_app());
+    OffloadingScheme scheme = OffloadingScheme::all_remote(system);
+    const SystemCost cost = evaluate(system, scheme);
+    EXPECT_GT(cost.users[0].wait_time, prev_wait);
+    prev_wait = cost.users[0].wait_time;
+  }
+}
+
+TEST(Costs, ContentionFactorZeroRemovesWaiting) {
+  SystemParams p = simple_params();
+  p.contention_factor = 0.0;
+  MecSystem system{p, {two_node_app(), two_node_app()}};
+  const SystemCost cost =
+      evaluate(system, OffloadingScheme::all_remote(system));
+  EXPECT_DOUBLE_EQ(cost.users[0].wait_time, 0.0);
+}
+
+TEST(Costs, EnergySplitAccessors) {
+  MecSystem system{simple_params(), {two_node_app()}};
+  OffloadingScheme scheme = OffloadingScheme::all_local(system);
+  scheme.placement[0][1] = Placement::kRemote;
+  const SystemCost cost = evaluate(system, scheme);
+  EXPECT_DOUBLE_EQ(cost.local_energy(), 4.0);
+  EXPECT_DOUBLE_EQ(cost.transmit_energy(), 20.0);
+  EXPECT_DOUBLE_EQ(cost.local_energy() + cost.transmit_energy(),
+                   cost.total_energy);
+  EXPECT_DOUBLE_EQ(cost.objective(), cost.total_energy + cost.total_time);
+}
+
+TEST(Costs, OffloadingZeroCrossPartIsFree) {
+  // Two disconnected functions: offloading one costs no transmission.
+  graph::GraphBuilder b;
+  b.add_node(10.0);
+  b.add_node(50.0);
+  UserApp app;
+  app.graph = b.build();
+  MecSystem system{simple_params(), {app}};
+  OffloadingScheme scheme = OffloadingScheme::all_local(system);
+  scheme.placement[0][1] = Placement::kRemote;
+  const SystemCost cost = evaluate(system, scheme);
+  EXPECT_DOUBLE_EQ(cost.users[0].transmit_energy, 0.0);
+  // And strictly reduces the objective vs all-local (server is faster).
+  const SystemCost local =
+      evaluate(system, OffloadingScheme::all_local(system));
+  EXPECT_LT(cost.objective(), local.objective());
+}
+
+TEST(Costs, MismatchedSchemeThrows) {
+  MecSystem system{simple_params(), {two_node_app()}};
+  OffloadingScheme bad;  // empty
+  EXPECT_THROW(evaluate(system, bad), mecoff::PreconditionError);
+}
+
+TEST(UniformSystem, CyclesThroughPool) {
+  const std::vector<UserApp> pool{two_node_app()};
+  const MecSystem system = make_uniform_system(simple_params(), pool, 5);
+  EXPECT_EQ(system.num_users(), 5u);
+  EXPECT_EQ(system.users[4].graph.num_nodes(), 2u);
+  EXPECT_TRUE(system.valid());
+}
+
+}  // namespace
+}  // namespace mecoff::mec

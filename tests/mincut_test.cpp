@@ -1,0 +1,239 @@
+// Unit tests for the max-flow/min-cut baseline: Edmonds–Karp, Dinic,
+// Stoer–Wagner, and the terminal-selection bipartitioner.
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "mincut/bipartitioner.hpp"
+#include "mincut/dinic.hpp"
+#include "mincut/edmonds_karp.hpp"
+#include "mincut/stoer_wagner.hpp"
+
+namespace mecoff::mincut {
+namespace {
+
+using graph::Bipartition;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::WeightedGraph;
+
+/// The classic CLRS-style directed flow example, max flow 23.
+FlowNetwork clrs_network() {
+  FlowNetwork net(6);
+  net.add_arc(0, 1, 16);
+  net.add_arc(0, 2, 13);
+  net.add_arc(1, 2, 10);
+  net.add_arc(2, 1, 4);
+  net.add_arc(1, 3, 12);
+  net.add_arc(3, 2, 9);
+  net.add_arc(2, 4, 14);
+  net.add_arc(4, 3, 7);
+  net.add_arc(3, 5, 20);
+  net.add_arc(4, 5, 4);
+  return net;
+}
+
+TEST(EdmondsKarp, ClassicExample) {
+  FlowNetwork net = clrs_network();
+  const MaxFlowResult r = edmonds_karp(net, 0, 5);
+  EXPECT_NEAR(r.flow_value, 23.0, 1e-9);
+  EXPECT_TRUE(r.source_side[0]);
+  EXPECT_FALSE(r.source_side[5]);
+}
+
+TEST(Dinic, MatchesEdmondsKarpOnClassicExample) {
+  FlowNetwork net = clrs_network();
+  const MaxFlowResult r = dinic(net, 0, 5);
+  EXPECT_NEAR(r.flow_value, 23.0, 1e-9);
+}
+
+TEST(MaxFlow, SingleEdgeNetwork) {
+  FlowNetwork net(2);
+  net.add_arc(0, 1, 5.5);
+  const MaxFlowResult r = edmonds_karp(net, 0, 1);
+  EXPECT_NEAR(r.flow_value, 5.5, 1e-12);
+}
+
+TEST(MaxFlow, DisconnectedTerminalsZeroFlow) {
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 3);
+  net.add_arc(2, 3, 3);
+  const MaxFlowResult r = edmonds_karp(net, 0, 3);
+  EXPECT_DOUBLE_EQ(r.flow_value, 0.0);
+  EXPECT_EQ(r.augmenting_paths, 0u);
+}
+
+TEST(MaxFlow, ParallelPathsSum) {
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 3);
+  net.add_arc(1, 3, 3);
+  net.add_arc(0, 2, 4);
+  net.add_arc(2, 3, 4);
+  FlowNetwork net2(4);
+  net2.add_arc(0, 1, 3);
+  net2.add_arc(1, 3, 3);
+  net2.add_arc(0, 2, 4);
+  net2.add_arc(2, 3, 4);
+  EXPECT_NEAR(edmonds_karp(net, 0, 3).flow_value, 7.0, 1e-12);
+  EXPECT_NEAR(dinic(net2, 0, 3).flow_value, 7.0, 1e-12);
+}
+
+TEST(MaxFlow, DualityOnUndirectedGraphs) {
+  // Max flow value equals the weight of the extracted cut.
+  Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    graph::NetgenParams p;
+    p.nodes = 30;
+    p.edges = 110;
+    p.components = 1;
+    p.seed = 100 + static_cast<std::uint64_t>(trial);
+    const WeightedGraph g = graph::netgen_style(p);
+    const NodeId s = static_cast<NodeId>(rng.index(g.num_nodes()));
+    NodeId t = static_cast<NodeId>(rng.index(g.num_nodes()));
+    if (t == s) t = (s + 1) % static_cast<NodeId>(g.num_nodes());
+
+    FlowNetwork net = FlowNetwork::from_graph(g);
+    const MaxFlowResult flow = edmonds_karp(net, s, t);
+    const Bipartition cut = min_st_cut_edmonds_karp(g, s, t);
+    EXPECT_NEAR(flow.flow_value, cut.cut_weight, 1e-8);
+    EXPECT_EQ(cut.side[s], 0);
+    EXPECT_EQ(cut.side[t], 1);
+  }
+}
+
+TEST(MaxFlow, EkAndDinicAgreeOnRandomGraphs) {
+  Rng rng(9);
+  for (int trial = 0; trial < 8; ++trial) {
+    graph::NetgenParams p;
+    p.nodes = 40;
+    p.edges = 150;
+    p.components = 1;
+    p.seed = 200 + static_cast<std::uint64_t>(trial);
+    const WeightedGraph g = graph::netgen_style(p);
+    const NodeId s = 0;
+    const NodeId t = static_cast<NodeId>(g.num_nodes() - 1);
+    FlowNetwork a = FlowNetwork::from_graph(g);
+    FlowNetwork b = FlowNetwork::from_graph(g);
+    EXPECT_NEAR(edmonds_karp(a, s, t).flow_value, dinic(b, s, t).flow_value,
+                1e-8);
+  }
+}
+
+TEST(MaxFlow, InvalidTerminalsThrow) {
+  FlowNetwork net(3);
+  EXPECT_THROW(edmonds_karp(net, 0, 0), mecoff::PreconditionError);
+  EXPECT_THROW(dinic(net, 0, 9), mecoff::PreconditionError);
+}
+
+TEST(StoerWagner, FindsBarbellBridge) {
+  const WeightedGraph g = graph::barbell_graph(5, 1.0, 10.0);
+  const Bipartition cut = stoer_wagner(g);
+  EXPECT_DOUBLE_EQ(cut.cut_weight, 1.0);
+  EXPECT_EQ(cut.size(0), 5u);
+}
+
+TEST(StoerWagner, PathGraphCutsLightestEdge) {
+  GraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.add_node(1.0);
+  b.add_edge(0, 1, 4.0);
+  b.add_edge(1, 2, 2.0);
+  b.add_edge(2, 3, 0.7);
+  b.add_edge(3, 4, 5.0);
+  const Bipartition cut = stoer_wagner(b.build());
+  EXPECT_NEAR(cut.cut_weight, 0.7, 1e-12);
+}
+
+TEST(StoerWagner, CompleteGraphCutIsolatesOneNode) {
+  // Global min cut of K_n (unit weights) = n−1.
+  const Bipartition cut = stoer_wagner(graph::complete_graph(6));
+  EXPECT_DOUBLE_EQ(cut.cut_weight, 5.0);
+  EXPECT_TRUE(cut.size(0) == 1 || cut.size(1) == 1);
+}
+
+TEST(StoerWagner, MatchesAllTerminalMaxFlow) {
+  // Global min cut = min over t of maxflow(s, t) for any fixed s.
+  for (const std::uint64_t seed : {31ULL, 32ULL, 33ULL, 34ULL}) {
+    graph::NetgenParams p;
+    p.nodes = 25;
+    p.edges = 90;
+    p.components = 1;
+    p.seed = seed;
+    const WeightedGraph g = graph::netgen_style(p);
+    const Bipartition sw = stoer_wagner(g);
+    MaxFlowCutOptions opts;
+    opts.strategy = TerminalStrategy::kAllTerminalsFromS;
+    MaxFlowBipartitioner flow_cutter(opts);
+    const Bipartition mf = flow_cutter.bipartition(g);
+    EXPECT_NEAR(sw.cut_weight, mf.cut_weight, 1e-8);
+  }
+}
+
+TEST(StoerWagner, DisconnectedGraphZeroCut) {
+  GraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.add_node(1.0);
+  b.add_edge(0, 1, 2.0);
+  b.add_edge(2, 3, 2.0);
+  const Bipartition cut = stoer_wagner(b.build());
+  EXPECT_DOUBLE_EQ(cut.cut_weight, 0.0);
+}
+
+TEST(StoerWagner, TinyGraphs) {
+  EXPECT_DOUBLE_EQ(stoer_wagner(WeightedGraph{}).cut_weight, 0.0);
+  EXPECT_DOUBLE_EQ(stoer_wagner(graph::path_graph(1)).cut_weight, 0.0);
+  const Bipartition two = stoer_wagner(graph::path_graph(2, 1.0, 3.5));
+  EXPECT_DOUBLE_EQ(two.cut_weight, 3.5);
+}
+
+TEST(Bipartitioner, AllStrategiesReturnValidCuts) {
+  graph::NetgenParams p;
+  p.nodes = 35;
+  p.edges = 120;
+  p.components = 1;
+  p.seed = 55;
+  const WeightedGraph g = graph::netgen_style(p);
+  for (const TerminalStrategy strategy :
+       {TerminalStrategy::kMaxDegreeFarthest, TerminalStrategy::kBestOfK,
+        TerminalStrategy::kAllTerminalsFromS}) {
+    MaxFlowCutOptions opts;
+    opts.strategy = strategy;
+    MaxFlowBipartitioner cutter(opts);
+    const Bipartition cut = cutter.bipartition(g);
+    EXPECT_TRUE(graph::is_valid_partition(g, cut.side));
+    EXPECT_NEAR(cut.cut_weight, graph::cut_weight(g, cut.side), 1e-9);
+    EXPECT_GE(cut.size(0), 1u);
+    EXPECT_GE(cut.size(1), 1u);
+  }
+}
+
+TEST(Bipartitioner, BestOfKImprovesWithMorePairs) {
+  graph::NetgenParams p;
+  p.nodes = 50;
+  p.edges = 180;
+  p.components = 1;
+  p.seed = 77;
+  const WeightedGraph g = graph::netgen_style(p);
+  MaxFlowCutOptions few;
+  few.num_pairs = 1;
+  MaxFlowCutOptions many;
+  many.num_pairs = 16;
+  const double cut_few = MaxFlowBipartitioner(few).bipartition(g).cut_weight;
+  const double cut_many =
+      MaxFlowBipartitioner(many).bipartition(g).cut_weight;
+  EXPECT_LE(cut_many, cut_few + 1e-9);
+}
+
+TEST(Bipartitioner, DegenerateInputs) {
+  MaxFlowBipartitioner cutter;
+  EXPECT_TRUE(cutter.bipartition(WeightedGraph{}).side.empty());
+  const Bipartition one = cutter.bipartition(graph::path_graph(1));
+  EXPECT_EQ(one.side.size(), 1u);
+  EXPECT_DOUBLE_EQ(one.cut_weight, 0.0);
+}
+
+TEST(Bipartitioner, Name) {
+  EXPECT_EQ(MaxFlowBipartitioner{}.name(), "maxflow");
+}
+
+}  // namespace
+}  // namespace mecoff::mincut

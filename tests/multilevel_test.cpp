@@ -1,0 +1,130 @@
+// Tests for heavy-edge-matching coarsening and the multilevel cutter.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/validation.hpp"
+#include "kl/multilevel.hpp"
+#include "mincut/stoer_wagner.hpp"
+
+namespace mecoff::kl {
+namespace {
+
+using graph::NodeId;
+using graph::WeightedGraph;
+
+TEST(HeavyEdgeMatching, HalvesAConnectedGraphRoughly) {
+  graph::NetgenParams p;
+  p.nodes = 100;
+  p.edges = 400;
+  p.components = 1;
+  p.seed = 3;
+  const WeightedGraph g = graph::netgen_style(p);
+  const CoarseningStep step = heavy_edge_matching(g, 7);
+  // Perfect matching halves; real graphs land in between.
+  EXPECT_GE(step.coarse.num_nodes(), 50u);
+  EXPECT_LT(step.coarse.num_nodes(), 100u);
+  EXPECT_TRUE(graph::validate(step.coarse).ok);
+}
+
+TEST(HeavyEdgeMatching, ConservesNodeWeight) {
+  const WeightedGraph g = graph::barbell_graph(6, 2.0, 9.0);
+  const CoarseningStep step = heavy_edge_matching(g, 11);
+  EXPECT_NEAR(step.coarse.total_node_weight(), g.total_node_weight(),
+              1e-9);
+  for (const NodeId c : step.coarse_of)
+    EXPECT_LT(c, step.coarse.num_nodes());
+}
+
+TEST(HeavyEdgeMatching, PrefersHeavyEdges) {
+  // Path with one dominant edge: that pair must be matched together.
+  graph::GraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.add_node(1.0);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 100.0);  // dominant
+  b.add_edge(2, 3, 1.0);
+  const WeightedGraph g = b.build();
+  bool merged_heavy_pair = false;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const CoarseningStep step = heavy_edge_matching(g, seed);
+    if (step.coarse_of[1] == step.coarse_of[2]) merged_heavy_pair = true;
+  }
+  EXPECT_TRUE(merged_heavy_pair);
+}
+
+TEST(HeavyEdgeMatching, CrossEdgesSurviveContraction) {
+  const WeightedGraph g = graph::cycle_graph(6, 1.0, 3.0);
+  const CoarseningStep step = heavy_edge_matching(g, 2);
+  // Total edge weight = surviving + contracted; nothing invented.
+  double contracted = 0.0;
+  for (const graph::Edge& e : g.edges())
+    if (step.coarse_of[e.u] == step.coarse_of[e.v]) contracted += e.weight;
+  EXPECT_NEAR(step.coarse.total_edge_weight() + contracted,
+              g.total_edge_weight(), 1e-9);
+}
+
+TEST(Multilevel, FindsBarbellBridge) {
+  // Keep the DEFAULT balance floor: loosening it admits degenerate
+  // 15-vs-1 drains, which are genuine FM local optima (the floor is
+  // what rules them out — the textbook reason FM is balance-constrained).
+  const WeightedGraph g = graph::barbell_graph(8, 1.0, 10.0);
+  MultilevelBipartitioner cutter;
+  const graph::Bipartition cut = cutter.bipartition(g);
+  EXPECT_DOUBLE_EQ(cut.cut_weight, 1.0);
+}
+
+TEST(Multilevel, ValidCutsOnRandomGraphs) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    graph::NetgenParams p;
+    p.nodes = 150;
+    p.edges = 600;
+    p.components = 1;
+    p.seed = seed;
+    const WeightedGraph g = graph::netgen_style(p);
+    MultilevelBipartitioner cutter;
+    const graph::Bipartition cut = cutter.bipartition(g);
+    ASSERT_TRUE(graph::is_valid_partition(g, cut.side));
+    EXPECT_NEAR(cut.cut_weight, graph::cut_weight(g, cut.side), 1e-9);
+    EXPECT_GE(cut.size(0), 1u);
+    EXPECT_GE(cut.size(1), 1u);
+    EXPECT_GE(cutter.last_stats().levels, 1u);
+    EXPECT_LE(cutter.last_stats().coarsest_nodes, 150u);
+  }
+}
+
+TEST(Multilevel, RefinementBeatsCoarsestProjectionAlone) {
+  // Multilevel with refinement must be no worse than plain FM on the
+  // fine graph (same family, better starts), within generous slack.
+  double ml_total = 0.0;
+  double fm_total = 0.0;
+  for (const std::uint64_t seed : {11ULL, 12ULL, 13ULL, 14ULL}) {
+    graph::NetgenParams p;
+    p.nodes = 120;
+    p.edges = 480;
+    p.components = 1;
+    p.seed = seed;
+    const WeightedGraph g = graph::netgen_style(p);
+    ml_total += MultilevelBipartitioner{}.bipartition(g).cut_weight;
+    fm_total += FmBipartitioner{}.bipartition(g).cut_weight;
+  }
+  EXPECT_LE(ml_total, 1.2 * fm_total);
+}
+
+TEST(Multilevel, DegenerateInputs) {
+  MultilevelBipartitioner cutter;
+  EXPECT_TRUE(cutter.bipartition(WeightedGraph{}).side.empty());
+  EXPECT_EQ(cutter.bipartition(graph::path_graph(1)).side.size(), 1u);
+  EXPECT_EQ(cutter.name(), "multilevel");
+}
+
+TEST(Multilevel, SmallGraphSkipsCoarsening) {
+  const WeightedGraph g = graph::path_graph(10);
+  MultilevelOptions opts;
+  opts.coarsest_size = 32;  // larger than the graph
+  MultilevelBipartitioner cutter(opts);
+  (void)cutter.bipartition(g);
+  EXPECT_EQ(cutter.last_stats().levels, 0u);
+  EXPECT_EQ(cutter.last_stats().coarsest_nodes, 10u);
+}
+
+}  // namespace
+}  // namespace mecoff::kl

@@ -1,0 +1,186 @@
+// Unit tests for the end-to-end offloaders (pipeline with the three cut
+// backends plus the reference solvers).
+#include <gtest/gtest.h>
+
+#include "appmodel/synthetic_apps.hpp"
+#include "graph/generators.hpp"
+#include "mec/costs.hpp"
+#include "mec/offloader.hpp"
+
+namespace mecoff::mec {
+namespace {
+
+SystemParams default_params() {
+  SystemParams p;
+  p.mobile_power = 1.0;
+  p.transmit_power = 8.0;
+  p.bandwidth = 50.0;
+  p.mobile_capacity = 5.0;
+  p.server_capacity = 500.0;
+  return p;
+}
+
+UserApp app_from(const appmodel::Application& app) {
+  UserApp user;
+  user.graph = app.to_graph();
+  user.unoffloadable = app.unoffloadable_mask();
+  user.components = app.component_ids();
+  return user;
+}
+
+UserApp netgen_user(std::uint64_t seed, std::size_t nodes = 120) {
+  graph::NetgenParams p;
+  p.nodes = nodes;
+  p.edges = nodes * 4;
+  p.seed = seed;
+  UserApp user;
+  user.graph = graph::netgen_style(p);
+  return user;
+}
+
+PipelineOptions options_for(CutBackend backend) {
+  PipelineOptions opts;
+  opts.backend = backend;
+  opts.propagation.coupling_threshold = 10.0;
+  return opts;
+}
+
+TEST(PipelineOffloader, ProducesValidSchemes) {
+  MecSystem system{default_params(),
+                   {app_from(appmodel::make_face_recognition_app())}};
+  for (const CutBackend backend :
+       {CutBackend::kSpectral, CutBackend::kMaxFlow,
+        CutBackend::kKernighanLin}) {
+    PipelineOffloader offloader(options_for(backend));
+    const OffloadingScheme scheme = offloader.solve(system);
+    EXPECT_TRUE(scheme.valid_for(system)) << offloader.name();
+  }
+}
+
+TEST(PipelineOffloader, Names) {
+  EXPECT_EQ(PipelineOffloader(options_for(CutBackend::kSpectral)).name(),
+            "spectral");
+  EXPECT_EQ(PipelineOffloader(options_for(CutBackend::kMaxFlow)).name(),
+            "maxflow");
+  EXPECT_EQ(PipelineOffloader(options_for(CutBackend::kKernighanLin)).name(),
+            "kl");
+}
+
+TEST(PipelineOffloader, PinnedFunctionsStayLocal) {
+  const appmodel::Application app = appmodel::make_face_recognition_app();
+  MecSystem system{default_params(), {app_from(app)}};
+  PipelineOffloader offloader(options_for(CutBackend::kSpectral));
+  const OffloadingScheme scheme = offloader.solve(system);
+  for (std::size_t i = 0; i < app.num_functions(); ++i) {
+    if (app.function(i).unoffloadable) {
+      EXPECT_EQ(scheme.placement[0][i], Placement::kLocal)
+          << app.function(i).name;
+    }
+  }
+}
+
+TEST(PipelineOffloader, BeatsNaiveReferenceSolvers) {
+  MecSystem system{default_params(), {netgen_user(1), netgen_user(2)}};
+  PipelineOffloader spectral(options_for(CutBackend::kSpectral));
+  const double obj =
+      evaluate(system, spectral.solve(system)).objective();
+
+  AllLocalOffloader all_local;
+  AllRemoteOffloader all_remote;
+  RandomOffloader random;
+  EXPECT_LE(obj, evaluate(system, all_local.solve(system)).objective() + 1e-9);
+  EXPECT_LE(obj,
+            evaluate(system, all_remote.solve(system)).objective() + 1e-9);
+  EXPECT_LE(obj, evaluate(system, random.solve(system)).objective() + 1e-9);
+}
+
+TEST(PipelineOffloader, StatsArePopulated) {
+  MecSystem system{default_params(), {netgen_user(3)}};
+  PipelineOffloader offloader(options_for(CutBackend::kSpectral));
+  (void)offloader.solve(system);
+  const PipelineOffloader::SolveStats& stats = offloader.last_stats();
+  EXPECT_GT(stats.compression.original_nodes, 0u);
+  EXPECT_GT(stats.num_parts, 0u);
+  EXPECT_LT(stats.compression.compressed_nodes,
+            stats.compression.original_nodes);
+  EXPECT_GT(stats.final_objective, 0.0);
+}
+
+TEST(PipelineOffloader, IdenticalUserPeriodMatchesBruteForce) {
+  // 6 users cycling over 2 distinct graphs: the deduplicated solve must
+  // produce exactly the same scheme as the naive one.
+  const std::vector<UserApp> pool{netgen_user(10, 60), netgen_user(11, 60)};
+  const MecSystem system =
+      make_uniform_system(default_params(), pool, 6);
+
+  PipelineOptions naive_opts = options_for(CutBackend::kSpectral);
+  PipelineOffloader naive(naive_opts);
+  const OffloadingScheme brute = naive.solve(system);
+
+  PipelineOptions dedup_opts = naive_opts;
+  dedup_opts.identical_user_period = pool.size();
+  PipelineOffloader dedup(dedup_opts);
+  const OffloadingScheme fast = dedup.solve(system);
+
+  ASSERT_EQ(brute.placement.size(), fast.placement.size());
+  for (std::size_t u = 0; u < brute.placement.size(); ++u)
+    EXPECT_EQ(brute.placement[u], fast.placement[u]) << "user " << u;
+}
+
+TEST(PipelineOffloader, MultiUserSolveScalesAndStaysValid) {
+  const std::vector<UserApp> pool{netgen_user(20, 80), netgen_user(21, 80),
+                                  netgen_user(22, 80)};
+  const MecSystem system =
+      make_uniform_system(default_params(), pool, 40);
+  PipelineOptions opts = options_for(CutBackend::kSpectral);
+  opts.identical_user_period = pool.size();
+  PipelineOffloader offloader(opts);
+  const OffloadingScheme scheme = offloader.solve(system);
+  EXPECT_TRUE(scheme.valid_for(system));
+  EXPECT_EQ(scheme.placement.size(), 40u);
+}
+
+TEST(PipelineOffloader, WorksWithThreadPool) {
+  parallel::ThreadPool pool(3);
+  MecSystem system{default_params(), {netgen_user(30)}};
+  PipelineOptions serial_opts = options_for(CutBackend::kSpectral);
+  PipelineOptions pool_opts = serial_opts;
+  pool_opts.pool = &pool;
+  const OffloadingScheme serial =
+      PipelineOffloader(serial_opts).solve(system);
+  const OffloadingScheme parallel_s =
+      PipelineOffloader(pool_opts).solve(system);
+  // Same partition decision regardless of execution engine.
+  EXPECT_EQ(serial.placement, parallel_s.placement);
+}
+
+TEST(PipelineOffloader, EmptySystem) {
+  MecSystem system{default_params(), {}};
+  PipelineOffloader offloader(options_for(CutBackend::kSpectral));
+  const OffloadingScheme scheme = offloader.solve(system);
+  EXPECT_TRUE(scheme.placement.empty());
+}
+
+TEST(ReferenceOffloaders, RandomRespectsPinnedAndProbability) {
+  UserApp app;
+  app.graph = graph::complete_graph(50);
+  app.unoffloadable.assign(50, false);
+  app.unoffloadable[0] = true;
+  MecSystem system{default_params(), {app}};
+  RandomOffloader all_in(1.0);
+  const OffloadingScheme scheme = all_in.solve(system);
+  EXPECT_EQ(scheme.placement[0][0], Placement::kLocal);
+  EXPECT_EQ(scheme.remote_count(0), 49u);
+
+  RandomOffloader none(0.0);
+  EXPECT_EQ(none.solve(system).remote_count(0), 0u);
+}
+
+TEST(ReferenceOffloaders, Names) {
+  EXPECT_EQ(AllLocalOffloader{}.name(), "all_local");
+  EXPECT_EQ(AllRemoteOffloader{}.name(), "all_remote");
+  EXPECT_EQ(RandomOffloader{}.name(), "random");
+}
+
+}  // namespace
+}  // namespace mecoff::mec

@@ -1,0 +1,181 @@
+// Unit tests for the mini-Spark engine: thread pool, datasets, and the
+// parallel SpMV operator the Fig. 9 experiment depends on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "linalg/laplacian.hpp"
+#include "linalg/vector_ops.hpp"
+#include "parallel/dataset.hpp"
+#include "parallel/parallel_spmv.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mecoff::parallel {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsFutureResult) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i)
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(0, 100, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForChunksPartitionExactly) {
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for_chunks(10, 110, [&](std::size_t lo, std::size_t hi) {
+    const std::scoped_lock lock(mutex);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expect = 10;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, expect);
+    EXPECT_GT(hi, lo);
+    expect = hi;
+  }
+  EXPECT_EQ(expect, 110u);
+}
+
+TEST(ThreadPool, ParallelForExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [](std::size_t i) {
+                                   if (i == 3)
+                                     throw std::runtime_error("bad");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(Dataset, ParallelizeAndCollectPreservesElements) {
+  ThreadPool pool(3);
+  std::vector<int> items(50);
+  std::iota(items.begin(), items.end(), 0);
+  const auto ds = Dataset<int>::parallelize(items, pool, 4);
+  EXPECT_EQ(ds.size(), 50u);
+  EXPECT_EQ(ds.num_partitions(), 4u);
+  auto collected = ds.collect();
+  std::sort(collected.begin(), collected.end());
+  EXPECT_EQ(collected, items);
+}
+
+TEST(Dataset, MapTransformsEveryElement) {
+  ThreadPool pool(2);
+  const auto ds = Dataset<int>::parallelize({1, 2, 3, 4}, pool, 2);
+  const auto doubled = ds.map([](const int& x) { return 2 * x; });
+  auto out = doubled.collect();
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<int>{2, 4, 6, 8}));
+}
+
+TEST(Dataset, MapChangesElementType) {
+  ThreadPool pool(2);
+  const auto ds = Dataset<int>::parallelize({1, 22, 333}, pool);
+  const auto strs =
+      ds.map([](const int& x) { return std::to_string(x); });
+  auto out = strs.collect();
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<std::string>{"1", "22", "333"}));
+}
+
+TEST(Dataset, FilterKeepsMatching) {
+  ThreadPool pool(2);
+  std::vector<int> items(20);
+  std::iota(items.begin(), items.end(), 0);
+  const auto ds = Dataset<int>::parallelize(items, pool, 3);
+  const auto evens = ds.filter([](const int& x) { return x % 2 == 0; });
+  EXPECT_EQ(evens.size(), 10u);
+}
+
+TEST(Dataset, ReduceSums) {
+  ThreadPool pool(3);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 1);
+  const auto ds = Dataset<int>::parallelize(items, pool, 7);
+  const auto sum = ds.reduce([](int a, int b) { return a + b; });
+  ASSERT_TRUE(sum.has_value());
+  EXPECT_EQ(*sum, 5050);
+}
+
+TEST(Dataset, ReduceEmptyIsNullopt) {
+  ThreadPool pool(2);
+  const auto ds = Dataset<int>::parallelize({}, pool);
+  EXPECT_FALSE(ds.reduce([](int a, int b) { return a + b; }).has_value());
+}
+
+TEST(Dataset, ForEachPartitionSeesAllElements) {
+  ThreadPool pool(2);
+  const auto ds = Dataset<int>::parallelize({1, 2, 3, 4, 5}, pool, 2);
+  std::atomic<int> total{0};
+  ds.for_each_partition(
+      [&](std::size_t, const std::vector<int>& part) {
+        int local = 0;
+        for (int v : part) local += v;
+        total += local;
+      });
+  EXPECT_EQ(total.load(), 15);
+}
+
+TEST(ParallelSpmv, MatchesSerialOperator) {
+  graph::NetgenParams p;
+  p.nodes = 300;
+  p.edges = 1200;
+  p.seed = 31;
+  const graph::WeightedGraph g = graph::netgen_style(p);
+  const linalg::SparseMatrix lap = linalg::laplacian(g);
+
+  ThreadPool pool(4);
+  const linalg::LinearOperator serial = linalg::make_operator(lap);
+  const linalg::LinearOperator par = make_parallel_operator(lap, pool);
+
+  Rng rng(17);
+  linalg::Vec x(g.num_nodes());
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  linalg::Vec ys(g.num_nodes(), 0.0);
+  linalg::Vec yp(g.num_nodes(), 0.0);
+  serial.apply(x, ys);
+  par.apply(x, yp);
+  EXPECT_LT(linalg::max_abs_diff(ys, yp), 1e-12);
+}
+
+}  // namespace
+}  // namespace mecoff::parallel

@@ -1,0 +1,153 @@
+// Extended property suites covering the post-reproduction additions:
+// FM refinement, the Jacobi oracle, the task-DAG executor, and the
+// multi-server composition.
+#include <gtest/gtest.h>
+
+#include "appmodel/synthetic_apps.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "kl/fiduccia_mattheyses.hpp"
+#include "linalg/jacobi.hpp"
+#include "linalg/laplacian.hpp"
+#include "mec/multiserver.hpp"
+#include "sim/dag_executor.hpp"
+#include "sim/executor.hpp"
+#include "spectral/fiedler.hpp"
+
+namespace mecoff {
+namespace {
+
+class SeedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+graph::WeightedGraph seeded_graph(std::uint64_t seed, std::size_t nodes) {
+  graph::NetgenParams p;
+  p.nodes = nodes;
+  p.edges = nodes * 4;
+  p.components = 1;
+  p.seed = seed;
+  return graph::netgen_style(p);
+}
+
+TEST_P(SeedProperty, FmRefinementIsSoundAcrossStarts) {
+  const graph::WeightedGraph g = seeded_graph(GetParam(), 60);
+  Rng rng(GetParam() ^ 0xf1);
+  for (int trial = 0; trial < 3; ++trial) {
+    graph::Bipartition initial;
+    initial.side.resize(g.num_nodes());
+    for (auto& s : initial.side) s = rng.bernoulli(0.5) ? 1 : 0;
+    initial.cut_weight = graph::cut_weight(g, initial.side);
+    const kl::FmResult r = kl::fm_refine(g, initial, {});
+    // Sound: reported cut matches recomputation, never worse than start.
+    EXPECT_NEAR(r.partition.cut_weight,
+                graph::cut_weight(g, r.partition.side), 1e-9);
+    EXPECT_LE(r.partition.cut_weight, initial.cut_weight + 1e-9);
+    // Both sides stay populated.
+    EXPECT_GE(r.partition.size(0), 1u);
+    EXPECT_GE(r.partition.size(1), 1u);
+  }
+}
+
+TEST_P(SeedProperty, JacobiAndLanczosAgreeOnFiedlerValue) {
+  const graph::WeightedGraph g = seeded_graph(GetParam(), 40);
+  const linalg::JacobiResult full =
+      linalg::jacobi_eigen(linalg::dense_laplacian(g));
+  ASSERT_TRUE(full.converged);
+  const spectral::FiedlerResult fiedler = spectral::fiedler_pair(g);
+  ASSERT_TRUE(fiedler.converged);
+  EXPECT_NEAR(fiedler.value, full.values[1],
+              1e-5 * (1.0 + full.values[1]));
+}
+
+TEST_P(SeedProperty, JacobiSpectrumBoundsHold) {
+  const graph::WeightedGraph g = seeded_graph(GetParam(), 30);
+  const linalg::SparseMatrix lap = linalg::laplacian(g);
+  const linalg::JacobiResult full =
+      linalg::jacobi_eigen(linalg::dense_laplacian(g));
+  ASSERT_TRUE(full.converged);
+  // PSD: all eigenvalues >= 0 (up to roundoff); max bounded by
+  // Gershgorin.
+  EXPECT_GE(full.values.front(), -1e-8);
+  EXPECT_LE(full.values.back(), lap.gershgorin_bound() + 1e-8);
+}
+
+TEST_P(SeedProperty, DagAndBatchExecutorsAgreeOnEnergy) {
+  // Energies are schedule-independent: any scheme must be billed the
+  // same by both executors.
+  const appmodel::Application app =
+      appmodel::make_random_app(40, 0.15, GetParam());
+  if (!sim::call_graph_is_acyclic(app)) GTEST_SKIP();
+  mec::UserApp user;
+  user.graph = app.to_graph();
+  user.unoffloadable = app.unoffloadable_mask();
+  mec::SystemParams params;
+  mec::MecSystem system{params, {user}};
+
+  Rng rng(GetParam() ^ 0xda6);
+  mec::OffloadingScheme scheme = mec::OffloadingScheme::all_local(system);
+  for (std::size_t v = 0; v < user.graph.num_nodes(); ++v)
+    if (!user.unoffloadable[v] && rng.bernoulli(0.5))
+      scheme.placement[0][v] = mec::Placement::kRemote;
+
+  const auto dag = sim::execute_dag(system, {app}, scheme);
+  ASSERT_TRUE(dag.ok());
+  const sim::SimReport batch = sim::simulate_scheme(system, scheme);
+  EXPECT_NEAR(dag.value().total_energy, batch.total_energy,
+              1e-6 * (1.0 + batch.total_energy));
+}
+
+TEST_P(SeedProperty, DagMakespanAtLeastCriticalCompute) {
+  // The makespan can never beat the heaviest single function on its
+  // assigned processor.
+  const appmodel::Application app =
+      appmodel::make_random_app(30, 0.1, GetParam() + 1);
+  if (!sim::call_graph_is_acyclic(app)) GTEST_SKIP();
+  mec::UserApp user;
+  user.graph = app.to_graph();
+  user.unoffloadable = app.unoffloadable_mask();
+  mec::SystemParams params;
+  mec::MecSystem system{params, {user}};
+  const mec::OffloadingScheme scheme =
+      mec::OffloadingScheme::all_remote(system);
+  const auto dag = sim::execute_dag(system, {app}, scheme);
+  ASSERT_TRUE(dag.ok());
+  double heaviest = 0.0;
+  for (std::size_t v = 0; v < app.num_functions(); ++v) {
+    const bool remote = scheme.placement[0][v] == mec::Placement::kRemote;
+    const double rate =
+        remote ? params.server_capacity : params.mobile_capacity;
+    heaviest = std::max(heaviest, app.function(v).computation / rate);
+  }
+  EXPECT_GE(dag.value().makespan, heaviest - 1e-9);
+}
+
+TEST_P(SeedProperty, MultiServerTotalsMatchGroupOracles) {
+  mec::MultiServerSystem system;
+  system.device.mobile_power = 1.0;
+  system.device.mobile_capacity = 5.0;
+  system.servers = {mec::ServerSpec{200.0, 20.0, 8.0},
+                    mec::ServerSpec{350.0, 15.0, 10.0},
+                    mec::ServerSpec{150.0, 30.0, 6.0}};
+  for (std::size_t i = 0; i < 7; ++i) {
+    mec::UserApp user;
+    user.graph = seeded_graph(GetParam() * 13 + i, 50);
+    system.users.push_back(std::move(user));
+  }
+  const mec::MultiServerResult result =
+      mec::MultiServerOffloader{}.solve(system);
+  double energy = 0.0;
+  double time = 0.0;
+  for (std::size_t s = 0; s < system.servers.size(); ++s) {
+    const mec::SystemCost cost =
+        mec::evaluate_server_group(system, result, s);
+    energy += cost.total_energy;
+    time += cost.total_time;
+  }
+  EXPECT_NEAR(result.total_energy, energy, 1e-6 * (1.0 + energy));
+  EXPECT_NEAR(result.total_time, time, 1e-6 * (1.0 + time));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedProperty,
+                         ::testing::Values(401u, 402u, 403u, 404u, 405u));
+
+}  // namespace
+}  // namespace mecoff

@@ -1,0 +1,128 @@
+// Tests for the execution-trace importer.
+#include <gtest/gtest.h>
+
+#include "appmodel/trace_import.hpp"
+#include "mec/offloader.hpp"
+
+namespace mecoff::appmodel {
+namespace {
+
+constexpr const char* kSimpleTrace = R"(
+# camera frame pipeline, one invocation each
+enter main 0.0
+  enter capture 0.1
+  exit  capture 0.3
+  send  capture detect 2048
+  enter detect 0.4
+    enter resize 0.5
+    exit  resize 0.6
+  exit  detect 1.0
+exit main 1.2
+pin capture
+component capture io
+component detect vision
+)";
+
+TEST(TraceImport, ParsesAndComputesSelfTimes) {
+  TraceImportOptions opts;
+  opts.compute_scale = 10.0;
+  opts.data_scale = 1.0 / 1024.0;
+  const Result<TraceImport> r = import_trace(kSimpleTrace, opts);
+  ASSERT_TRUE(r.ok()) << (r.ok() ? "" : r.error().message);
+  const Application& app = r.value().app;
+  ASSERT_EQ(app.num_functions(), 4u);
+
+  // main: span 1.2, children 0.2 + 0.6 = 0.8 → self 0.4 → weight 4.
+  EXPECT_NEAR(app.function(app.find_function("main")).computation, 4.0,
+              1e-9);
+  // capture: span 0.2 → weight 2.
+  EXPECT_NEAR(app.function(app.find_function("capture")).computation, 2.0,
+              1e-9);
+  // detect: span 0.6, child 0.1 → self 0.5 → weight 5.
+  EXPECT_NEAR(app.function(app.find_function("detect")).computation, 5.0,
+              1e-9);
+  EXPECT_TRUE(app.function(app.find_function("capture")).unoffloadable);
+  EXPECT_EQ(app.function(app.find_function("detect")).component, "vision");
+  EXPECT_EQ(r.value().invocations, 4u);
+  EXPECT_NEAR(r.value().total_traced_seconds, 1.2, 1e-12);
+}
+
+TEST(TraceImport, PayloadAndDefaultCallBytes) {
+  TraceImportOptions opts;
+  opts.data_scale = 1.0 / 1024.0;
+  opts.default_call_bytes = 0.25;
+  const Result<TraceImport> r = import_trace(kSimpleTrace, opts);
+  ASSERT_TRUE(r.ok());
+  const Application& app = r.value().app;
+  const graph::WeightedGraph g = app.to_graph();
+  const auto capture = static_cast<graph::NodeId>(
+      app.find_function("capture"));
+  const auto detect = static_cast<graph::NodeId>(
+      app.find_function("detect"));
+  const auto main_fn = static_cast<graph::NodeId>(
+      app.find_function("main"));
+  const auto resize = static_cast<graph::NodeId>(
+      app.find_function("resize"));
+  // Explicit send: 2048 bytes → 2 units.
+  EXPECT_NEAR(g.edge_weight_between(capture, detect), 2.0, 1e-9);
+  // Call edges without sends carry the default.
+  EXPECT_NEAR(g.edge_weight_between(main_fn, capture), 0.25, 1e-9);
+  EXPECT_NEAR(g.edge_weight_between(detect, resize), 0.25, 1e-9);
+}
+
+TEST(TraceImport, RepeatedInvocationsAccumulate) {
+  const auto r = import_trace(
+      "enter f 0.0\nexit f 1.0\nenter f 2.0\nexit f 2.5\n");
+  ASSERT_TRUE(r.ok());
+  const Application& app = r.value().app;
+  TraceImportOptions defaults;
+  EXPECT_NEAR(app.function(0).computation, 1.5 * defaults.compute_scale,
+              1e-9);
+  EXPECT_EQ(r.value().invocations, 2u);
+}
+
+TEST(TraceImport, ErrorsCarryLineNumbers) {
+  const auto r = import_trace("enter f 0.0\nexit g 1.0\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(TraceImport, RejectsMalformedTraces) {
+  EXPECT_FALSE(import_trace("").ok());                       // empty
+  EXPECT_FALSE(import_trace("exit f 1.0\n").ok());           // stack underflow
+  EXPECT_FALSE(import_trace("enter f 0.0\n").ok());          // unclosed
+  EXPECT_FALSE(import_trace("enter f 1.0\nexit f 0.5\n").ok());  // backwards
+  EXPECT_FALSE(import_trace("enter f -1\nexit f 0\n").ok()); // negative ts
+  EXPECT_FALSE(
+      import_trace("enter f 0\nexit f 1\nsend f f 8\n").ok());  // self-send
+  EXPECT_FALSE(import_trace("frobnicate x 1\n").ok());       // unknown record
+  EXPECT_FALSE(import_trace("enter f 0\nexit f 1\nsend a b -2\n").ok());
+}
+
+TEST(TraceImport, TracedAppSolvesEndToEnd) {
+  // The traced app flows into the standard pipeline unchanged.
+  constexpr const char* kTrace = R"(
+enter ui 0.0
+  enter heavy 0.1
+  exit  heavy 5.0
+exit ui 5.1
+send ui heavy 512
+pin ui
+)";
+  const auto r = import_trace(kTrace);
+  ASSERT_TRUE(r.ok());
+  const Application& app = r.value().app;
+  mec::UserApp user;
+  user.graph = app.to_graph();
+  user.unoffloadable = app.unoffloadable_mask();
+  mec::MecSystem system{mec::SystemParams{}, {user}};
+  mec::PipelineOffloader offloader;
+  const mec::OffloadingScheme scheme = offloader.solve(system);
+  EXPECT_EQ(scheme.placement[0][app.find_function("ui")],
+            mec::Placement::kLocal);
+  EXPECT_EQ(scheme.placement[0][app.find_function("heavy")],
+            mec::Placement::kRemote);  // 490 compute vs 0.5 data
+}
+
+}  // namespace
+}  // namespace mecoff::appmodel

@@ -1,0 +1,357 @@
+// mecoff_cli — command-line driver for the library.
+//
+//   mecoff_cli generate nodes=1000 edges=4912 [seed=1] [components=8]
+//       emit a NETGEN-style graph as an edge list on stdout
+//   mecoff_cli compress <graph.edgelist> [threshold=10]
+//       run Algorithm 1, print Table-I style statistics
+//   mecoff_cli cut <graph.edgelist> [algo=spectral|maxflow|kl|fm|sw]
+//       two-way cut, print cut weight and side sizes ([dot=out.dot])
+//   mecoff_cli solve <app.dsl> [pc=1 pt=8 b=20 ic=5 is=50 kappa=0.02]
+//       full pipeline on a DSL application, print placement and bill
+//   mecoff_cli simulate <app.dsl> [same params]
+//       solve, then run BOTH simulators (batch + task-DAG)
+//   mecoff_cli kway <graph.edgelist> parts=4
+//       k-way spectral partition, print part sizes and total cut
+//   mecoff_cli trace <app.trace> [same params as solve]
+//       import an execution trace (profiler format) and solve it
+//   mecoff_cli stats <graph.edgelist>
+//       validate the file and print structural statistics
+//
+// `solve` accepts out=<file> to save the scheme; `simulate` accepts
+// scheme=<file> to replay a saved scheme instead of re-solving.
+//
+// `solve`/`simulate`/`trace` accept profile=<name> to start from a
+// deployment preset (wifi_campus, lte_smallcell, mmwave_hotspot,
+// congested_venue); explicit key=value options override preset fields.
+//
+// All options are key=value tokens after the positional arguments.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "appmodel/dsl_parser.hpp"
+#include "appmodel/trace_import.hpp"
+#include "common/config.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/metrics.hpp"
+#include "graph/validation.hpp"
+#include "kl/fiduccia_mattheyses.hpp"
+#include "kl/kernighan_lin.hpp"
+#include "kl/multilevel.hpp"
+#include "lpa/pipeline.hpp"
+#include "mec/costs.hpp"
+#include "mec/offloader.hpp"
+#include "mec/profiles.hpp"
+#include "mec/scheme_io.hpp"
+#include "mincut/bipartitioner.hpp"
+#include "mincut/stoer_wagner.hpp"
+#include "sim/dag_executor.hpp"
+#include "sim/executor.hpp"
+#include "spectral/bipartitioner.hpp"
+#include "spectral/kway.hpp"
+
+namespace {
+
+using namespace mecoff;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mecoff_cli <generate|compress|cut|solve|simulate> "
+               "[file] [key=value...]\n"
+               "run with a subcommand for details (see tools/mecoff_cli.cpp "
+               "header)\n");
+  return 2;
+}
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Result<graph::WeightedGraph> load_graph(const std::string& path) {
+  const Result<std::string> text = read_file(path);
+  if (!text.ok()) return text.error();
+  return graph::parse_edge_list(text.value());
+}
+
+mec::SystemParams params_from(const Config& cfg) {
+  mec::SystemParams p;
+  const std::string profile = cfg.get_string("profile", "");
+  if (!profile.empty() && !mec::find_profile(profile, p)) {
+    std::fprintf(stderr, "warning: unknown profile '%s'; presets are:",
+                 profile.c_str());
+    for (const mec::NamedProfile& known : mec::all_profiles())
+      std::fprintf(stderr, " %s", known.name.c_str());
+    std::fprintf(stderr, "\n");
+  }
+  p.mobile_power = cfg.get_double("pc", p.mobile_power);
+  p.transmit_power = cfg.get_double("pt", p.transmit_power);
+  p.bandwidth = cfg.get_double("b", p.bandwidth);
+  p.mobile_capacity = cfg.get_double("ic", p.mobile_capacity);
+  p.server_capacity = cfg.get_double("is", p.server_capacity);
+  p.contention_factor = cfg.get_double("kappa", p.contention_factor);
+  return p;
+}
+
+int cmd_stats(const std::string& path) {
+  const Result<graph::WeightedGraph> g = load_graph(path);
+  if (!g.ok()) {
+    std::fprintf(stderr, "error: %s\n", g.error().message.c_str());
+    return 1;
+  }
+  const graph::ValidationReport report = graph::validate(g.value());
+  if (!report.ok) {
+    std::printf("INVALID graph:\n");
+    for (const std::string& problem : report.problems)
+      std::printf("  - %s\n", problem.c_str());
+    return 1;
+  }
+  const graph::GraphStats stats = graph::compute_stats(g.value());
+  std::printf("valid graph\n");
+  std::printf("nodes: %zu  edges: %zu  avg degree: %.2f  max degree: %zu\n",
+              stats.nodes, stats.edges, stats.avg_degree, stats.max_degree);
+  std::printf("node weight: %.2f total  edge weight: %.2f total "
+              "(range %.2f..%.2f)\n",
+              stats.total_node_weight, stats.total_edge_weight,
+              stats.min_edge_weight, stats.max_edge_weight);
+  const std::vector<std::size_t> hist =
+      graph::degree_histogram(g.value());
+  std::printf("degree histogram:");
+  for (std::size_t d = 0; d < hist.size(); ++d)
+    if (hist[d] > 0) std::printf(" %zu:%zu", d, hist[d]);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_generate(const Config& cfg) {
+  graph::NetgenParams p;
+  p.nodes = static_cast<std::size_t>(cfg.get_int("nodes", 1000));
+  p.edges = static_cast<std::size_t>(cfg.get_int("edges", p.nodes * 5));
+  p.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+  p.components =
+      static_cast<std::size_t>(cfg.get_int("components", 4));
+  p.cluster_size =
+      static_cast<std::size_t>(cfg.get_int("cluster_size", 8));
+  std::fputs(graph::to_edge_list(graph::netgen_style(p)).c_str(), stdout);
+  return 0;
+}
+
+int cmd_compress(const std::string& path, const Config& cfg) {
+  const Result<graph::WeightedGraph> g = load_graph(path);
+  if (!g.ok()) {
+    std::fprintf(stderr, "error: %s\n", g.error().message.c_str());
+    return 1;
+  }
+  lpa::PropagationConfig config;
+  config.coupling_threshold = cfg.get_double("threshold", 10.0);
+  const std::vector<bool> pinned(g.value().num_nodes(), false);
+  const lpa::CompressionPipelineResult result =
+      lpa::compress_application(g.value(), pinned, config);
+  const lpa::CompressionStats stats = result.aggregate_stats();
+  std::printf("functions:            %zu -> %zu (%.1f%% reduction)\n",
+              stats.original_nodes, stats.compressed_nodes,
+              100.0 * stats.node_reduction());
+  std::printf("edges:                %zu -> %zu\n", stats.original_edges,
+              stats.compressed_edges);
+  std::printf("components:           %zu\n", result.components.size());
+  std::printf("absorbed edge weight: %.2f\n", stats.absorbed_edge_weight);
+  return 0;
+}
+
+std::unique_ptr<graph::Bipartitioner> make_cutter(const std::string& algo) {
+  if (algo == "spectral")
+    return std::make_unique<spectral::SpectralBipartitioner>();
+  if (algo == "maxflow")
+    return std::make_unique<mincut::MaxFlowBipartitioner>();
+  if (algo == "kl")
+    return std::make_unique<kl::KernighanLinBipartitioner>();
+  if (algo == "fm") return std::make_unique<kl::FmBipartitioner>();
+  if (algo == "multilevel")
+    return std::make_unique<kl::MultilevelBipartitioner>();
+  return nullptr;
+}
+
+int cmd_cut(const std::string& path, const Config& cfg) {
+  const Result<graph::WeightedGraph> g = load_graph(path);
+  if (!g.ok()) {
+    std::fprintf(stderr, "error: %s\n", g.error().message.c_str());
+    return 1;
+  }
+  const std::string algo = cfg.get_string("algo", "spectral");
+  graph::Bipartition cut;
+  if (algo == "sw") {
+    cut = mincut::stoer_wagner(g.value());
+  } else {
+    const std::unique_ptr<graph::Bipartitioner> cutter = make_cutter(algo);
+    if (cutter == nullptr) {
+      std::fprintf(stderr, "unknown algo '%s' (spectral|maxflow|kl|fm|multilevel|sw)\n",
+                   algo.c_str());
+      return 2;
+    }
+    cut = cutter->bipartition(g.value());
+  }
+  std::printf("algorithm:  %s\n", algo.c_str());
+  std::printf("cut weight: %.4f\n", cut.cut_weight);
+  std::printf("side sizes: %zu / %zu\n", cut.size(0), cut.size(1));
+  const std::string dot_path = cfg.get_string("dot", "");
+  if (!dot_path.empty()) {
+    std::ofstream out(dot_path);
+    out << graph::to_dot(g.value(), cut.side);
+    std::printf("wrote %s\n", dot_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_kway(const std::string& path, const Config& cfg) {
+  const Result<graph::WeightedGraph> g = load_graph(path);
+  if (!g.ok()) {
+    std::fprintf(stderr, "error: %s\n", g.error().message.c_str());
+    return 1;
+  }
+  spectral::KwayOptions opts;
+  opts.parts = static_cast<std::size_t>(cfg.get_int("parts", 4));
+  const spectral::KwayResult r = spectral::kway_partition(g.value(), opts);
+  std::printf("parts used: %u\n", r.parts_used);
+  std::printf("total cut:  %.4f\n", r.total_cut);
+  std::vector<std::size_t> sizes(r.parts_used, 0);
+  for (const auto p : r.part_of) ++sizes[p];
+  for (std::uint32_t p = 0; p < r.parts_used; ++p)
+    std::printf("  part %u: %zu nodes\n", p, sizes[p]);
+  return 0;
+}
+
+Result<appmodel::Application> load_app(const std::string& path) {
+  const Result<std::string> text = read_file(path);
+  if (!text.ok()) return text.error();
+  return appmodel::parse_app_dsl(text.value());
+}
+
+int cmd_solve(const std::string& path, const Config& cfg, bool simulate,
+              bool from_trace = false) {
+  Result<appmodel::Application> parsed = [&]() -> Result<appmodel::Application> {
+    if (!from_trace) return load_app(path);
+    const Result<std::string> text = read_file(path);
+    if (!text.ok()) return text.error();
+    const Result<appmodel::TraceImport> imported =
+        appmodel::import_trace(text.value());
+    if (!imported.ok()) return imported.error();
+    std::printf("trace: %zu records, %zu invocations, %.3fs traced\n",
+                imported.value().records, imported.value().invocations,
+                imported.value().total_traced_seconds);
+    return imported.value().app;
+  }();
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.error().message.c_str());
+    return 1;
+  }
+  const appmodel::Application& app = parsed.value();
+
+  mec::UserApp user;
+  user.graph = app.to_graph();
+  user.unoffloadable = app.unoffloadable_mask();
+  user.components = app.component_ids();
+  mec::MecSystem system{params_from(cfg), {user}};
+
+  mec::PipelineOptions options;
+  options.propagation.coupling_threshold = cfg.get_double("threshold", 10.0);
+  const std::string algo = cfg.get_string("algo", "spectral");
+  if (algo == "maxflow") options.backend = mec::CutBackend::kMaxFlow;
+  if (algo == "kl") options.backend = mec::CutBackend::kKernighanLin;
+  mec::PipelineOffloader offloader(options);
+
+  mec::OffloadingScheme scheme;
+  std::string scheme_source = offloader.name() + " pipeline";
+  const std::string scheme_path = cfg.get_string("scheme", "");
+  if (!scheme_path.empty()) {
+    const Result<std::string> text = read_file(scheme_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "error: %s\n", text.error().message.c_str());
+      return 1;
+    }
+    Result<mec::OffloadingScheme> loaded =
+        mec::parse_scheme_text(text.value());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "scheme error: %s\n",
+                   loaded.error().message.c_str());
+      return 1;
+    }
+    scheme = std::move(loaded).value();
+    if (!scheme.valid_for(system)) {
+      std::fprintf(stderr,
+                   "scheme error: shape does not fit this application "
+                   "(or offloads a pinned function)\n");
+      return 1;
+    }
+    scheme_source = "replayed from " + scheme_path;
+  } else {
+    scheme = offloader.solve(system);
+  }
+  const mec::SystemCost cost = mec::evaluate(system, scheme);
+
+  std::printf("app '%s' (%zu functions) — %s\n", app.name().c_str(),
+              app.num_functions(), scheme_source.c_str());
+  for (std::size_t i = 0; i < app.num_functions(); ++i) {
+    const appmodel::FunctionInfo& fn = app.function(i);
+    std::printf("  %-20s -> %s%s\n", fn.name.c_str(),
+                scheme.placement[0][i] == mec::Placement::kLocal ? "device"
+                                                                 : "server",
+                fn.unoffloadable ? " (pinned)" : "");
+  }
+  std::printf("analytic bill: E = %.3f  T = %.3f  E+T = %.3f\n",
+              cost.total_energy, cost.total_time, cost.objective());
+
+  const std::string out_path = cfg.get_string("out", "");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    mec::write_scheme(scheme, out);
+    std::printf("wrote scheme to %s\n", out_path.c_str());
+  }
+
+  if (simulate) {
+    const sim::SimReport batch = sim::simulate_scheme(system, scheme);
+    std::printf("batch DES:     energy = %.3f  makespan = %.3f  "
+                "(events: %zu)\n",
+                batch.total_energy, batch.makespan, batch.events);
+    if (sim::call_graph_is_acyclic(app)) {
+      const auto dag = sim::execute_dag(system, {app}, scheme);
+      if (dag.ok())
+        std::printf("task-DAG DES:  energy = %.3f  makespan = %.3f  "
+                    "(events: %zu)\n",
+                    dag.value().total_energy, dag.value().makespan,
+                    dag.value().events);
+    } else {
+      std::printf("task-DAG DES:  skipped (cyclic call structure)\n");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  // key=value options start after the positional file argument (if any).
+  const bool has_file = argc >= 3 && std::strchr(argv[2], '=') == nullptr;
+  const std::string file = has_file ? argv[2] : "";
+  const int opt_start = has_file ? 2 : 1;
+  const Config cfg =
+      Config::from_args(argc - opt_start, argv + opt_start);
+
+  if (command == "generate") return cmd_generate(cfg);
+  if (command == "compress" && has_file) return cmd_compress(file, cfg);
+  if (command == "cut" && has_file) return cmd_cut(file, cfg);
+  if (command == "solve" && has_file) return cmd_solve(file, cfg, false);
+  if (command == "simulate" && has_file) return cmd_solve(file, cfg, true);
+  if (command == "kway" && has_file) return cmd_kway(file, cfg);
+  if (command == "stats" && has_file) return cmd_stats(file);
+  if (command == "trace" && has_file)
+    return cmd_solve(file, cfg, false, /*from_trace=*/true);
+  return usage();
+}
