@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_eigensolver.dir/bench_ablation_eigensolver.cpp.o"
+  "CMakeFiles/bench_ablation_eigensolver.dir/bench_ablation_eigensolver.cpp.o.d"
+  "bench_ablation_eigensolver"
+  "bench_ablation_eigensolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_eigensolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

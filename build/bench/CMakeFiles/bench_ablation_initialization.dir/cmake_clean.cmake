@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_initialization.dir/bench_ablation_initialization.cpp.o"
+  "CMakeFiles/bench_ablation_initialization.dir/bench_ablation_initialization.cpp.o.d"
+  "bench_ablation_initialization"
+  "bench_ablation_initialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_initialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

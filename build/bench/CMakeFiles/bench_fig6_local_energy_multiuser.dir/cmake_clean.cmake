@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_local_energy_multiuser.dir/bench_fig6_local_energy_multiuser.cpp.o"
+  "CMakeFiles/bench_fig6_local_energy_multiuser.dir/bench_fig6_local_energy_multiuser.cpp.o.d"
+  "bench_fig6_local_energy_multiuser"
+  "bench_fig6_local_energy_multiuser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_local_energy_multiuser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

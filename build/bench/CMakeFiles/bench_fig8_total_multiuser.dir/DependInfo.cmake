@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_total_multiuser.cpp" "bench/CMakeFiles/bench_fig8_total_multiuser.dir/bench_fig8_total_multiuser.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8_total_multiuser.dir/bench_fig8_total_multiuser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mecoff_benchsupport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mecoff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/appmodel/CMakeFiles/mecoff_appmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/mecoff_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/lpa/CMakeFiles/mecoff_lpa.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectral/CMakeFiles/mecoff_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mecoff_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mecoff_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mincut/CMakeFiles/mecoff_mincut.dir/DependInfo.cmake"
+  "/root/repo/build/src/kl/CMakeFiles/mecoff_kl.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mecoff_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mecoff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

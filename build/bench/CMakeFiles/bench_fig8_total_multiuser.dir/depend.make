@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_total_multiuser.
+# This may be replaced when dependencies are built.

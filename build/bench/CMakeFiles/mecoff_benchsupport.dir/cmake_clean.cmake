@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecoff_benchsupport.dir/support/figures.cpp.o"
+  "CMakeFiles/mecoff_benchsupport.dir/support/figures.cpp.o.d"
+  "CMakeFiles/mecoff_benchsupport.dir/support/reporting.cpp.o"
+  "CMakeFiles/mecoff_benchsupport.dir/support/reporting.cpp.o.d"
+  "CMakeFiles/mecoff_benchsupport.dir/support/workloads.cpp.o"
+  "CMakeFiles/mecoff_benchsupport.dir/support/workloads.cpp.o.d"
+  "libmecoff_benchsupport.a"
+  "libmecoff_benchsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecoff_benchsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appdsl_offload.dir/appdsl_offload.cpp.o"
+  "CMakeFiles/appdsl_offload.dir/appdsl_offload.cpp.o.d"
+  "appdsl_offload"
+  "appdsl_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appdsl_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

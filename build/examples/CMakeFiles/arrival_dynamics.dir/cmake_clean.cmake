@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrival_dynamics.dir/arrival_dynamics.cpp.o"
+  "CMakeFiles/arrival_dynamics.dir/arrival_dynamics.cpp.o.d"
+  "arrival_dynamics"
+  "arrival_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrival_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

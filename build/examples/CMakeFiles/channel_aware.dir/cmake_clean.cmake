@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_aware.dir/channel_aware.cpp.o"
+  "CMakeFiles/channel_aware.dir/channel_aware.cpp.o.d"
+  "channel_aware"
+  "channel_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

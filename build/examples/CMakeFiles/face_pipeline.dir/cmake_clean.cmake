@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/face_pipeline.dir/face_pipeline.cpp.o"
+  "CMakeFiles/face_pipeline.dir/face_pipeline.cpp.o.d"
+  "face_pipeline"
+  "face_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/face_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_user_campus.dir/multi_user_campus.cpp.o"
+  "CMakeFiles/multi_user_campus.dir/multi_user_campus.cpp.o.d"
+  "multi_user_campus"
+  "multi_user_campus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_user_campus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/appmodel/application.cpp" "src/appmodel/CMakeFiles/mecoff_appmodel.dir/application.cpp.o" "gcc" "src/appmodel/CMakeFiles/mecoff_appmodel.dir/application.cpp.o.d"
+  "/root/repo/src/appmodel/dsl_parser.cpp" "src/appmodel/CMakeFiles/mecoff_appmodel.dir/dsl_parser.cpp.o" "gcc" "src/appmodel/CMakeFiles/mecoff_appmodel.dir/dsl_parser.cpp.o.d"
+  "/root/repo/src/appmodel/synthetic_apps.cpp" "src/appmodel/CMakeFiles/mecoff_appmodel.dir/synthetic_apps.cpp.o" "gcc" "src/appmodel/CMakeFiles/mecoff_appmodel.dir/synthetic_apps.cpp.o.d"
+  "/root/repo/src/appmodel/trace_import.cpp" "src/appmodel/CMakeFiles/mecoff_appmodel.dir/trace_import.cpp.o" "gcc" "src/appmodel/CMakeFiles/mecoff_appmodel.dir/trace_import.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mecoff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mecoff_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecoff_appmodel.dir/application.cpp.o"
+  "CMakeFiles/mecoff_appmodel.dir/application.cpp.o.d"
+  "CMakeFiles/mecoff_appmodel.dir/dsl_parser.cpp.o"
+  "CMakeFiles/mecoff_appmodel.dir/dsl_parser.cpp.o.d"
+  "CMakeFiles/mecoff_appmodel.dir/synthetic_apps.cpp.o"
+  "CMakeFiles/mecoff_appmodel.dir/synthetic_apps.cpp.o.d"
+  "CMakeFiles/mecoff_appmodel.dir/trace_import.cpp.o"
+  "CMakeFiles/mecoff_appmodel.dir/trace_import.cpp.o.d"
+  "libmecoff_appmodel.a"
+  "libmecoff_appmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecoff_appmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

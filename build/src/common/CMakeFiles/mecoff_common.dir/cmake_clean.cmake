@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecoff_common.dir/config.cpp.o"
+  "CMakeFiles/mecoff_common.dir/config.cpp.o.d"
+  "CMakeFiles/mecoff_common.dir/logging.cpp.o"
+  "CMakeFiles/mecoff_common.dir/logging.cpp.o.d"
+  "CMakeFiles/mecoff_common.dir/rng.cpp.o"
+  "CMakeFiles/mecoff_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mecoff_common.dir/strings.cpp.o"
+  "CMakeFiles/mecoff_common.dir/strings.cpp.o.d"
+  "libmecoff_common.a"
+  "libmecoff_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecoff_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

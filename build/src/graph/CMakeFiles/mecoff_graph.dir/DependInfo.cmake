@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/components.cpp" "src/graph/CMakeFiles/mecoff_graph.dir/components.cpp.o" "gcc" "src/graph/CMakeFiles/mecoff_graph.dir/components.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/mecoff_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/mecoff_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/mecoff_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/mecoff_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/graph/CMakeFiles/mecoff_graph.dir/metrics.cpp.o" "gcc" "src/graph/CMakeFiles/mecoff_graph.dir/metrics.cpp.o.d"
+  "/root/repo/src/graph/partition.cpp" "src/graph/CMakeFiles/mecoff_graph.dir/partition.cpp.o" "gcc" "src/graph/CMakeFiles/mecoff_graph.dir/partition.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/graph/CMakeFiles/mecoff_graph.dir/subgraph.cpp.o" "gcc" "src/graph/CMakeFiles/mecoff_graph.dir/subgraph.cpp.o.d"
+  "/root/repo/src/graph/validation.cpp" "src/graph/CMakeFiles/mecoff_graph.dir/validation.cpp.o" "gcc" "src/graph/CMakeFiles/mecoff_graph.dir/validation.cpp.o.d"
+  "/root/repo/src/graph/weighted_graph.cpp" "src/graph/CMakeFiles/mecoff_graph.dir/weighted_graph.cpp.o" "gcc" "src/graph/CMakeFiles/mecoff_graph.dir/weighted_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mecoff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

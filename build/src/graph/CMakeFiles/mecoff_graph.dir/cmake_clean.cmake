@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecoff_graph.dir/components.cpp.o"
+  "CMakeFiles/mecoff_graph.dir/components.cpp.o.d"
+  "CMakeFiles/mecoff_graph.dir/generators.cpp.o"
+  "CMakeFiles/mecoff_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/mecoff_graph.dir/io.cpp.o"
+  "CMakeFiles/mecoff_graph.dir/io.cpp.o.d"
+  "CMakeFiles/mecoff_graph.dir/metrics.cpp.o"
+  "CMakeFiles/mecoff_graph.dir/metrics.cpp.o.d"
+  "CMakeFiles/mecoff_graph.dir/partition.cpp.o"
+  "CMakeFiles/mecoff_graph.dir/partition.cpp.o.d"
+  "CMakeFiles/mecoff_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/mecoff_graph.dir/subgraph.cpp.o.d"
+  "CMakeFiles/mecoff_graph.dir/validation.cpp.o"
+  "CMakeFiles/mecoff_graph.dir/validation.cpp.o.d"
+  "CMakeFiles/mecoff_graph.dir/weighted_graph.cpp.o"
+  "CMakeFiles/mecoff_graph.dir/weighted_graph.cpp.o.d"
+  "libmecoff_graph.a"
+  "libmecoff_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecoff_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kl/fiduccia_mattheyses.cpp" "src/kl/CMakeFiles/mecoff_kl.dir/fiduccia_mattheyses.cpp.o" "gcc" "src/kl/CMakeFiles/mecoff_kl.dir/fiduccia_mattheyses.cpp.o.d"
+  "/root/repo/src/kl/kernighan_lin.cpp" "src/kl/CMakeFiles/mecoff_kl.dir/kernighan_lin.cpp.o" "gcc" "src/kl/CMakeFiles/mecoff_kl.dir/kernighan_lin.cpp.o.d"
+  "/root/repo/src/kl/multilevel.cpp" "src/kl/CMakeFiles/mecoff_kl.dir/multilevel.cpp.o" "gcc" "src/kl/CMakeFiles/mecoff_kl.dir/multilevel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mecoff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mecoff_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecoff_kl.dir/fiduccia_mattheyses.cpp.o"
+  "CMakeFiles/mecoff_kl.dir/fiduccia_mattheyses.cpp.o.d"
+  "CMakeFiles/mecoff_kl.dir/kernighan_lin.cpp.o"
+  "CMakeFiles/mecoff_kl.dir/kernighan_lin.cpp.o.d"
+  "CMakeFiles/mecoff_kl.dir/multilevel.cpp.o"
+  "CMakeFiles/mecoff_kl.dir/multilevel.cpp.o.d"
+  "libmecoff_kl.a"
+  "libmecoff_kl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecoff_kl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

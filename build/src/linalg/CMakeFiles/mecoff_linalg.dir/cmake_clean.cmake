@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecoff_linalg.dir/cg.cpp.o"
+  "CMakeFiles/mecoff_linalg.dir/cg.cpp.o.d"
+  "CMakeFiles/mecoff_linalg.dir/dense_matrix.cpp.o"
+  "CMakeFiles/mecoff_linalg.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/mecoff_linalg.dir/jacobi.cpp.o"
+  "CMakeFiles/mecoff_linalg.dir/jacobi.cpp.o.d"
+  "CMakeFiles/mecoff_linalg.dir/lanczos.cpp.o"
+  "CMakeFiles/mecoff_linalg.dir/lanczos.cpp.o.d"
+  "CMakeFiles/mecoff_linalg.dir/laplacian.cpp.o"
+  "CMakeFiles/mecoff_linalg.dir/laplacian.cpp.o.d"
+  "CMakeFiles/mecoff_linalg.dir/power_iteration.cpp.o"
+  "CMakeFiles/mecoff_linalg.dir/power_iteration.cpp.o.d"
+  "CMakeFiles/mecoff_linalg.dir/sparse_matrix.cpp.o"
+  "CMakeFiles/mecoff_linalg.dir/sparse_matrix.cpp.o.d"
+  "CMakeFiles/mecoff_linalg.dir/tridiagonal.cpp.o"
+  "CMakeFiles/mecoff_linalg.dir/tridiagonal.cpp.o.d"
+  "CMakeFiles/mecoff_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/mecoff_linalg.dir/vector_ops.cpp.o.d"
+  "libmecoff_linalg.a"
+  "libmecoff_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecoff_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lpa/compressor.cpp" "src/lpa/CMakeFiles/mecoff_lpa.dir/compressor.cpp.o" "gcc" "src/lpa/CMakeFiles/mecoff_lpa.dir/compressor.cpp.o.d"
+  "/root/repo/src/lpa/pipeline.cpp" "src/lpa/CMakeFiles/mecoff_lpa.dir/pipeline.cpp.o" "gcc" "src/lpa/CMakeFiles/mecoff_lpa.dir/pipeline.cpp.o.d"
+  "/root/repo/src/lpa/propagation.cpp" "src/lpa/CMakeFiles/mecoff_lpa.dir/propagation.cpp.o" "gcc" "src/lpa/CMakeFiles/mecoff_lpa.dir/propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mecoff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mecoff_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mecoff_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mecoff_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecoff_lpa.dir/compressor.cpp.o"
+  "CMakeFiles/mecoff_lpa.dir/compressor.cpp.o.d"
+  "CMakeFiles/mecoff_lpa.dir/pipeline.cpp.o"
+  "CMakeFiles/mecoff_lpa.dir/pipeline.cpp.o.d"
+  "CMakeFiles/mecoff_lpa.dir/propagation.cpp.o"
+  "CMakeFiles/mecoff_lpa.dir/propagation.cpp.o.d"
+  "libmecoff_lpa.a"
+  "libmecoff_lpa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecoff_lpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

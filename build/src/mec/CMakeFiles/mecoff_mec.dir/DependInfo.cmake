@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mec/adaptive.cpp" "src/mec/CMakeFiles/mecoff_mec.dir/adaptive.cpp.o" "gcc" "src/mec/CMakeFiles/mecoff_mec.dir/adaptive.cpp.o.d"
+  "/root/repo/src/mec/costs.cpp" "src/mec/CMakeFiles/mecoff_mec.dir/costs.cpp.o" "gcc" "src/mec/CMakeFiles/mecoff_mec.dir/costs.cpp.o.d"
+  "/root/repo/src/mec/greedy.cpp" "src/mec/CMakeFiles/mecoff_mec.dir/greedy.cpp.o" "gcc" "src/mec/CMakeFiles/mecoff_mec.dir/greedy.cpp.o.d"
+  "/root/repo/src/mec/model.cpp" "src/mec/CMakeFiles/mecoff_mec.dir/model.cpp.o" "gcc" "src/mec/CMakeFiles/mecoff_mec.dir/model.cpp.o.d"
+  "/root/repo/src/mec/multiserver.cpp" "src/mec/CMakeFiles/mecoff_mec.dir/multiserver.cpp.o" "gcc" "src/mec/CMakeFiles/mecoff_mec.dir/multiserver.cpp.o.d"
+  "/root/repo/src/mec/offloader.cpp" "src/mec/CMakeFiles/mecoff_mec.dir/offloader.cpp.o" "gcc" "src/mec/CMakeFiles/mecoff_mec.dir/offloader.cpp.o.d"
+  "/root/repo/src/mec/profiles.cpp" "src/mec/CMakeFiles/mecoff_mec.dir/profiles.cpp.o" "gcc" "src/mec/CMakeFiles/mecoff_mec.dir/profiles.cpp.o.d"
+  "/root/repo/src/mec/scheme.cpp" "src/mec/CMakeFiles/mecoff_mec.dir/scheme.cpp.o" "gcc" "src/mec/CMakeFiles/mecoff_mec.dir/scheme.cpp.o.d"
+  "/root/repo/src/mec/scheme_io.cpp" "src/mec/CMakeFiles/mecoff_mec.dir/scheme_io.cpp.o" "gcc" "src/mec/CMakeFiles/mecoff_mec.dir/scheme_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mecoff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mecoff_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lpa/CMakeFiles/mecoff_lpa.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectral/CMakeFiles/mecoff_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/mincut/CMakeFiles/mecoff_mincut.dir/DependInfo.cmake"
+  "/root/repo/build/src/kl/CMakeFiles/mecoff_kl.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mecoff_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mecoff_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecoff_mec.dir/adaptive.cpp.o"
+  "CMakeFiles/mecoff_mec.dir/adaptive.cpp.o.d"
+  "CMakeFiles/mecoff_mec.dir/costs.cpp.o"
+  "CMakeFiles/mecoff_mec.dir/costs.cpp.o.d"
+  "CMakeFiles/mecoff_mec.dir/greedy.cpp.o"
+  "CMakeFiles/mecoff_mec.dir/greedy.cpp.o.d"
+  "CMakeFiles/mecoff_mec.dir/model.cpp.o"
+  "CMakeFiles/mecoff_mec.dir/model.cpp.o.d"
+  "CMakeFiles/mecoff_mec.dir/multiserver.cpp.o"
+  "CMakeFiles/mecoff_mec.dir/multiserver.cpp.o.d"
+  "CMakeFiles/mecoff_mec.dir/offloader.cpp.o"
+  "CMakeFiles/mecoff_mec.dir/offloader.cpp.o.d"
+  "CMakeFiles/mecoff_mec.dir/profiles.cpp.o"
+  "CMakeFiles/mecoff_mec.dir/profiles.cpp.o.d"
+  "CMakeFiles/mecoff_mec.dir/scheme.cpp.o"
+  "CMakeFiles/mecoff_mec.dir/scheme.cpp.o.d"
+  "CMakeFiles/mecoff_mec.dir/scheme_io.cpp.o"
+  "CMakeFiles/mecoff_mec.dir/scheme_io.cpp.o.d"
+  "libmecoff_mec.a"
+  "libmecoff_mec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecoff_mec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mincut/bipartitioner.cpp" "src/mincut/CMakeFiles/mecoff_mincut.dir/bipartitioner.cpp.o" "gcc" "src/mincut/CMakeFiles/mecoff_mincut.dir/bipartitioner.cpp.o.d"
+  "/root/repo/src/mincut/dinic.cpp" "src/mincut/CMakeFiles/mecoff_mincut.dir/dinic.cpp.o" "gcc" "src/mincut/CMakeFiles/mecoff_mincut.dir/dinic.cpp.o.d"
+  "/root/repo/src/mincut/edmonds_karp.cpp" "src/mincut/CMakeFiles/mecoff_mincut.dir/edmonds_karp.cpp.o" "gcc" "src/mincut/CMakeFiles/mecoff_mincut.dir/edmonds_karp.cpp.o.d"
+  "/root/repo/src/mincut/flow_network.cpp" "src/mincut/CMakeFiles/mecoff_mincut.dir/flow_network.cpp.o" "gcc" "src/mincut/CMakeFiles/mecoff_mincut.dir/flow_network.cpp.o.d"
+  "/root/repo/src/mincut/stoer_wagner.cpp" "src/mincut/CMakeFiles/mecoff_mincut.dir/stoer_wagner.cpp.o" "gcc" "src/mincut/CMakeFiles/mecoff_mincut.dir/stoer_wagner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mecoff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mecoff_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecoff_mincut.dir/bipartitioner.cpp.o"
+  "CMakeFiles/mecoff_mincut.dir/bipartitioner.cpp.o.d"
+  "CMakeFiles/mecoff_mincut.dir/dinic.cpp.o"
+  "CMakeFiles/mecoff_mincut.dir/dinic.cpp.o.d"
+  "CMakeFiles/mecoff_mincut.dir/edmonds_karp.cpp.o"
+  "CMakeFiles/mecoff_mincut.dir/edmonds_karp.cpp.o.d"
+  "CMakeFiles/mecoff_mincut.dir/flow_network.cpp.o"
+  "CMakeFiles/mecoff_mincut.dir/flow_network.cpp.o.d"
+  "CMakeFiles/mecoff_mincut.dir/stoer_wagner.cpp.o"
+  "CMakeFiles/mecoff_mincut.dir/stoer_wagner.cpp.o.d"
+  "libmecoff_mincut.a"
+  "libmecoff_mincut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecoff_mincut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

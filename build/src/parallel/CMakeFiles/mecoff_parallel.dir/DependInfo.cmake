@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/parallel_spmv.cpp" "src/parallel/CMakeFiles/mecoff_parallel.dir/parallel_spmv.cpp.o" "gcc" "src/parallel/CMakeFiles/mecoff_parallel.dir/parallel_spmv.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/parallel/CMakeFiles/mecoff_parallel.dir/thread_pool.cpp.o" "gcc" "src/parallel/CMakeFiles/mecoff_parallel.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mecoff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mecoff_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mecoff_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

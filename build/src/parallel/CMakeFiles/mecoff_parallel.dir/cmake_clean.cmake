@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecoff_parallel.dir/parallel_spmv.cpp.o"
+  "CMakeFiles/mecoff_parallel.dir/parallel_spmv.cpp.o.d"
+  "CMakeFiles/mecoff_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/mecoff_parallel.dir/thread_pool.cpp.o.d"
+  "libmecoff_parallel.a"
+  "libmecoff_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecoff_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

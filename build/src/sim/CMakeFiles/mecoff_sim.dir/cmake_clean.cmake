@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecoff_sim.dir/channel.cpp.o"
+  "CMakeFiles/mecoff_sim.dir/channel.cpp.o.d"
+  "CMakeFiles/mecoff_sim.dir/dag_executor.cpp.o"
+  "CMakeFiles/mecoff_sim.dir/dag_executor.cpp.o.d"
+  "CMakeFiles/mecoff_sim.dir/engine.cpp.o"
+  "CMakeFiles/mecoff_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/mecoff_sim.dir/executor.cpp.o"
+  "CMakeFiles/mecoff_sim.dir/executor.cpp.o.d"
+  "CMakeFiles/mecoff_sim.dir/resources.cpp.o"
+  "CMakeFiles/mecoff_sim.dir/resources.cpp.o.d"
+  "libmecoff_sim.a"
+  "libmecoff_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecoff_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

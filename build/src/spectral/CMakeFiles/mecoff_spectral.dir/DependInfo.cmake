@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spectral/bipartitioner.cpp" "src/spectral/CMakeFiles/mecoff_spectral.dir/bipartitioner.cpp.o" "gcc" "src/spectral/CMakeFiles/mecoff_spectral.dir/bipartitioner.cpp.o.d"
+  "/root/repo/src/spectral/fiedler.cpp" "src/spectral/CMakeFiles/mecoff_spectral.dir/fiedler.cpp.o" "gcc" "src/spectral/CMakeFiles/mecoff_spectral.dir/fiedler.cpp.o.d"
+  "/root/repo/src/spectral/kway.cpp" "src/spectral/CMakeFiles/mecoff_spectral.dir/kway.cpp.o" "gcc" "src/spectral/CMakeFiles/mecoff_spectral.dir/kway.cpp.o.d"
+  "/root/repo/src/spectral/splitter.cpp" "src/spectral/CMakeFiles/mecoff_spectral.dir/splitter.cpp.o" "gcc" "src/spectral/CMakeFiles/mecoff_spectral.dir/splitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mecoff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mecoff_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mecoff_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mecoff_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

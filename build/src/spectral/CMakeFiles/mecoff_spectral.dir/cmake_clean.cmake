@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecoff_spectral.dir/bipartitioner.cpp.o"
+  "CMakeFiles/mecoff_spectral.dir/bipartitioner.cpp.o.d"
+  "CMakeFiles/mecoff_spectral.dir/fiedler.cpp.o"
+  "CMakeFiles/mecoff_spectral.dir/fiedler.cpp.o.d"
+  "CMakeFiles/mecoff_spectral.dir/kway.cpp.o"
+  "CMakeFiles/mecoff_spectral.dir/kway.cpp.o.d"
+  "CMakeFiles/mecoff_spectral.dir/splitter.cpp.o"
+  "CMakeFiles/mecoff_spectral.dir/splitter.cpp.o.d"
+  "libmecoff_spectral.a"
+  "libmecoff_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecoff_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

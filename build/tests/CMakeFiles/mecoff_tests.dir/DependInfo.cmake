@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adaptive_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/adaptive_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/adaptive_test.cpp.o.d"
+  "/root/repo/tests/appmodel_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/appmodel_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/appmodel_test.cpp.o.d"
+  "/root/repo/tests/channel_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/channel_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/channel_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/dag_executor_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/dag_executor_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/dag_executor_test.cpp.o.d"
+  "/root/repo/tests/eigensolver_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/eigensolver_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/eigensolver_test.cpp.o.d"
+  "/root/repo/tests/experiments_smoke_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/experiments_smoke_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/experiments_smoke_test.cpp.o.d"
+  "/root/repo/tests/failure_injection_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/fm_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/fm_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/fm_test.cpp.o.d"
+  "/root/repo/tests/generators_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/generators_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/generators_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/greedy_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/greedy_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/greedy_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/jacobi_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/jacobi_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/jacobi_test.cpp.o.d"
+  "/root/repo/tests/kl_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/kl_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/kl_test.cpp.o.d"
+  "/root/repo/tests/kway_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/kway_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/kway_test.cpp.o.d"
+  "/root/repo/tests/linalg_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/linalg_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/linalg_test.cpp.o.d"
+  "/root/repo/tests/lpa_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/lpa_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/lpa_test.cpp.o.d"
+  "/root/repo/tests/mec_costs_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/mec_costs_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/mec_costs_test.cpp.o.d"
+  "/root/repo/tests/mincut_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/mincut_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/mincut_test.cpp.o.d"
+  "/root/repo/tests/multilevel_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/multilevel_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/multilevel_test.cpp.o.d"
+  "/root/repo/tests/multiserver_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/multiserver_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/multiserver_test.cpp.o.d"
+  "/root/repo/tests/offloader_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/offloader_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/offloader_test.cpp.o.d"
+  "/root/repo/tests/parallel_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/parallel_test.cpp.o.d"
+  "/root/repo/tests/property_extended_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/property_extended_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/property_extended_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/scheme_io_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/scheme_io_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/scheme_io_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/spectral_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/spectral_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/spectral_test.cpp.o.d"
+  "/root/repo/tests/trace_import_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/trace_import_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/trace_import_test.cpp.o.d"
+  "/root/repo/tests/validation_test.cpp" "tests/CMakeFiles/mecoff_tests.dir/validation_test.cpp.o" "gcc" "tests/CMakeFiles/mecoff_tests.dir/validation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mecoff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mecoff_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mecoff_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mecoff_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/lpa/CMakeFiles/mecoff_lpa.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectral/CMakeFiles/mecoff_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/mincut/CMakeFiles/mecoff_mincut.dir/DependInfo.cmake"
+  "/root/repo/build/src/kl/CMakeFiles/mecoff_kl.dir/DependInfo.cmake"
+  "/root/repo/build/src/appmodel/CMakeFiles/mecoff_appmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/mecoff_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mecoff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/mecoff_benchsupport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecoff_cli.dir/mecoff_cli.cpp.o"
+  "CMakeFiles/mecoff_cli.dir/mecoff_cli.cpp.o.d"
+  "mecoff_cli"
+  "mecoff_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecoff_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

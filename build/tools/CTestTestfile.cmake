@@ -1,0 +1,42 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[cli_generate_compress]=] "sh" "-c" "/root/repo/build/tools/mecoff_cli generate nodes=100 edges=400 seed=2 > cli_test.graph && /root/repo/build/tools/mecoff_cli compress cli_test.graph")
+set_tests_properties([=[cli_generate_compress]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_cut_all_algos]=] "sh" "-c" "/root/repo/build/tools/mecoff_cli generate nodes=60 edges=240 > g.el && for a in spectral maxflow kl fm multilevel sw; do /root/repo/build/tools/mecoff_cli cut g.el algo=\$a || exit 1; done")
+set_tests_properties([=[cli_cut_all_algos]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_kway]=] "sh" "-c" "/root/repo/build/tools/mecoff_cli generate nodes=80 edges=320 > k.el && /root/repo/build/tools/mecoff_cli kway k.el parts=4")
+set_tests_properties([=[cli_kway]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_solve_dsl]=] "sh" "-c" "printf 'app T
+function ui compute=3 unoffloadable
+function heavy compute=200
+call ui heavy data=4
+' > t.dsl && /root/repo/build/tools/mecoff_cli simulate t.dsl")
+set_tests_properties([=[cli_solve_dsl]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_trace]=] "sh" "-c" "printf 'enter main 0.0
+enter work 0.1
+exit work 2.0
+exit main 2.1
+send main work 256
+pin main
+' > t.trace && /root/repo/build/tools/mecoff_cli trace t.trace")
+set_tests_properties([=[cli_trace]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_rejects_garbage]=] "sh" "-c" "! /root/repo/build/tools/mecoff_cli frobnicate && ! /root/repo/build/tools/mecoff_cli solve /nonexistent.dsl")
+set_tests_properties([=[cli_rejects_garbage]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_stats]=] "sh" "-c" "/root/repo/build/tools/mecoff_cli generate nodes=50 edges=200 > s.el && /root/repo/build/tools/mecoff_cli stats s.el")
+set_tests_properties([=[cli_stats]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_profile]=] "sh" "-c" "printf 'app P
+function ui compute=2 unoffloadable
+function w compute=90
+call ui w data=3
+' > p.dsl && /root/repo/build/tools/mecoff_cli solve p.dsl profile=lte_smallcell")
+set_tests_properties([=[cli_profile]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_scheme_roundtrip]=] "sh" "-c" "printf 'app R
+function ui compute=2 unoffloadable
+function w compute=150
+call ui w data=5
+' > r.dsl && /root/repo/build/tools/mecoff_cli solve r.dsl out=r.scheme && /root/repo/build/tools/mecoff_cli simulate r.dsl scheme=r.scheme")
+set_tests_properties([=[cli_scheme_roundtrip]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")

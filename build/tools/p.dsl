@@ -1,0 +1,4 @@
+app P
+function ui compute=2 unoffloadable
+function w compute=90
+call ui w data=3

@@ -1,0 +1,4 @@
+app R
+function ui compute=2 unoffloadable
+function w compute=150
+call ui w data=5

@@ -1,0 +1,4 @@
+app T
+function ui compute=3 unoffloadable
+function heavy compute=200
+call ui heavy data=4
