@@ -1,11 +1,16 @@
-// Scalability — wall-clock of the full multi-user solve vs. user count.
+// Scalability — wall-clock of the full multi-user solve vs. user count,
+// and vs. thread count at a fixed user count.
 //
 // The paper runs 5000 users on Spark; this repo's claim is that the
 // replica-class lazy greedy makes the same scale interactive on one
-// core. The bench times the three phases separately (per-prototype
-// pipeline, Algorithm 2 greedy, final evaluate) and checks the total
-// grows sub-quadratically.
+// core, and that the per-user stage (compression + cut) then scales
+// with threads on top of that. The first table sweeps users serially
+// and checks sub-quadratic growth; the second pins 64 DISTINCT users
+// (no identical_user_period, so every user is real work) and sweeps
+// pool sizes, checking the pooled schemes stay bit-identical to the
+// serial one and reporting the per-stage breakdown from SolveStats.
 #include <cstdio>
+#include <thread>
 
 #include "common/stopwatch.hpp"
 #include "common/strings.hpp"
@@ -18,7 +23,7 @@ namespace {
 using namespace mecoff;
 using namespace mecoff::bench;
 
-int run() {
+int run_users_sweep() {
   std::vector<std::vector<std::string>> rows;
   std::vector<double> totals;
   std::vector<std::size_t> counts;
@@ -66,6 +71,86 @@ int run() {
   return 0;
 }
 
+int run_thread_sweep() {
+  // 64 distinct mid-size users: the per-user stage dominates, which is
+  // exactly what the parallel solve path is supposed to scale.
+  constexpr std::size_t kUsers = 64;
+  std::vector<mec::UserApp> users;
+  users.reserve(kUsers);
+  for (std::size_t u = 0; u < kUsers; ++u)
+    users.push_back(make_user(PaperScale{500, 2643}, /*seed=*/900 + u));
+  const mec::MecSystem system{multiuser_params(), std::move(users)};
+
+  mec::PipelineOptions opts;
+  opts.propagation = paper_propagation();
+
+  const auto solve_row = [&](const char* label, parallel::ThreadPool* pool,
+                             double serial_s, mec::OffloadingScheme* out) {
+    mec::PipelineOptions run_opts = opts;
+    run_opts.pool = pool;
+    mec::PipelineOffloader offloader(run_opts);
+    Stopwatch timer;
+    mec::OffloadingScheme scheme = offloader.solve(system);
+    const double solve_s = timer.elapsed_seconds();
+    const mec::PipelineOffloader::SolveStats& stats = offloader.last_stats();
+    std::vector<std::string> row{
+        label,
+        format_fixed(solve_s, 3) + " s",
+        format_fixed(stats.compress_seconds, 3) + " s",
+        format_fixed(stats.cut_seconds, 3) + " s",
+        format_fixed(stats.greedy_seconds, 3) + " s",
+        serial_s > 0.0 ? format_fixed(serial_s / solve_s, 2) + "x" : "-"};
+    if (out != nullptr) *out = std::move(scheme);
+    return std::make_pair(row, solve_s);
+  };
+
+  mec::OffloadingScheme serial_scheme;
+  std::vector<std::vector<std::string>> rows;
+  auto [serial_row, serial_s] =
+      solve_row("serial", nullptr, 0.0, &serial_scheme);
+  rows.push_back(std::move(serial_row));
+
+  bool identical = true;
+  double speedup_at_8 = 0.0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    mec::OffloadingScheme scheme;
+    auto [row, solve_s] = solve_row(
+        ("pool(" + std::to_string(threads) + ")").c_str(), &pool, serial_s,
+        &scheme);
+    rows.push_back(std::move(row));
+    identical = identical && (scheme == serial_scheme);
+    if (threads == 8) speedup_at_8 = serial_s / solve_s;
+  }
+
+  print_table("Scalability: 64 distinct users of 500 functions, "
+              "serial vs. pooled per-user solve (compress/cut are summed "
+              "task seconds; >wall clock when pooled)",
+              {"engine", "solve", "compress", "cut", "greedy", "speedup"},
+              rows);
+
+  print_shape_check("pooled schemes bit-identical to serial", identical);
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %u, speedup at 8 threads: %.2fx\n", cores,
+              speedup_at_8);
+  // The parallel efficiency claim needs hardware to back it; on smaller
+  // hosts the identity check above is the binding assertion.
+  if (cores >= 8) {
+    print_shape_check("solve >= 2x faster with 8 threads", speedup_at_8 >= 2.0);
+  } else {
+    // Oversubscribing 8 threads on a low-core host costs contention;
+    // only guard against a pathological slowdown there.
+    print_shape_check("8-thread pool no slower than 0.5x serial "
+                      "(low-core host: 2x speedup not enforced)",
+                      speedup_at_8 >= 0.5);
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() { return run(); }
+int main() {
+  const int rc = run_users_sweep();
+  if (rc != 0) return rc;
+  return run_thread_sweep();
+}

@@ -35,6 +35,15 @@ struct CompressionStats {
                : 1.0 - static_cast<double>(compressed_nodes) /
                            static_cast<double>(original_nodes);
   }
+
+  CompressionStats& operator+=(const CompressionStats& other) {
+    original_nodes += other.original_nodes;
+    original_edges += other.original_edges;
+    compressed_nodes += other.compressed_nodes;
+    compressed_edges += other.compressed_edges;
+    absorbed_edge_weight += other.absorbed_edge_weight;
+    return *this;
+  }
 };
 
 struct CompressionResult {

@@ -13,13 +13,8 @@ using graph::WeightedGraph;
 
 CompressionStats CompressionPipelineResult::aggregate_stats() const {
   CompressionStats total;
-  for (const CompressedComponent& comp : components) {
-    total.original_nodes += comp.compression.stats.original_nodes;
-    total.original_edges += comp.compression.stats.original_edges;
-    total.compressed_nodes += comp.compression.stats.compressed_nodes;
-    total.compressed_edges += comp.compression.stats.compressed_edges;
-    total.absorbed_edge_weight += comp.compression.stats.absorbed_edge_weight;
-  }
+  for (const CompressedComponent& comp : components)
+    total += comp.compression.stats;
   return total;
 }
 
@@ -91,12 +86,28 @@ CompressionPipelineResult compress_application(
     for (std::size_t c = 0; c < out.components.size(); ++c)
       process_component(c);
   } else {
-    // "create new process" per sub-graph (Line 6): one pool task each.
+    // "create new process" per sub-graph (Line 6): one pool task each,
+    // under a fresh group. The grouped wait_and_help keeps this safe
+    // when compress_application itself runs inside a pool task (the
+    // parallel per-user solve), and the deferred rethrow keeps later
+    // tasks from touching this frame's closures after an early failure
+    // unwinds it.
+    const parallel::ThreadPool::TaskGroup group = pool->make_group();
     std::vector<std::future<void>> futures;
     futures.reserve(out.components.size());
     for (std::size_t c = 0; c < out.components.size(); ++c)
-      futures.push_back(pool->submit([&, c] { process_component(c); }));
-    for (auto& f : futures) f.get();
+      futures.push_back(
+          pool->submit_to(group, [&, c] { process_component(c); }));
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+      try {
+        pool->wait_and_help(f, group);
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
   }
   return out;
 }

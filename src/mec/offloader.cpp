@@ -1,9 +1,13 @@
 #include "mec/offloader.hpp"
 
+#include <algorithm>
 #include <array>
+#include <exception>
+#include <future>
 
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
+#include "common/stopwatch.hpp"
 
 namespace mecoff::mec {
 
@@ -37,28 +41,40 @@ std::unique_ptr<graph::Bipartitioner> PipelineOffloader::make_cutter() const {
 OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
   MECOFF_EXPECTS(system.valid());
   stats_ = SolveStats{};
+  Stopwatch total_timer;
 
-  const std::unique_ptr<graph::Bipartitioner> cutter = make_cutter();
+  // Everything one per-user task produces. Tasks write only their own
+  // slot; stats are merged on the calling thread after the join, so
+  // SolveStats accumulation is race-free by construction.
+  struct UserSolve {
+    std::vector<Part> parts;
+    lpa::CompressionStats compression;
+    double compress_seconds = 0.0;
+    double cut_seconds = 0.0;
+  };
 
-  // Parts for one user, computed from scratch.
-  const auto parts_for_user = [&](std::size_t u) {
+  // Parts for one user, computed from scratch. Each invocation builds
+  // its own cutter: every backend seeds a fresh RNG per bipartition()
+  // call, so a private cutter yields the same cuts as the serial
+  // shared-cutter path while keeping tasks free of shared mutable
+  // state.
+  const auto solve_user = [&](std::size_t u) {
+    UserSolve out;
+    const std::unique_ptr<graph::Bipartitioner> cutter = make_cutter();
     const UserApp& user = system.users[u];
     const std::vector<bool> mask =
         user.unoffloadable.empty()
             ? std::vector<bool>(user.graph.num_nodes(), false)
             : user.unoffloadable;
+    Stopwatch compress_timer;
     const lpa::CompressionPipelineResult pipeline = lpa::compress_application(
         user.graph, mask, options_.propagation, options_.pool,
         user.components.empty() ? nullptr : &user.components);
+    out.compress_seconds = compress_timer.elapsed_seconds();
+    out.compression = pipeline.aggregate_stats();
 
-    const lpa::CompressionStats agg = pipeline.aggregate_stats();
-    stats_.compression.original_nodes += agg.original_nodes;
-    stats_.compression.original_edges += agg.original_edges;
-    stats_.compression.compressed_nodes += agg.compressed_nodes;
-    stats_.compression.compressed_edges += agg.compressed_edges;
-    stats_.compression.absorbed_edge_weight += agg.absorbed_edge_weight;
-
-    std::vector<Part> parts;
+    Stopwatch cut_timer;
+    std::vector<Part>& parts = out.parts;
     for (std::size_t c = 0; c < pipeline.components.size(); ++c) {
       const lpa::CompressedComponent& comp = pipeline.components[c];
       const graph::Bipartition cut =
@@ -124,31 +140,71 @@ OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
       for (Part& part : sides)
         if (!part.nodes.empty()) parts.push_back(std::move(part));
     }
-    return parts;
+    out.cut_seconds = cut_timer.elapsed_seconds();
+    return out;
   };
 
-  std::vector<Part> all_parts;
+  // Distinct users: the first `period` under identical_user_period
+  // (everyone else carries an identical graph), all of them otherwise.
+  const std::size_t num_users = system.num_users();
   const std::size_t period = options_.identical_user_period;
-  std::vector<std::vector<Part>> prototypes;
-  for (std::size_t u = 0; u < system.num_users(); ++u) {
-    if (period > 0 && u >= period) {
-      // Identical graph to user u % period: replicate its parts.
-      for (Part part : prototypes[u % period]) {
-        part.user = u;
-        all_parts.push_back(std::move(part));
+  const std::size_t distinct =
+      period > 0 ? std::min(period, num_users) : num_users;
+
+  // Algorithm 1's "in parallel": one independent task per distinct
+  // user. Compression and the cut are per-user; only the final greedy
+  // couples users, so tasks never touch shared state. The pool's
+  // help-while-wait makes the nested fan-out (this task → component
+  // compression → Lanczos SpMV) deadlock-free on the shared pool.
+  std::vector<UserSolve> solved(distinct);
+  if (options_.pool != nullptr && distinct > 1) {
+    const parallel::ThreadPool::TaskGroup group = options_.pool->make_group();
+    std::vector<std::future<void>> futures;
+    futures.reserve(distinct);
+    for (std::size_t u = 0; u < distinct; ++u)
+      futures.push_back(options_.pool->submit_to(
+          group, [&, u] { solved[u] = solve_user(u); }));
+    std::exception_ptr first_error;
+    for (std::future<void>& f : futures) {
+      try {
+        options_.pool->wait_and_help(f, group);
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
       }
-      continue;
     }
-    std::vector<Part> parts = parts_for_user(u);
-    if (period > 0) prototypes.push_back(parts);
-    for (Part& part : parts) all_parts.push_back(std::move(part));
+    if (first_error) std::rethrow_exception(first_error);
+  } else {
+    for (std::size_t u = 0; u < distinct; ++u) solved[u] = solve_user(u);
+  }
+
+  // Merge in user order on this thread: part order — and therefore the
+  // greedy's tie-breaking and the final scheme — is bit-identical to
+  // the serial path no matter how tasks interleaved. Replicated users
+  // copy their prototype's parts AND account its compression stats, so
+  // aggregate counters reflect every user, not just the prototypes.
+  std::vector<Part> all_parts;
+  for (std::size_t u = 0; u < num_users; ++u) {
+    const UserSolve& proto = solved[period > 0 ? u % period : u];
+    stats_.compression += proto.compression;
+    for (Part part : proto.parts) {
+      part.user = u;
+      all_parts.push_back(std::move(part));
+    }
+  }
+  for (const UserSolve& s : solved) {
+    stats_.compress_seconds += s.compress_seconds;
+    stats_.cut_seconds += s.cut_seconds;
   }
 
   stats_.num_parts = all_parts.size();
+  Stopwatch greedy_timer;
   const GreedyResult greedy =
       generate_scheme(system, all_parts, options_.greedy);
+  stats_.greedy_seconds = greedy_timer.elapsed_seconds();
   stats_.greedy_moves = greedy.moves;
   stats_.final_objective = greedy.objective_history.back();
+  stats_.total_seconds = total_timer.elapsed_seconds();
   return greedy.scheme;
 }
 

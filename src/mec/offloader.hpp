@@ -45,8 +45,11 @@ struct PipelineOptions {
   mincut::MaxFlowCutOptions maxflow;
   kl::KlOptions kl;
   GreedyOptions greedy;
-  /// Execution engine for compression tasks and the spectral SpMV;
-  /// null = fully serial (Fig. 9's "without Spark" configuration).
+  /// Execution engine: the per-user solve stage (compression + cut)
+  /// fans out one task per distinct user, and each of those reuses the
+  /// same pool for component compression and the spectral SpMV (the
+  /// pool is reentrant). null = fully serial (Fig. 9's "without Spark"
+  /// configuration). Schemes are bit-identical either way.
   parallel::ThreadPool* pool = nullptr;
   /// When > 0, users i and i mod period carry IDENTICAL graphs (the
   /// make_uniform_system layout): compression and cuts run once per
@@ -70,10 +73,20 @@ class PipelineOffloader final : public Offloader {
   [[nodiscard]] std::string name() const override;
 
   struct SolveStats {
-    lpa::CompressionStats compression;  ///< aggregate over users
+    lpa::CompressionStats compression;  ///< aggregate over ALL users,
+                                        ///< replicated users included
     std::size_t num_parts = 0;
     std::size_t greedy_moves = 0;
     double final_objective = 0.0;
+    /// Per-stage wall clock of the last solve(). `compress_seconds` and
+    /// `cut_seconds` are summed over the per-user tasks (CPU-seconds:
+    /// with a pool they may exceed the solve's wall clock); the greedy
+    /// is a single global pass, so `greedy_seconds` and `total_seconds`
+    /// are plain wall clock.
+    double compress_seconds = 0.0;
+    double cut_seconds = 0.0;
+    double greedy_seconds = 0.0;
+    double total_seconds = 0.0;
   };
   /// Diagnostics from the most recent solve().
   [[nodiscard]] const SolveStats& last_stats() const { return stats_; }

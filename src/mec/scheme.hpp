@@ -15,6 +15,10 @@ struct OffloadingScheme {
   /// placement[user][node].
   std::vector<std::vector<Placement>> placement;
 
+  /// Bitwise equality of placements — what the parallel-vs-serial
+  /// equivalence tests and the scalability bench assert.
+  [[nodiscard]] bool operator==(const OffloadingScheme&) const = default;
+
   /// Everything on the device (e_t = 0 by construction).
   [[nodiscard]] static OffloadingScheme all_local(const MecSystem& system);
 

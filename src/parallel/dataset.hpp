@@ -123,11 +123,25 @@ class Dataset {
   explicit Dataset(ThreadPool& pool) : pool_(&pool) {}
 
   void run_per_partition(const std::function<void(std::size_t)>& fn) const {
+    // Grouped help-while-wait: safe to call from inside a pool task
+    // (the waiting thread runs this section's own partitions), and the
+    // deferred rethrow keeps a failing partition from unwinding this
+    // frame while siblings still reference `fn`.
+    const ThreadPool::TaskGroup group = pool_->make_group();
     std::vector<std::future<void>> futures;
     futures.reserve(partitions_.size());
     for (std::size_t p = 0; p < partitions_.size(); ++p)
-      futures.push_back(pool_->submit([&fn, p] { fn(p); }));
-    for (auto& f : futures) f.get();
+      futures.push_back(pool_->submit_to(group, [&fn, p] { fn(p); }));
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+      try {
+        pool_->wait_and_help(f, group);
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
   }
 
   ThreadPool* pool_;

@@ -7,6 +7,13 @@
 
 namespace mecoff::parallel {
 
+namespace {
+// Which pool (if any) owns the calling thread. Set once per worker at
+// startup; in_worker_thread() compares it against `this`, so threads of
+// one pool are non-workers to every other pool.
+thread_local ThreadPool* tl_owner_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0)
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -24,17 +31,39 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+bool ThreadPool::in_worker_thread() const { return tl_owner_pool == this; }
+
+bool ThreadPool::try_run_one(TaskGroup group) {
+  std::function<void()> fn;
+  {
+    const std::scoped_lock lock(mutex_);
+    auto it = queue_.begin();
+    if (group != kNoGroup) {
+      // First queued task of this group; the scan is O(queue length)
+      // but queues stay short (≈3×threads chunks per section).
+      it = std::find_if(queue_.begin(), queue_.end(),
+                        [group](const Task& t) { return t.group == group; });
+    }
+    if (it == queue_.end()) return false;
+    fn = std::move(it->fn);
+    queue_.erase(it);
+  }
+  fn();
+  return true;
+}
+
 void ThreadPool::worker_loop() {
+  tl_owner_pool = this;
   while (true) {
-    std::function<void()> task;
+    std::function<void()> fn;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping and drained
-      task = std::move(queue_.front());
+      fn = std::move(queue_.front().fn);
       queue_.pop_front();
     }
-    task();
+    fn();
   }
 }
 
@@ -56,21 +85,25 @@ void ThreadPool::parallel_for_chunks(
       std::min(total, std::max<std::size_t>(1, 3 * thread_count()));
   const std::size_t chunk_size = (total + chunks - 1) / chunks;
 
+  const TaskGroup group = make_group();
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * chunk_size;
     if (lo >= end) break;
     const std::size_t hi = std::min(end, lo + chunk_size);
-    futures.push_back(submit([&fn, lo, hi] { fn(lo, hi); }));
+    futures.push_back(submit_to(group, [&fn, lo, hi] { fn(lo, hi); }));
   }
   // Wait for EVERY chunk before rethrowing: the chunks reference `fn`
   // (the caller's frame), so propagating the first exception while
   // later chunks are still running would leave them touching a
-  // destroyed closure.
+  // destroyed closure. The grouped wait_and_help makes this safe from
+  // inside a pool task: a waiting worker runs this section's own
+  // chunks itself instead of blocking on work stuck behind it.
   std::exception_ptr first_error;
   for (std::future<void>& f : futures) {
     try {
+      wait_and_help(f, group);
       f.get();
     } catch (...) {
       if (!first_error) first_error = std::current_exception();

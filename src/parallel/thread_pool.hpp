@@ -1,10 +1,29 @@
 // Fixed-size worker pool. This is the execution backend of the
 // mini-Spark engine (the repo's stand-in for the paper's Spark cluster):
-// per-subgraph label propagation and the blocked SpMV inside Lanczos
-// both fan out over it.
+// the per-user solve stage, per-subgraph label propagation and the
+// blocked SpMV inside Lanczos all fan out over it.
+//
+// The pool is REENTRANT: a task running on a worker may itself submit
+// work to the same pool and block on it (via wait_and_help or the
+// parallel_for family). A waiting worker "helps" — it drains and runs
+// queued tasks until its futures resolve — so nested parallel sections
+// (outer per-user solve → inner component compression → Lanczos SpMV
+// chunks) share one pool without deadlocking, even with a single
+// worker thread.
+//
+// Help is scoped by TASK GROUP: a parallel section tags its
+// submissions with a fresh group and waits on that group only, so a
+// helping thread never pulls an unrelated outer-level task onto its
+// stack (TBB-arena style). That bounds help-recursion to the logical
+// nesting depth of parallel sections and keeps per-stage timers
+// meaningful, instead of growing the stack with whatever happened to
+// be queued.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -16,6 +35,12 @@ namespace mecoff::parallel {
 
 class ThreadPool {
  public:
+  /// Tag tying one parallel section's submissions together. A grouped
+  /// wait_and_help only runs tasks of that group while waiting.
+  using TaskGroup = std::uint64_t;
+  /// The ungrouped default; an ungrouped wait helps ANY queued task.
+  static constexpr TaskGroup kNoGroup = 0;
+
   /// `threads == 0` means hardware_concurrency() (at least 1).
   explicit ThreadPool(std::size_t threads = 0);
 
@@ -27,24 +52,68 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
+  /// True when the calling thread is one of THIS pool's workers.
+  [[nodiscard]] bool in_worker_thread() const;
+
+  /// A fresh group id for one parallel section's submissions.
+  [[nodiscard]] TaskGroup make_group() {
+    return next_group_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Pop and run one queued task of `group` on the calling thread
+  /// (kNoGroup = any task). Returns false when no eligible task was
+  /// queued. Safe from any thread.
+  bool try_run_one(TaskGroup group = kNoGroup);
+
   /// Enqueue a task; the future resolves with its result (or exception).
   template <typename F>
   auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    return submit_to(kNoGroup, std::forward<F>(task));
+  }
+
+  /// submit() under a group tag, for a later grouped wait_and_help.
+  template <typename F>
+  auto submit_to(TaskGroup group, F&& task)
+      -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto packaged =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
     std::future<R> future = packaged->get_future();
     {
       const std::scoped_lock lock(mutex_);
-      queue_.emplace_back([packaged] { (*packaged)(); });
+      queue_.push_back(Task{group, [packaged] { (*packaged)(); }});
     }
     cv_.notify_one();
     return future;
   }
 
+  /// Block until `future` is ready. From a worker thread of this pool
+  /// the wait helps: queued tasks of `group` run on the calling thread
+  /// while it waits, which is what makes nested submit-and-wait safe —
+  /// the section that submitted the work can always execute it itself.
+  /// A task the future depends on that is already running on another
+  /// worker is covered by induction (that worker helps its own waits),
+  /// so the short poll below can only add latency, never deadlock.
+  /// Contract for grouped waits: the future's task was submitted to
+  /// `group` (or is already running). From a non-worker thread this is
+  /// a plain blocking wait.
+  template <typename R>
+  void wait_and_help(const std::future<R>& future,
+                     TaskGroup group = kNoGroup) {
+    using namespace std::chrono_literals;
+    if (!in_worker_thread()) {
+      future.wait();
+      return;
+    }
+    while (future.wait_for(0s) == std::future_status::timeout) {
+      if (!try_run_one(group)) future.wait_for(100us);
+    }
+  }
+
   /// Run fn(i) for i in [begin, end), partitioned into ~3×threads chunks
   /// and executed on the pool; blocks until all chunks finish.
-  /// Exceptions from chunks propagate (first one wins).
+  /// Exceptions from chunks propagate (first one wins). Reentrant: may
+  /// be called from inside a pool task.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
@@ -55,12 +124,18 @@ class ThreadPool {
       const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
+  struct Task {
+    TaskGroup group = kNoGroup;
+    std::function<void()> fn;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::atomic<TaskGroup> next_group_{1};
   bool stopping_ = false;
 };
 

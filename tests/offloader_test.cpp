@@ -154,6 +154,100 @@ TEST(PipelineOffloader, WorksWithThreadPool) {
   EXPECT_EQ(serial.placement, parallel_s.placement);
 }
 
+TEST(PipelineOffloader, ParallelSolveMatchesSerialOnDistinctUsers) {
+  // Seeded multi-user workload with all-distinct graphs, including a
+  // user whose every function is pinned (no parts at all): the pooled
+  // per-user fan-out must reproduce the serial scheme and objective
+  // bit for bit.
+  std::vector<UserApp> users;
+  for (std::uint64_t s = 40; s < 46; ++s) users.push_back(netgen_user(s, 80));
+  UserApp pinned_user = netgen_user(46, 40);
+  pinned_user.unoffloadable.assign(pinned_user.graph.num_nodes(), true);
+  users.push_back(pinned_user);
+  const MecSystem system{default_params(), std::move(users)};
+
+  PipelineOptions serial_opts = options_for(CutBackend::kSpectral);
+  PipelineOffloader serial_solver(serial_opts);
+  const OffloadingScheme serial = serial_solver.solve(system);
+
+  parallel::ThreadPool pool(4);
+  PipelineOptions pool_opts = serial_opts;
+  pool_opts.pool = &pool;
+  PipelineOffloader pool_solver(pool_opts);
+  const OffloadingScheme pooled = pool_solver.solve(system);
+
+  EXPECT_TRUE(serial == pooled);
+  EXPECT_EQ(serial_solver.last_stats().final_objective,
+            pool_solver.last_stats().final_objective);
+  EXPECT_EQ(serial_solver.last_stats().num_parts,
+            pool_solver.last_stats().num_parts);
+  // The all-pinned user contributes no parts but stays valid/local.
+  const std::size_t last = system.num_users() - 1;
+  for (const Placement p : pooled.placement[last])
+    EXPECT_EQ(p, Placement::kLocal);
+}
+
+TEST(PipelineOffloader, ParallelSolveMatchesSerialWithUserPeriod) {
+  const std::vector<UserApp> protos{netgen_user(50, 60), netgen_user(51, 60),
+                                    netgen_user(52, 60)};
+  const MecSystem system =
+      make_uniform_system(default_params(), protos, 12);
+
+  PipelineOptions serial_opts = options_for(CutBackend::kSpectral);
+  serial_opts.identical_user_period = protos.size();
+  PipelineOffloader serial_solver(serial_opts);
+  const OffloadingScheme serial = serial_solver.solve(system);
+
+  parallel::ThreadPool pool(3);
+  PipelineOptions pool_opts = serial_opts;
+  pool_opts.pool = &pool;
+  PipelineOffloader pool_solver(pool_opts);
+  const OffloadingScheme pooled = pool_solver.solve(system);
+
+  EXPECT_TRUE(serial == pooled);
+  EXPECT_EQ(serial_solver.last_stats().final_objective,
+            pool_solver.last_stats().final_objective);
+}
+
+TEST(PipelineOffloader, ReplicatedUsersAccountCompressionStats) {
+  // Regression: replicated users used to copy their prototype's parts
+  // without its compression counters, so aggregate stats reflected only
+  // the prototypes. The deduplicated solve must report the same totals
+  // as solving every user from scratch.
+  const std::vector<UserApp> protos{netgen_user(60, 60), netgen_user(61, 60)};
+  const MecSystem system = make_uniform_system(default_params(), protos, 6);
+
+  PipelineOffloader naive(options_for(CutBackend::kSpectral));
+  (void)naive.solve(system);
+  const lpa::CompressionStats& full = naive.last_stats().compression;
+
+  PipelineOptions dedup_opts = options_for(CutBackend::kSpectral);
+  dedup_opts.identical_user_period = protos.size();
+  PipelineOffloader dedup(dedup_opts);
+  (void)dedup.solve(system);
+  const lpa::CompressionStats& scaled = dedup.last_stats().compression;
+
+  EXPECT_EQ(scaled.original_nodes, full.original_nodes);
+  EXPECT_EQ(scaled.original_edges, full.original_edges);
+  EXPECT_EQ(scaled.compressed_nodes, full.compressed_nodes);
+  EXPECT_EQ(scaled.compressed_edges, full.compressed_edges);
+  EXPECT_DOUBLE_EQ(scaled.absorbed_edge_weight, full.absorbed_edge_weight);
+  // 6 users over 2 prototypes: totals are 3× one round of prototypes.
+  EXPECT_EQ(scaled.original_nodes % 3, 0u);
+}
+
+TEST(PipelineOffloader, StageTimingsArePopulated) {
+  MecSystem system{default_params(), {netgen_user(70), netgen_user(71)}};
+  PipelineOffloader offloader(options_for(CutBackend::kSpectral));
+  (void)offloader.solve(system);
+  const PipelineOffloader::SolveStats& stats = offloader.last_stats();
+  EXPECT_GT(stats.total_seconds, 0.0);
+  EXPECT_GT(stats.compress_seconds, 0.0);
+  EXPECT_GT(stats.cut_seconds, 0.0);
+  EXPECT_GE(stats.greedy_seconds, 0.0);
+  EXPECT_LE(stats.greedy_seconds, stats.total_seconds);
+}
+
 TEST(PipelineOffloader, EmptySystem) {
   MecSystem system{default_params(), {}};
   PipelineOffloader offloader(options_for(CutBackend::kSpectral));

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
@@ -84,6 +86,152 @@ TEST(ThreadPool, ParallelForExceptionPropagates) {
                                      throw std::runtime_error("bad");
                                  }),
                std::runtime_error);
+}
+
+// Runs `body` on a fresh thread and fails fast if it does not finish
+// within `timeout` — the watchdog for the reentrancy regression tests,
+// so a reintroduced nested-pool deadlock fails CI instead of hanging
+// it. Returns false on timeout (the stuck thread is detached; the test
+// process exits regardless).
+bool completes_within(std::chrono::seconds timeout,
+                      const std::function<void()>& body) {
+  std::promise<void> done;
+  std::future<void> done_future = done.get_future();
+  std::thread runner([&body, &done] {
+    body();
+    done.set_value();
+  });
+  if (done_future.wait_for(timeout) != std::future_status::ready) {
+    runner.detach();
+    return false;
+  }
+  runner.join();
+  return true;
+}
+
+TEST(ThreadPool, WorkerIdentityIsPerPool) {
+  ThreadPool pool(1);
+  ThreadPool other(1);
+  EXPECT_FALSE(pool.in_worker_thread());
+  EXPECT_TRUE(pool.submit([&] { return pool.in_worker_thread(); }).get());
+  EXPECT_FALSE(pool.submit([&] { return other.in_worker_thread(); }).get());
+}
+
+TEST(ThreadPool, TryRunOneDrainsQueueFromAnyThread) {
+  // Keep the single worker busy so submissions pile up, then drain them
+  // from the test thread.
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  auto blocker = pool.submit([&started, gate] {
+    started.set_value();
+    gate.wait();
+  });
+  started.get_future().wait();  // the worker holds the blocker, not the queue
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 5; ++i)
+    futures.push_back(pool.submit([&ran] { ++ran; }));
+  while (pool.try_run_one()) {
+  }
+  EXPECT_EQ(ran.load(), 5);
+  release.set_value();
+  blocker.get();
+  for (auto& f : futures) f.get();
+}
+
+TEST(ThreadPool, TryRunOneRespectsTaskGroups) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  auto blocker = pool.submit([&started, gate] {
+    started.set_value();
+    gate.wait();
+  });
+  started.get_future().wait();
+
+  const ThreadPool::TaskGroup mine = pool.make_group();
+  const ThreadPool::TaskGroup other = pool.make_group();
+  std::atomic<int> mine_ran{0};
+  std::atomic<int> other_ran{0};
+  std::vector<std::future<void>> futures;
+  futures.push_back(pool.submit_to(other, [&] { ++other_ran; }));
+  futures.push_back(pool.submit_to(mine, [&] { ++mine_ran; }));
+  futures.push_back(pool.submit_to(other, [&] { ++other_ran; }));
+  futures.push_back(pool.submit_to(mine, [&] { ++mine_ran; }));
+
+  // Grouped draining runs ONLY that group's tasks, regardless of queue
+  // position; the rest stay queued for the workers.
+  while (pool.try_run_one(mine)) {
+  }
+  EXPECT_EQ(mine_ran.load(), 2);
+  EXPECT_EQ(other_ran.load(), 0);
+  while (pool.try_run_one()) {
+  }
+  EXPECT_EQ(other_ran.load(), 2);
+  release.set_value();
+  blocker.get();
+  for (auto& f : futures) f.get();
+}
+
+// Regression for the nested-pool deadlock: a worker that called
+// parallel_for used to block in future::get() on chunks queued behind
+// itself, so any nesting on a 1-thread pool hung forever. With
+// help-while-wait the waiting worker runs those chunks itself.
+TEST(ThreadPool, NestedParallelForOnSingleThreadCompletes) {
+  std::atomic<int> hits{0};
+  const bool finished = completes_within(std::chrono::seconds(60), [&] {
+    ThreadPool pool(1);
+    pool.submit([&] { pool.parallel_for(0, 16, [&](std::size_t) { ++hits; }); })
+        .get();
+  });
+  ASSERT_TRUE(finished) << "nested parallel_for deadlocked (watchdog fired)";
+  EXPECT_EQ(hits.load(), 16);
+}
+
+TEST(ThreadPool, DoublyNestedParallelSectionsComplete) {
+  // The shape the parallel solve produces: outer per-user task →
+  // parallel_for over components → parallel_for_chunks over SpMV rows,
+  // all on one shared pool.
+  std::atomic<int> hits{0};
+  const bool finished = completes_within(std::chrono::seconds(60), [&] {
+    ThreadPool pool(2);
+    std::vector<std::future<void>> users;
+    for (int u = 0; u < 4; ++u) {
+      users.push_back(pool.submit([&] {
+        pool.parallel_for(0, 4, [&](std::size_t) {
+          pool.parallel_for_chunks(0, 8, [&](std::size_t lo, std::size_t hi) {
+            hits += static_cast<int>(hi - lo);
+          });
+        });
+      }));
+    }
+    for (auto& f : users) {
+      pool.wait_and_help(f);
+      f.get();
+    }
+  });
+  ASSERT_TRUE(finished) << "doubly nested sections deadlocked";
+  EXPECT_EQ(hits.load(), 4 * 4 * 8);
+}
+
+TEST(ThreadPool, NestedExceptionStillPropagates) {
+  ThreadPool pool(1);
+  auto outer = pool.submit([&] {
+    pool.parallel_for(0, 8, [](std::size_t i) {
+      if (i == 5) throw std::runtime_error("inner");
+    });
+  });
+  EXPECT_THROW((pool.wait_and_help(outer), outer.get()), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitAndHelpFromNonWorkerBlocksUntilReady) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 7; });
+  pool.wait_and_help(f);
+  EXPECT_EQ(f.get(), 7);
 }
 
 TEST(Dataset, ParallelizeAndCollectPreservesElements) {
