@@ -1,0 +1,88 @@
+// Chaos benchmarks (google-benchmark) for the fault-tolerant serving
+// path: the latency of a single failover step (the MTTR-critical
+// number — how long users of a dead box wait for a new placement) and
+// the throughput of full scripted chaos replays.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "mec/multiserver.hpp"
+#include "sim/chaos.hpp"
+#include "sim/fault_script.hpp"
+#include "support/workloads.hpp"
+
+namespace {
+
+using namespace mecoff;
+
+mec::MultiServerSystem chaos_system(std::size_t users,
+                                    std::size_t servers) {
+  mec::MultiServerSystem system;
+  system.device = bench::paper_params();
+  for (std::size_t s = 0; s < servers; ++s)
+    system.servers.push_back(
+        mec::ServerSpec{300.0 + 25.0 * static_cast<double>(s), 20.0, 8.0});
+  for (std::size_t i = 0; i < users; ++i)
+    system.users.push_back(
+        bench::make_user(bench::PaperScale{250, 1214}, 700 + i));
+  return system;
+}
+
+/// One server-crash failover step: orphan re-attachment plus the
+/// receiving groups' re-solves. Setup (the initial solve) is excluded
+/// via PauseTiming, so the measured cost is the recovery path alone.
+void BM_FailoverServerCrash(benchmark::State& state) {
+  const mec::MultiServerSystem system =
+      chaos_system(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    mec::FailoverController controller(system);
+    state.ResumeTiming();
+    const auto step = controller.on_server_failed(0);
+    benchmark::DoNotOptimize(step.ok());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FailoverServerCrash)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+/// Hysteresis fast path: a link flap the margin suppresses. This is the
+/// steady-state cost of a noisy radio — it should be FAR below the
+/// crash path because nothing is re-placed.
+void BM_FailoverSuppressedFlap(benchmark::State& state) {
+  const mec::MultiServerSystem system =
+      chaos_system(static_cast<std::size_t>(state.range(0)), 4);
+  mec::FailoverOptions options;
+  options.hysteresis_margin = 1e9;
+  mec::FailoverController controller(system, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.on_link_degraded(1, 0.3).ok());
+    benchmark::DoNotOptimize(controller.on_link_restored(1).ok());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_FailoverSuppressedFlap)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+/// Full chaos replay: a seeded random crash/degrade/disconnect script
+/// run end to end through the DES + failover controller.
+void BM_ChaosScriptedReplay(benchmark::State& state) {
+  const mec::MultiServerSystem system =
+      chaos_system(static_cast<std::size_t>(state.range(0)), 3);
+  sim::RandomFaultParams params;
+  params.servers = system.servers.size();
+  params.users = system.users.size();
+  params.events = 12;
+  const sim::FaultScript script = sim::FaultScript::random(params);
+  for (auto _ : state) {
+    const auto outcome = sim::run_chaos(system, script);
+    benchmark::DoNotOptimize(outcome.ok());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(script.size()));
+}
+BENCHMARK(BM_ChaosScriptedReplay)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

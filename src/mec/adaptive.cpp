@@ -64,9 +64,14 @@ std::vector<Part> parts_for(const UserApp& user,
 }  // namespace
 
 AdaptiveCoordinator::AdaptiveCoordinator(SystemParams params,
-                                         PipelineOptions options)
-    : params_(params), options_(std::move(options)) {
+                                         PipelineOptions options,
+                                         DegradePolicy degrade)
+    : params_(params),
+      nominal_params_(params),
+      options_(std::move(options)),
+      degrade_(degrade) {
   MECOFF_EXPECTS(params_.valid());
+  MECOFF_EXPECTS(degrade_.hysteresis_margin >= 0.0);
 }
 
 MecSystem AdaptiveCoordinator::compact_system(
@@ -180,6 +185,44 @@ SystemCost AdaptiveCoordinator::current_cost() const {
 double AdaptiveCoordinator::drift() const {
   if (active_users() == 0) return 0.0;
   return current_cost().objective() - fresh_solve().second.objective();
+}
+
+std::size_t AdaptiveCoordinator::replace_for_health_change() {
+  if (active_users() == 0) return 0;
+  // Both costs are priced under the NEW params: the question is whether
+  // the placements (not the world) should change.
+  const double before = current_cost().objective();
+  const auto [scheme, cost] = fresh_solve();
+  if (before - cost.objective() <=
+      degrade_.hysteresis_margin * before) {
+    ++suppressed_;
+    return 0;
+  }
+  std::vector<std::size_t> ids;
+  (void)compact_system(ids);
+  std::size_t changed = 0;
+  for (std::size_t u = 0; u < ids.size(); ++u) {
+    if (slots_[ids[u]]->placement != scheme.placement[u]) ++changed;
+    slots_[ids[u]]->placement = scheme.placement[u];
+  }
+  return changed;
+}
+
+std::size_t AdaptiveCoordinator::on_server_degraded(double capacity_factor,
+                                                    double bandwidth_factor) {
+  MECOFF_EXPECTS(capacity_factor > 0.0 && capacity_factor <= 1.0);
+  MECOFF_EXPECTS(bandwidth_factor > 0.0 && bandwidth_factor <= 1.0);
+  params_.server_capacity = nominal_params_.server_capacity * capacity_factor;
+  params_.bandwidth = nominal_params_.bandwidth * bandwidth_factor;
+  degraded_ = capacity_factor < 1.0 || bandwidth_factor < 1.0;
+  return replace_for_health_change();
+}
+
+std::size_t AdaptiveCoordinator::on_server_recovered() {
+  if (!degraded_) return 0;
+  params_ = nominal_params_;
+  degraded_ = false;
+  return replace_for_health_change();
 }
 
 double AdaptiveCoordinator::reoptimize() {

@@ -26,9 +26,18 @@
 
 namespace mecoff::mec {
 
+/// Flap suppression for the degrade/recover hooks: a re-placement
+/// triggered by a server-health change is adopted only when it improves
+/// the objective by more than `hysteresis_margin` (relative), so a
+/// link oscillating around a threshold cannot thrash placements.
+struct DegradePolicy {
+  double hysteresis_margin = 0.05;
+};
+
 class AdaptiveCoordinator {
  public:
-  AdaptiveCoordinator(SystemParams params, PipelineOptions options = {});
+  AdaptiveCoordinator(SystemParams params, PipelineOptions options = {},
+                      DegradePolicy degrade = {});
 
   /// Admit a user; returns a stable id. The user's functions are
   /// compressed, cut and placed immediately (existing users frozen).
@@ -59,6 +68,26 @@ class AdaptiveCoordinator {
   /// least as good).
   double reoptimize();
 
+  /// The edge box degraded: capacity (and optionally the link) drop to
+  /// the given fractions of nominal, both in (0, 1]. Users are
+  /// re-placed via a fresh global solve adopted only past the
+  /// hysteresis margin. Returns the number of users whose placement
+  /// changed (0 when suppressed, empty, or unchanged).
+  std::size_t on_server_degraded(double capacity_factor,
+                                 double bandwidth_factor = 1.0);
+
+  /// Health restored to nominal; same hysteresis-gated re-placement.
+  /// No-op (returns 0) when not degraded.
+  std::size_t on_server_recovered();
+
+  [[nodiscard]] bool server_degraded() const { return degraded_; }
+
+  /// Degrade/recover re-placements the hysteresis margin rejected —
+  /// the flap-suppression counter an operator would alarm on.
+  [[nodiscard]] std::size_t suppressed_replacements() const {
+    return suppressed_;
+  }
+
  private:
   struct Slot {
     UserApp app;
@@ -77,9 +106,17 @@ class AdaptiveCoordinator {
   /// Solve the compact system from scratch; returns scheme + cost.
   [[nodiscard]] std::pair<OffloadingScheme, SystemCost> fresh_solve() const;
 
-  SystemParams params_;
+  /// Hysteresis-gated global re-placement after a health change;
+  /// returns the number of users whose placement changed.
+  std::size_t replace_for_health_change();
+
+  SystemParams params_;          ///< current (possibly degraded) params
+  SystemParams nominal_params_;  ///< as constructed
   PipelineOptions options_;
+  DegradePolicy degrade_;
   std::vector<std::optional<Slot>> slots_;
+  bool degraded_ = false;
+  std::size_t suppressed_ = 0;
 };
 
 }  // namespace mecoff::mec

@@ -43,6 +43,14 @@ OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
   stats_ = SolveStats{};
   Stopwatch total_timer;
 
+  // Degrade-don't-die budget, shared read-only by every task (steady
+  // clock reads are thread-safe). Checked between sub-graph cuts.
+  const double deadline_seconds = options_.deadline.seconds;
+  const auto deadline_expired = [&total_timer, deadline_seconds] {
+    return deadline_seconds >= 0.0 &&
+           total_timer.elapsed_seconds() >= deadline_seconds;
+  };
+
   // Everything one per-user task produces. Tasks write only their own
   // slot; stats are merged on the calling thread after the join, so
   // SolveStats accumulation is race-free by construction.
@@ -51,6 +59,9 @@ OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
     lpa::CompressionStats compression;
     double compress_seconds = 0.0;
     double cut_seconds = 0.0;
+    std::size_t spectral_nonconverged = 0;
+    std::size_t fallback_kl_cuts = 0;
+    std::size_t fallback_all_remote = 0;
   };
 
   // Parts for one user, computed from scratch. Each invocation builds
@@ -75,10 +86,57 @@ OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
 
     Stopwatch cut_timer;
     std::vector<Part>& parts = out.parts;
+
+    // The terminal leg of the fallback chain: the whole sub-graph as
+    // one uncut all-remote part (the greedy may still retreat it to
+    // the device as a unit).
+    const auto push_all_remote = [&](std::size_t c) {
+      const lpa::CompressedComponent& comp = pipeline.components[c];
+      Part part;
+      part.user = u;
+      part.group = c;
+      for (graph::NodeId super = 0;
+           super < comp.compression.compressed.num_nodes(); ++super) {
+        for (const graph::NodeId orig : pipeline.original_members(c, super)) {
+          part.nodes.push_back(orig);
+          part.weight += user.graph.node_weight(orig);
+        }
+      }
+      if (!part.nodes.empty()) parts.push_back(std::move(part));
+      ++out.fallback_all_remote;
+    };
+
+    // Non-convergence is only observable on the spectral backend.
+    auto* spectral_cutter =
+        options_.backend == CutBackend::kSpectral
+            ? static_cast<spectral::SpectralBipartitioner*>(cutter.get())
+            : nullptr;
+    std::unique_ptr<kl::KernighanLinBipartitioner> kl_fallback;
+
     for (std::size_t c = 0; c < pipeline.components.size(); ++c) {
       const lpa::CompressedComponent& comp = pipeline.components[c];
-      const graph::Bipartition cut =
+      if (deadline_expired()) {
+        push_all_remote(c);
+        continue;
+      }
+      graph::Bipartition cut =
           cutter->bipartition(comp.compression.compressed);
+      if (spectral_cutter != nullptr && !spectral_cutter->last_converged()) {
+        // Fallback chain: a below-tolerance Fiedler vector is a guess,
+        // not a cut — recut combinatorially (KL) while budget remains,
+        // else degrade the sub-graph to all-remote.
+        ++out.spectral_nonconverged;
+        if (!deadline_expired()) {
+          if (kl_fallback == nullptr)
+            kl_fallback = std::make_unique<kl::KernighanLinBipartitioner>(
+                options_.kl);
+          cut = kl_fallback->bipartition(comp.compression.compressed);
+          ++out.fallback_kl_cuts;
+        } else {
+          push_all_remote(c);
+          continue;
+        }
+      }
 
       // One part per non-empty cut side, in ORIGINAL node ids.
       std::array<Part, 2> sides;
@@ -195,7 +253,11 @@ OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
   for (const UserSolve& s : solved) {
     stats_.compress_seconds += s.compress_seconds;
     stats_.cut_seconds += s.cut_seconds;
+    stats_.spectral_nonconverged += s.spectral_nonconverged;
+    stats_.fallback_kl_cuts += s.fallback_kl_cuts;
+    stats_.fallback_all_remote += s.fallback_all_remote;
   }
+  stats_.deadline_expired = deadline_expired();
 
   stats_.num_parts = all_parts.size();
   Stopwatch greedy_timer;

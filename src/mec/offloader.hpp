@@ -38,6 +38,25 @@ class Offloader {
 
 enum class CutBackend { kSpectral, kMaxFlow, kKernighanLin };
 
+/// Degrade-don't-die budget for one solve() call. When the budget is
+/// spent (or the eigensolver comes back below tolerance) the cut step
+/// walks a fallback chain per sub-graph — spectral → Kernighan–Lin →
+/// all-remote — so the solve ALWAYS returns a valid scheme: degraded
+/// quality, never a hang, never UB. A zero budget is already expired
+/// and degrades every sub-graph straight to the terminal all-remote
+/// fallback (the greedy still runs, so whole components may yet be
+/// pulled local).
+///
+/// The deadline is checked between sub-graph cuts; a single cut is
+/// itself bounded by the eigensolver/KL iteration caps, so the overrun
+/// past the budget is one bounded cut, not unbounded.
+struct SolveDeadline {
+  /// Wall-clock budget in seconds; negative = unlimited.
+  double seconds = -1.0;
+
+  [[nodiscard]] bool unlimited() const { return seconds < 0.0; }
+};
+
 struct PipelineOptions {
   lpa::PropagationConfig propagation;
   CutBackend backend = CutBackend::kSpectral;
@@ -62,6 +81,10 @@ struct PipelineOptions {
   /// remote (the literal all-V2 start). Ablated in
   /// bench_ablation_initialization.
   bool anchor_initial_parts = true;
+  /// Solve budget; see SolveDeadline. NOTE: a wall-clock deadline makes
+  /// the scheme depend on machine speed — bit-identical replays need it
+  /// unlimited (the default) or zero (deterministically expired).
+  SolveDeadline deadline;
 };
 
 class PipelineOffloader final : public Offloader {
@@ -87,6 +110,20 @@ class PipelineOffloader final : public Offloader {
     double cut_seconds = 0.0;
     double greedy_seconds = 0.0;
     double total_seconds = 0.0;
+    /// Degrade-don't-die diagnostics, counted over DISTINCT users (the
+    /// solver work actually performed — replicas reuse their
+    /// prototype's cuts). The fallback chain per sub-graph is
+    /// spectral → Kernighan–Lin → all-remote.
+    std::size_t spectral_nonconverged = 0;  ///< Fiedler below tolerance
+    std::size_t fallback_kl_cuts = 0;       ///< sub-graphs recut with KL
+    std::size_t fallback_all_remote = 0;    ///< sub-graphs never cut
+    bool deadline_expired = false;
+
+    /// Any degraded cut in the last solve()?
+    [[nodiscard]] bool degraded() const {
+      return spectral_nonconverged > 0 || fallback_kl_cuts > 0 ||
+             fallback_all_remote > 0;
+    }
   };
   /// Diagnostics from the most recent solve().
   [[nodiscard]] const SolveStats& last_stats() const { return stats_; }

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/contracts.hpp"
+#include "common/rng.hpp"
 #include "sim/engine.hpp"
 #include "sim/resources.hpp"
 
@@ -49,6 +50,8 @@ Result<DagReport> execute_dag(const mec::MecSystem& system,
                               const DagOptions& options) {
   if (!system.valid()) return Error("invalid system");
   if (!scheme.valid_for(system)) return Error("scheme does not fit system");
+  if (!options.remote_faults.valid())
+    return Error("invalid remote fault model");
   if (apps.size() != system.num_users())
     return Error("need one Application per user");
   for (std::size_t u = 0; u < apps.size(); ++u) {
@@ -77,8 +80,13 @@ Result<DagReport> execute_dag(const mec::MecSystem& system,
   };
   std::vector<UserState> states(apps.size());
 
-  // Forward declaration of the per-task launcher.
+  // Forward declarations of the per-task launcher and the attempt
+  // runner (retries re-enter the latter).
   std::function<void(std::size_t, std::size_t)> launch;
+  std::function<void(std::size_t, std::size_t, std::size_t)> run_attempt;
+
+  const RemoteFaultModel& faults = options.remote_faults;
+  Rng fault_rng(faults.seed);
 
   const auto on_function_done = [&](std::size_t u, std::size_t v,
                                     double now) {
@@ -90,16 +98,68 @@ Result<DagReport> execute_dag(const mec::MecSystem& system,
       if (--st.pending[w] == 0) launch(u, w);
   };
 
+  // One compute attempt of function v. `attempt` counts prior failures;
+  // past the retry budget the task re-places on the device (the
+  // degrade-don't-die terminal: it ALWAYS completes somewhere).
+  run_attempt = [&](std::size_t u, std::size_t v, std::size_t attempt) {
+    const bool wants_remote =
+        scheme.placement[u][v] == mec::Placement::kRemote;
+    const double work = apps[u].function(v).computation;
+    const bool fell_back_local =
+        wants_remote && faults.enabled() && attempt > faults.max_retries;
+    const bool remote = wants_remote && !fell_back_local;
+    if (fell_back_local) ++report.local_fallbacks;
+
+    if (remote && faults.enabled() &&
+        fault_rng.bernoulli(faults.kill_probability)) {
+      // This attempt dies mid-run: it occupies the shared server for a
+      // uniform fraction of its service (delaying everyone behind it),
+      // then the executor backs off and retries.
+      const double fraction = fault_rng.uniform();
+      ++report.remote_kills;
+      server.submit(work * fraction, [&report, &engine, &faults,
+                                      &run_attempt, u, v,
+                                      attempt](const JobStats& stats) {
+        report.wasted_server_time += stats.sojourn() - stats.wait();
+        double delay = faults.backoff_base;
+        for (std::size_t i = 0; i < attempt; ++i)
+          delay *= faults.backoff_factor;
+        delay = std::min(delay, faults.backoff_cap);
+        ++report.remote_retries;
+        engine.schedule_after(
+            delay, [&run_attempt, u, v, attempt] {
+              run_attempt(u, v, attempt + 1);
+            });
+      });
+      return;
+    }
+
+    const auto on_done = [&report, u, v, remote, on_function_done,
+                          &options](const JobStats& stats) {
+      DagUserOutcome& oc = report.users[u];
+      const double service = stats.sojourn() - stats.wait();
+      (remote ? oc.server_busy : oc.device_busy) += service;
+      if (options.record_traces)
+        oc.tasks.push_back(
+            TaskTrace{v, stats.started, stats.completed, remote});
+      on_function_done(u, v, stats.completed);
+    };
+    if (remote)
+      server.submit(work, on_done);
+    else
+      states[u].cpu->submit(work, on_done);
+  };
+
   launch = [&](std::size_t u, std::size_t v) {
     const appmodel::Application& app = apps[u];
     UserState& st = states[u];
     const bool remote =
         scheme.placement[u][v] == mec::Placement::kRemote;
-    const double work = app.function(v).computation;
 
     // Transfers for incoming cross-boundary edges happen when the
     // producer finishes; here we charge them as a link task preceding
     // the function (upload or download — both occupy the radio).
+    // Retries and the local fallback reuse this one transfer.
     double transfer_amount = 0.0;
     for (const appmodel::DataExchange& x : app.exchanges()) {
       if (x.to != v) continue;
@@ -108,40 +168,15 @@ Result<DagReport> execute_dag(const mec::MecSystem& system,
       if (producer_remote != remote) transfer_amount += x.amount;
     }
 
-    const auto start_compute = [&engine, &report, &server, &states, u, v,
-                                remote, work, on_function_done,
-                                &options]() {
-      UserState& state = states[u];
-      DagUserOutcome& outcome = report.users[u];
-      const auto on_done = [&report, u, v, remote, work, on_function_done,
-                            &options](const JobStats& stats) {
-        DagUserOutcome& oc = report.users[u];
-        const double service = stats.sojourn() - stats.wait();
-        (remote ? oc.server_busy : oc.device_busy) += service;
-        if (options.record_traces)
-          oc.tasks.push_back(
-              TaskTrace{v, stats.started, stats.completed, remote});
-        on_function_done(u, v, stats.completed);
-        (void)work;
-      };
-      if (remote)
-        server.submit(work, on_done);
-      else
-        state.cpu->submit(work, on_done);
-      (void)outcome;
-    };
-
     if (transfer_amount > 0.0) {
       st.link->submit(transfer_amount,
-                      [&states, &report, u, start_compute](
-                          const JobStats& stats) {
+                      [&report, &run_attempt, u, v](const JobStats& stats) {
                         report.users[u].link_busy +=
                             stats.sojourn() - stats.wait();
-                        start_compute();
-                        (void)states;
+                        run_attempt(u, v, 0);
                       });
     } else {
-      start_compute();
+      run_attempt(u, v, 0);
     }
   };
 

@@ -19,6 +19,7 @@
 // call_graph_is_acyclic() or let execute_dag() return an Error.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -54,12 +55,43 @@ struct DagReport {
   double makespan = 0.0;      ///< across users
   double total_energy = 0.0;  ///< Σ per-user energies
   std::size_t events = 0;
+  /// Fault-injection outcomes (all zero with injection disabled).
+  std::size_t remote_kills = 0;      ///< attempts that died mid-run
+  std::size_t remote_retries = 0;    ///< backoff re-submissions
+  std::size_t local_fallbacks = 0;   ///< tasks re-placed on the device
+  double wasted_server_time = 0.0;   ///< service consumed by dead attempts
+};
+
+/// Mid-run remote-task death model. Each remote attempt is killed with
+/// `kill_probability`, consuming a uniform fraction of its service time
+/// on the (shared, FIFO) server before dying; the executor retries
+/// after capped exponential backoff and re-places the task on the
+/// device once the retry budget is spent — the task ALWAYS completes.
+/// Retries reuse the data already uploaded (no re-transfer); the local
+/// fallback likewise runs on what the device already holds, a mild
+/// optimism documented here rather than modeled. Deterministic from
+/// `seed` (the DES is single-threaded, so draw order is fixed).
+struct RemoteFaultModel {
+  double kill_probability = 0.0;  ///< 0 disables injection
+  std::size_t max_retries = 3;
+  double backoff_base = 0.05;    ///< delay before the first retry
+  double backoff_factor = 2.0;   ///< growth per further retry
+  double backoff_cap = 1.0;      ///< ceiling on any single delay
+  std::uint64_t seed = 0xfa5710;
+
+  [[nodiscard]] bool enabled() const { return kill_probability > 0.0; }
+  [[nodiscard]] bool valid() const {
+    return kill_probability >= 0.0 && kill_probability <= 1.0 &&
+           backoff_base >= 0.0 && backoff_factor >= 1.0 &&
+           backoff_cap >= 0.0;
+  }
 };
 
 struct DagOptions {
   /// When true, results also carry the per-task traces (memory-heavy
   /// for big systems; examples and tests want them, benches do not).
   bool record_traces = true;
+  RemoteFaultModel remote_faults;
 };
 
 /// Execute `scheme` with per-function granularity. `apps[u]` supplies

@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include <limits>
+
 #include "common/contracts.hpp"
 
 namespace mecoff::sim {
@@ -15,8 +17,24 @@ void SimEngine::schedule_after(SimTime delay, std::function<void()> fn) {
 }
 
 SimTime SimEngine::run() {
+  return run_core(std::numeric_limits<SimTime>::infinity(), SIZE_MAX);
+}
+
+SimTime SimEngine::run(std::size_t max_events) {
+  return run_core(std::numeric_limits<SimTime>::infinity(), max_events);
+}
+
+SimTime SimEngine::run_until(SimTime horizon) {
+  MECOFF_EXPECTS(horizon >= now_);
+  run_core(horizon, SIZE_MAX);
+  if (now_ < horizon) now_ = horizon;
+  return now_;
+}
+
+SimTime SimEngine::run_core(SimTime horizon, std::size_t max_events) {
   executed_ = 0;
-  while (!queue_.empty()) {
+  while (!queue_.empty() && executed_ < max_events &&
+         queue_.top().time <= horizon) {
     // priority_queue::top is const; the handler is moved out via a copy
     // of the wrapper before pop (handlers are cheap shared closures).
     Event event = queue_.top();

@@ -27,10 +27,27 @@ class SimEngine {
   void schedule_after(SimTime delay, std::function<void()> fn);
 
   /// Run until the queue drains; returns the final clock value.
+  ///
+  /// HAZARD: unbounded. A handler that perpetually reschedules itself
+  /// (a polling loop, a flapping link) makes this spin forever; when
+  /// handlers are not known to terminate, use run_until() or the
+  /// max-event overload instead.
   SimTime run();
 
-  /// Number of events executed by the last run().
+  /// Run events with time <= `horizon` (>= now); later events stay
+  /// queued. The clock ends at `horizon` even if the queue drained
+  /// earlier, so follow-up schedule_after() calls are horizon-relative.
+  SimTime run_until(SimTime horizon);
+
+  /// Run at most `max_events` events, stopping earlier if the queue
+  /// drains. The budget backstop for chaos runs and fault scripts.
+  SimTime run(std::size_t max_events);
+
+  /// Number of events executed by the last run()/run_until().
   [[nodiscard]] std::size_t events_executed() const { return executed_; }
+
+  /// Events still queued (nonzero after a horizon/budget stop).
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
  private:
   struct Event {
@@ -43,6 +60,8 @@ class SimEngine {
       return a.time != b.time ? a.time > b.time : a.seq > b.seq;
     }
   };
+
+  SimTime run_core(SimTime horizon, std::size_t max_events);
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;

@@ -1,0 +1,181 @@
+#include "sim/fault_script.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace mecoff::sim {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kServerCrash: return "crash";
+    case FaultKind::kServerRecover: return "recover";
+    case FaultKind::kLinkDegrade: return "degrade";
+    case FaultKind::kLinkRestore: return "restore";
+    case FaultKind::kUserDisconnect: return "disconnect";
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::describe() const {
+  // %.17g round-trips doubles exactly, so describe() output is a
+  // faithful replay key, not just a display string.
+  char buffer[128];
+  if (kind == FaultKind::kLinkDegrade) {
+    std::snprintf(buffer, sizeof(buffer), "at %.17g %s %zu %.17g", time,
+                  to_string(kind), target, severity);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "at %.17g %s %zu", time,
+                  to_string(kind), target);
+  }
+  return buffer;
+}
+
+FaultScript& FaultScript::add(FaultEvent event) {
+  MECOFF_EXPECTS(std::isfinite(event.time) && event.time >= 0.0);
+  if (event.kind == FaultKind::kLinkDegrade)
+    MECOFF_EXPECTS(event.severity > 0.0 && event.severity < 1.0);
+  events_.push_back(event);
+  return *this;
+}
+
+FaultScript& FaultScript::crash_server(SimTime t, std::size_t server) {
+  return add(FaultEvent{t, FaultKind::kServerCrash, server, 0.0});
+}
+
+FaultScript& FaultScript::recover_server(SimTime t, std::size_t server) {
+  return add(FaultEvent{t, FaultKind::kServerRecover, server, 0.0});
+}
+
+FaultScript& FaultScript::degrade_link(SimTime t, std::size_t server,
+                                       double severity) {
+  return add(FaultEvent{t, FaultKind::kLinkDegrade, server, severity});
+}
+
+FaultScript& FaultScript::restore_link(SimTime t, std::size_t server) {
+  return add(FaultEvent{t, FaultKind::kLinkRestore, server, 0.0});
+}
+
+FaultScript& FaultScript::disconnect_user(SimTime t, std::size_t user) {
+  return add(FaultEvent{t, FaultKind::kUserDisconnect, user, 0.0});
+}
+
+std::vector<FaultEvent> FaultScript::ordered() const {
+  std::vector<FaultEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+  return sorted;
+}
+
+void FaultScript::arm(SimEngine& engine,
+                      std::function<void(const FaultEvent&)> handler) const {
+  MECOFF_EXPECTS(handler != nullptr);
+  // Scheduling in replay order keeps same-instant faults firing in the
+  // script's insertion order (the engine tie-breaks FIFO).
+  for (const FaultEvent& event : ordered())
+    engine.schedule_at(event.time,
+                       [event, handler] { handler(event); });
+}
+
+std::string FaultScript::to_text() const {
+  std::ostringstream out;
+  for (const FaultEvent& event : ordered()) out << event.describe() << '\n';
+  return out.str();
+}
+
+Result<FaultScript> FaultScript::parse(const std::string& text) {
+  FaultScript script;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed{trim(line)};
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto fail = [&](const std::string& why) {
+      return Error("fault script line " + std::to_string(line_no) + ": " +
+                   why);
+    };
+
+    std::istringstream fields(trimmed);
+    std::string at_word, kind_word;
+    double time = 0.0;
+    std::size_t target = 0;
+    if (!(fields >> at_word >> time >> kind_word >> target) ||
+        at_word != "at")
+      return fail("expected 'at <time> <fault> <target>'");
+    if (!std::isfinite(time) || time < 0.0)
+      return fail("fault time must be finite and non-negative");
+
+    FaultEvent event;
+    event.time = time;
+    event.target = target;
+    event.severity = 0.0;  // meaningful for degrade only; normalized so
+                           // parse(to_text(s)) reproduces s exactly
+    if (kind_word == "crash") {
+      event.kind = FaultKind::kServerCrash;
+    } else if (kind_word == "recover") {
+      event.kind = FaultKind::kServerRecover;
+    } else if (kind_word == "degrade") {
+      event.kind = FaultKind::kLinkDegrade;
+      if (!(fields >> event.severity))
+        return fail("degrade needs a severity");
+      if (!(event.severity > 0.0 && event.severity < 1.0))
+        return fail("degrade severity must be in (0, 1)");
+    } else if (kind_word == "restore") {
+      event.kind = FaultKind::kLinkRestore;
+    } else if (kind_word == "disconnect") {
+      event.kind = FaultKind::kUserDisconnect;
+    } else {
+      return fail("unknown fault '" + kind_word + "'");
+    }
+    std::string extra;
+    if (fields >> extra) return fail("trailing garbage '" + extra + "'");
+    script.add(event);
+  }
+  return script;
+}
+
+FaultScript FaultScript::random(const RandomFaultParams& params) {
+  MECOFF_EXPECTS(params.servers > 0);
+  MECOFF_EXPECTS(params.horizon > 0.0);
+  Rng rng(params.seed);
+  FaultScript script;
+  for (std::size_t i = 0; i < params.events; ++i) {
+    // Episodes start inside the first 80% of the horizon so paired
+    // recoveries have room to land before it.
+    const SimTime t = rng.uniform(0.0, params.horizon * 0.8);
+    const bool recovers = rng.bernoulli(params.recovery_probability);
+    const SimTime recover_at =
+        t + rng.uniform(params.horizon * 0.01, params.horizon * 0.19);
+    const bool can_disconnect = params.users > 0;
+    const std::size_t die = rng.index(can_disconnect ? 3 : 2);
+    switch (die) {
+      case 0: {
+        const std::size_t server = rng.index(params.servers);
+        script.crash_server(t, server);
+        if (recovers) script.recover_server(recover_at, server);
+        break;
+      }
+      case 1: {
+        const std::size_t server = rng.index(params.servers);
+        script.degrade_link(t, server, rng.uniform(0.05, 0.95));
+        if (recovers) script.restore_link(recover_at, server);
+        break;
+      }
+      default:
+        script.disconnect_user(t, rng.index(params.users));
+        break;
+    }
+  }
+  return script;
+}
+
+}  // namespace mecoff::sim

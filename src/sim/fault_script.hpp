@@ -1,0 +1,105 @@
+// Scripted fault injection for the DES.
+//
+// A FaultScript is a time-ordered list of infrastructure faults —
+// server crash/recover, link degrade/restore, user disconnect — that
+// can be armed on a SimEngine. Scripts are plain data: they can be
+// built programmatically, parsed from text, or generated pseudo-
+// randomly from a seed, and the SAME (script, seed) pair always yields
+// the SAME event sequence, which is what makes failure runs replayable
+// bit-for-bit (the chaos harness in sim/chaos.hpp asserts exactly
+// that).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "sim/engine.hpp"
+
+namespace mecoff::sim {
+
+/// Fault taxonomy. Server faults take a server id as target; link
+/// faults target the radio of one server; disconnects target a user.
+enum class FaultKind : std::uint8_t {
+  kServerCrash,
+  kServerRecover,
+  kLinkDegrade,
+  kLinkRestore,
+  kUserDisconnect,
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  SimTime time = 0.0;
+  FaultKind kind = FaultKind::kServerCrash;
+  std::size_t target = 0;  ///< server id, or user id for disconnects
+  /// Link degrade only: surviving fraction of the nominal rate, (0, 1).
+  double severity = 0.5;
+
+  /// Deterministic one-line rendering ("at <t> degrade 2 0.25") — the
+  /// unit replay logs are built from.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Parameters for FaultScript::random().
+struct RandomFaultParams {
+  std::uint64_t seed = 0xfa171;
+  std::size_t servers = 2;  ///< server ids drawn from [0, servers)
+  std::size_t users = 0;    ///< 0 disables disconnect events
+  std::size_t events = 8;   ///< crash/degrade episodes (each may add a
+                            ///< paired recover/restore)
+  SimTime horizon = 100.0;  ///< fault times fall in [0, horizon)
+  /// Fraction of episodes that recover/restore before the horizon.
+  double recovery_probability = 0.75;
+};
+
+class FaultScript {
+ public:
+  FaultScript() = default;
+
+  /// Append one event. Throws PreconditionError for non-finite or
+  /// negative times, or a degrade severity outside (0, 1).
+  FaultScript& add(FaultEvent event);
+
+  FaultScript& crash_server(SimTime t, std::size_t server);
+  FaultScript& recover_server(SimTime t, std::size_t server);
+  FaultScript& degrade_link(SimTime t, std::size_t server, double severity);
+  FaultScript& restore_link(SimTime t, std::size_t server);
+  FaultScript& disconnect_user(SimTime t, std::size_t user);
+
+  /// Events in insertion order (possibly out of time order).
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  /// Events in replay order: stable-sorted by time, so out-of-order
+  /// adds are normalized and same-instant events keep insertion order.
+  [[nodiscard]] std::vector<FaultEvent> ordered() const;
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Schedule every event on `engine`, firing `handler` at each fault's
+  /// time. Requires the engine clock at or before the earliest event.
+  void arm(SimEngine& engine,
+           std::function<void(const FaultEvent&)> handler) const;
+
+  /// One describe() line per event, in replay order; parse() inverts.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Parse the describe()/to_text() format; '#' comments and blank
+  /// lines are skipped. Garbage, negative times, unknown fault names
+  /// and bad severities yield an error Result, never a throw.
+  [[nodiscard]] static Result<FaultScript> parse(const std::string& text);
+
+  /// Deterministic pseudo-random crash/degrade/disconnect scenario:
+  /// the same params (seed included) always produce the same script.
+  [[nodiscard]] static FaultScript random(const RandomFaultParams& params);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace mecoff::sim

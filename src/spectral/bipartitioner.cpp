@@ -14,6 +14,7 @@ SpectralBipartitioner::SpectralBipartitioner(SpectralOptions options)
     : options_(std::move(options)) {}
 
 Bipartition SpectralBipartitioner::bipartition(const WeightedGraph& g) {
+  last_converged_ = true;  // degenerate paths need no eigensolve
   Bipartition out;
   out.side.assign(g.num_nodes(), 0);
   out.cut_weight = 0.0;
@@ -34,7 +35,9 @@ Bipartition SpectralBipartitioner::bipartition(const WeightedGraph& g) {
   }
 
   const FiedlerResult fiedler = fiedler_pair(g, options_.fiedler);
+  last_converged_ = fiedler.converged;
   if (!fiedler.converged) {
+    ++nonconverged_count_;
     MECOFF_LOG_WARN << "Fiedler solver did not reach tolerance (graph n="
                     << g.num_nodes() << "); using best available vector";
   }

@@ -31,9 +31,23 @@ class SpectralBipartitioner final : public graph::Bipartitioner {
     return last_fiedler_value_;
   }
 
+  /// False when the last bipartition() used a Fiedler vector that did
+  /// NOT reach tolerance — the cut is a best-effort guess, and callers
+  /// with a fallback (the offloader's spectral → KL → all-remote
+  /// chain) should take it. Degenerate and disconnected inputs need no
+  /// eigensolve and report true.
+  [[nodiscard]] bool last_converged() const { return last_converged_; }
+
+  /// Fiedler solves below tolerance since construction.
+  [[nodiscard]] std::size_t nonconverged_count() const {
+    return nonconverged_count_;
+  }
+
  private:
   SpectralOptions options_;
   double last_fiedler_value_ = 0.0;
+  bool last_converged_ = true;
+  std::size_t nonconverged_count_ = 0;
 };
 
 }  // namespace mecoff::spectral

@@ -38,6 +38,7 @@ FiedlerResult fiedler_pair(const graph::WeightedGraph& g,
         }};
     linalg::PowerOptions popt;
     popt.tolerance = options.tolerance;
+    popt.max_iterations = options.max_iterations;
     popt.deflate = {linalg::constant_unit(n)};
     popt.seed = options.seed;
     const linalg::PowerResult res =
@@ -54,6 +55,7 @@ FiedlerResult fiedler_pair(const graph::WeightedGraph& g,
     linalg::LanczosOptions lopt;
     lopt.num_pairs = 1;
     lopt.tolerance = options.tolerance;
+    lopt.max_subspace = options.max_subspace;
     lopt.deflate = {linalg::constant_unit(g.num_nodes())};
     lopt.seed = options.seed;
     const linalg::LanczosResult res = linalg::lanczos_smallest(op, lopt);
@@ -65,6 +67,7 @@ FiedlerResult fiedler_pair(const graph::WeightedGraph& g,
   } else {
     linalg::PowerOptions popt;
     popt.tolerance = options.tolerance;
+    popt.max_iterations = options.max_iterations;
     popt.deflate = {linalg::constant_unit(g.num_nodes())};
     popt.seed = options.seed;
     const linalg::PowerResult res =

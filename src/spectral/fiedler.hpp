@@ -40,6 +40,12 @@ struct FiedlerOptions {
   /// Execution engine for the SpMV kernel; null = serial.
   parallel::ThreadPool* pool = nullptr;
   std::uint64_t seed = 0x5eed;
+  /// Work bounds: every backend terminates within these no matter how
+  /// ill-conditioned the graph is — the solve may come back with
+  /// converged = false, but it always comes back (the offloader's
+  /// degrade-don't-die chain relies on that).
+  std::size_t max_subspace = 400;      ///< Lanczos restart ceiling
+  std::size_t max_iterations = 20000;  ///< power-iteration ceiling
 };
 
 struct FiedlerResult {

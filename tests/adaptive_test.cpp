@@ -139,6 +139,110 @@ TEST(Adaptive, EmptyCoordinatorIsWellBehaved) {
   EXPECT_DOUBLE_EQ(coord.current_cost().objective(), 0.0);
 }
 
+TEST(Adaptive, RemovingUnknownOrDeadIdsThrowsTyped) {
+  AdaptiveCoordinator coord(adaptive_params());
+  // Unknown id on an empty coordinator.
+  EXPECT_THROW(coord.remove_user(0), PreconditionError);
+  EXPECT_THROW(coord.remove_user(99), PreconditionError);
+  const std::size_t id = coord.add_user(arriving_user(60));
+  coord.remove_user(id);
+  // Double remove: the id is dead, not recyclable into UB.
+  EXPECT_THROW(coord.remove_user(id), PreconditionError);
+  EXPECT_THROW((void)coord.placement_of(id), PreconditionError);
+  EXPECT_EQ(coord.active_users(), 0u);
+}
+
+TEST(Adaptive, DrainedCoordinatorBehavesLikeEmpty) {
+  AdaptiveCoordinator coord(adaptive_params());
+  std::vector<std::size_t> ids;
+  for (std::uint64_t seed = 70; seed < 74; ++seed)
+    ids.push_back(coord.add_user(arriving_user(seed)));
+  for (const std::size_t id : ids) coord.remove_user(id);
+  // Zero ACTIVE users (not zero ever-admitted): everything is a no-op.
+  EXPECT_EQ(coord.active_users(), 0u);
+  EXPECT_DOUBLE_EQ(coord.drift(), 0.0);
+  EXPECT_DOUBLE_EQ(coord.reoptimize(), 0.0);
+  EXPECT_DOUBLE_EQ(coord.current_cost().objective(), 0.0);
+  // And the coordinator is still usable afterwards.
+  const std::size_t fresh = coord.add_user(arriving_user(80));
+  EXPECT_EQ(coord.placement_of(fresh).size(), 60u);
+}
+
+TEST(Adaptive, PlacementsStableAcrossInterleavedChurnBursts) {
+  AdaptiveCoordinator coord(adaptive_params());
+  const std::size_t anchor = coord.add_user(arriving_user(90));
+  const std::vector<Placement> frozen = coord.placement_of(anchor);
+  std::vector<std::size_t> churn;
+  for (int burst = 0; burst < 3; ++burst) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed)
+      churn.push_back(coord.add_user(arriving_user(200 + 10 * burst + seed)));
+    for (int i = 0; i < 2; ++i) {
+      coord.remove_user(churn.front());
+      churn.erase(churn.begin());
+    }
+    // Arrivals and departures never touch a bystander's placement.
+    EXPECT_EQ(coord.placement_of(anchor), frozen);
+  }
+  EXPECT_EQ(coord.active_users(), 1 + churn.size());
+}
+
+TEST(Adaptive, DegradeHooksValidateAndGateOnHysteresis) {
+  DegradePolicy relaxed;
+  relaxed.hysteresis_margin = 0.0;
+  AdaptiveCoordinator coord(adaptive_params(), PipelineOptions{}, relaxed);
+  for (std::uint64_t seed = 300; seed < 306; ++seed)
+    coord.add_user(arriving_user(seed));
+
+  EXPECT_THROW(coord.on_server_degraded(0.0), PreconditionError);
+  EXPECT_THROW(coord.on_server_degraded(1.5), PreconditionError);
+  EXPECT_THROW(coord.on_server_degraded(0.5, -1.0), PreconditionError);
+  EXPECT_FALSE(coord.server_degraded());  // rejected calls changed nothing
+
+  const double healthy = coord.current_cost().objective();
+  coord.on_server_degraded(0.05, 0.1);  // server nearly gone
+  EXPECT_TRUE(coord.server_degraded());
+  // Whatever was adopted, the state stays consistent and evaluable.
+  EXPECT_GT(coord.current_cost().objective(), 0.0);
+
+  coord.on_server_recovered();
+  EXPECT_FALSE(coord.server_degraded());
+  // Back under nominal params a reoptimize leaves us no worse than any
+  // fresh solve — in particular no worse than re-deriving from scratch.
+  coord.reoptimize();
+  const double recovered = coord.current_cost().objective();
+  EXPECT_GT(recovered, 0.0);
+  EXPECT_LE(recovered, healthy * 10.0);  // same order of magnitude
+  // Recovering while healthy is a no-op, not an error.
+  EXPECT_EQ(coord.on_server_recovered(), 0u);
+}
+
+TEST(Adaptive, HugeHysteresisMarginSuppressesDegradeReplacement) {
+  DegradePolicy stubborn;
+  stubborn.hysteresis_margin = 1e9;
+  AdaptiveCoordinator coord(adaptive_params(), PipelineOptions{}, stubborn);
+  std::vector<std::size_t> ids;
+  for (std::uint64_t seed = 400; seed < 405; ++seed)
+    ids.push_back(coord.add_user(arriving_user(seed)));
+  std::vector<std::vector<Placement>> before;
+  for (const std::size_t id : ids) before.push_back(coord.placement_of(id));
+
+  for (int flap = 0; flap < 3; ++flap) {
+    EXPECT_EQ(coord.on_server_degraded(0.2, 0.2), 0u);
+    EXPECT_EQ(coord.on_server_recovered(), 0u);
+  }
+  EXPECT_GE(coord.suppressed_replacements(), 3u);
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    EXPECT_EQ(coord.placement_of(ids[i]), before[i]);  // no thrash
+}
+
+TEST(Adaptive, DegradeHooksOnZeroUsersAreNoOps) {
+  AdaptiveCoordinator coord(adaptive_params());
+  EXPECT_EQ(coord.on_server_degraded(0.5), 0u);
+  EXPECT_TRUE(coord.server_degraded());
+  EXPECT_EQ(coord.on_server_recovered(), 0u);
+  EXPECT_FALSE(coord.server_degraded());
+}
+
 TEST(Adaptive, RealisticAppsMix) {
   AdaptiveCoordinator coord(adaptive_params());
   for (const appmodel::Application& app :

@@ -2,6 +2,8 @@
 // paths through offloading boundaries, and error handling.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "appmodel/application.hpp"
 #include "appmodel/synthetic_apps.hpp"
 #include "graph/weighted_graph.hpp"
@@ -182,6 +184,107 @@ TEST(DagExecutor, RealisticAppEndToEnd) {
   ASSERT_TRUE(report.ok());
   EXPECT_GT(report.value().makespan, 0.0);
   EXPECT_EQ(report.value().users[0].tasks.size(), app.num_functions());
+}
+
+TEST(DagFaults, DisabledInjectionMatchesBaselineBitwise) {
+  const Application app = chain_app();
+  MecSystem system{dag_params(), {to_user(app)}};
+  const OffloadingScheme remote = OffloadingScheme::all_remote(system);
+  DagOptions with_model;
+  with_model.remote_faults.kill_probability = 0.0;  // present but off
+  const auto base = execute_dag(system, {app}, remote);
+  const auto off = execute_dag(system, {app}, remote, with_model);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(base.value().makespan, off.value().makespan);
+  EXPECT_EQ(base.value().total_energy, off.value().total_energy);
+  EXPECT_EQ(off.value().remote_kills, 0u);
+  EXPECT_EQ(off.value().remote_retries, 0u);
+  EXPECT_EQ(off.value().local_fallbacks, 0u);
+}
+
+TEST(DagFaults, CertainDeathFallsBackLocallyAndAlwaysCompletes) {
+  const Application app = chain_app();
+  std::vector<Application> apps{app, app};
+  MecSystem system{dag_params(), {to_user(app), to_user(app)}};
+  const OffloadingScheme remote = OffloadingScheme::all_remote(system);
+  DagOptions options;
+  options.remote_faults.kill_probability = 1.0;  // every attempt dies
+  options.remote_faults.max_retries = 2;
+  const auto report = execute_dag(system, apps, remote, options);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+
+  // Degrade-don't-die: every remote task exhausted its retries and
+  // re-placed on the device, and the run still finished.
+  const std::size_t remote_tasks = 2 * app.num_functions();
+  EXPECT_EQ(report.value().local_fallbacks, remote_tasks);
+  // Each task burned (max_retries + 1) kills before falling back.
+  EXPECT_EQ(report.value().remote_kills, remote_tasks * 3);
+  EXPECT_EQ(report.value().remote_retries, remote_tasks * 3);
+  EXPECT_GT(report.value().wasted_server_time, 0.0);
+  for (const DagUserOutcome& user : report.value().users) {
+    EXPECT_GT(user.makespan, 0.0);
+    EXPECT_TRUE(std::isfinite(user.makespan));
+    EXPECT_GT(user.device_busy, 0.0);  // the fallback ran on the device
+  }
+}
+
+TEST(DagFaults, InjectionIsSeedDeterministic) {
+  const Application app = appmodel::make_face_recognition_app();
+  UserApp user = to_user(app);
+  user.components = app.component_ids();
+  MecSystem system{dag_params(), {user}};
+  const OffloadingScheme remote = OffloadingScheme::all_remote(system);
+  DagOptions options;
+  options.remote_faults.kill_probability = 0.4;
+  options.remote_faults.max_retries = 4;
+
+  const auto a = execute_dag(system, {app}, remote, options);
+  const auto b = execute_dag(system, {app}, remote, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Same seed, same DES → bitwise-equal reports.
+  EXPECT_EQ(a.value().makespan, b.value().makespan);
+  EXPECT_EQ(a.value().total_energy, b.value().total_energy);
+  EXPECT_EQ(a.value().remote_kills, b.value().remote_kills);
+  EXPECT_EQ(a.value().remote_retries, b.value().remote_retries);
+  EXPECT_EQ(a.value().local_fallbacks, b.value().local_fallbacks);
+  EXPECT_EQ(a.value().wasted_server_time, b.value().wasted_server_time);
+
+  options.remote_faults.seed ^= 0xbeef;
+  const auto c = execute_dag(system, {app}, remote, options);
+  ASSERT_TRUE(c.ok());
+  // A different seed draws a different kill pattern (the app has
+  // enough remote attempts that a tie is astronomically unlikely).
+  EXPECT_NE(a.value().wasted_server_time, c.value().wasted_server_time);
+}
+
+TEST(DagFaults, KillsDelayTheRunButNeverLoseWork) {
+  const Application app = chain_app();
+  MecSystem system{dag_params(), {to_user(app)}};
+  const OffloadingScheme remote = OffloadingScheme::all_remote(system);
+  const auto clean = execute_dag(system, {app}, remote);
+  DagOptions options;
+  options.remote_faults.kill_probability = 0.6;
+  const auto faulty = execute_dag(system, {app}, remote, options);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(faulty.ok());
+  // Wasted service + backoff can only stretch the schedule.
+  EXPECT_GE(faulty.value().makespan, clean.value().makespan);
+  // Every function still ran exactly once to completion.
+  EXPECT_EQ(faulty.value().users[0].tasks.size(), app.num_functions());
+}
+
+TEST(DagFaults, InvalidFaultModelIsACleanError) {
+  const Application app = chain_app();
+  MecSystem system{dag_params(), {to_user(app)}};
+  const OffloadingScheme scheme = OffloadingScheme::all_local(system);
+  DagOptions options;
+  options.remote_faults.kill_probability = 1.5;
+  EXPECT_FALSE(execute_dag(system, {app}, scheme, options).ok());
+  options.remote_faults.kill_probability = 0.5;
+  options.remote_faults.backoff_factor = 0.5;  // shrinking backoff
+  EXPECT_FALSE(execute_dag(system, {app}, scheme, options).ok());
 }
 
 TEST(DagExecutor, ErrorsOnBadInput) {

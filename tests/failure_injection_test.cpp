@@ -19,8 +19,11 @@
 #include "mec/greedy.hpp"
 #include "mec/multiserver.hpp"
 #include "mec/profiles.hpp"
+#include "mec/offloader.hpp"
+#include "sim/chaos.hpp"
 #include "sim/dag_executor.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault_script.hpp"
 #include "sim/resources.hpp"
 
 namespace mecoff {
@@ -180,6 +183,81 @@ TEST(FailureInjection, MultiServerRejectsBrokenSpecs) {
   system.servers.push_back(mec::ServerSpec{-1.0, 10.0, 1.0});
   EXPECT_THROW(mec::MultiServerOffloader{}.solve(system),
                PreconditionError);
+}
+
+TEST(FailureInjection, FaultScriptRejectsHostileTimesAndSeverities) {
+  sim::FaultScript script;
+  EXPECT_THROW(script.crash_server(-0.001, 0), PreconditionError);
+  EXPECT_THROW(script.crash_server(kNan, 0), PreconditionError);
+  EXPECT_THROW(script.crash_server(kInf, 0), PreconditionError);
+  EXPECT_THROW(script.degrade_link(1.0, 0, kNan), PreconditionError);
+  EXPECT_THROW(script.degrade_link(1.0, 0, 1.0), PreconditionError);
+  EXPECT_TRUE(script.empty());
+
+  // Out-of-order adds are LEGAL and normalized by ordered().
+  script.crash_server(9.0, 0).recover_server(3.0, 0);
+  const auto ordered = script.ordered();
+  EXPECT_DOUBLE_EQ(ordered.front().time, 3.0);
+  EXPECT_DOUBLE_EQ(ordered.back().time, 9.0);
+}
+
+TEST(FailureInjection, FaultScriptParserSurvivesGarbageBytes) {
+  for (const char* junk :
+       {"at nan crash 0\n", "at 1e999 crash 0\n", "at -3 degrade 0 0.5\n",
+        "at 1 degrade 0 nan\n", "at\n", "\xff\xfe garbage",
+        "at 1 crash zero\n"}) {
+    const auto r = sim::FaultScript::parse(junk);
+    EXPECT_FALSE(r.ok()) << junk;
+    EXPECT_FALSE(r.error().message.empty());
+  }
+}
+
+TEST(FailureInjection, FailoverWithZeroSurvivorsFailsCleanAllLocal) {
+  mec::MultiServerSystem system;
+  system.device.mobile_power = 1.0;
+  system.device.mobile_capacity = 5.0;
+  system.servers = {mec::ServerSpec{300.0, 20.0, 8.0}};
+  mec::UserApp user;
+  user.graph = graph::path_graph(6);
+  user.unoffloadable.assign(6, false);
+  system.users = {user, user};
+
+  mec::FailoverController controller(system);
+  const auto step = controller.on_server_failed(0);
+  // The LAST server died: a typed error reports it, and the state has
+  // already degraded to a valid all-local scheme — never an invalid
+  // placement, never a throw.
+  ASSERT_FALSE(step.ok());
+  EXPECT_NE(step.error().message.find("no survivors"), std::string::npos);
+  EXPECT_TRUE(controller.all_local_fallback());
+  for (const auto& placement : controller.current().scheme.placement)
+    for (const mec::Placement p : placement)
+      EXPECT_EQ(p, mec::Placement::kLocal);
+  // Follow-up faults on the dead world stay typed errors.
+  EXPECT_FALSE(controller.on_server_failed(0).ok());
+  EXPECT_FALSE(controller.on_link_degraded(0, 0.5).ok());
+  EXPECT_FALSE(controller.on_server_failed(7).ok());    // no such server
+  EXPECT_FALSE(controller.on_user_disconnected(9).ok()); // no such user
+}
+
+TEST(FailureInjection, ZeroDeadlineDegradesGracefully) {
+  mec::UserApp user;
+  user.graph = graph::path_graph(8);
+  mec::MecSystem system{mec::SystemParams{}, {user}};
+  mec::PipelineOptions options;
+  options.deadline.seconds = 0.0;  // pathological budget, legal input
+  mec::PipelineOffloader offloader(options);
+  const mec::OffloadingScheme scheme = offloader.solve(system);
+  EXPECT_TRUE(scheme.valid_for(system));
+  EXPECT_TRUE(offloader.last_stats().deadline_expired);
+}
+
+TEST(FailureInjection, ChaosHarnessRejectsBrokenSystems) {
+  sim::FaultScript script;
+  script.crash_server(1.0, 0);
+  mec::MultiServerSystem no_servers;
+  no_servers.users.push_back(mec::UserApp{graph::path_graph(2), {}, {}});
+  EXPECT_FALSE(sim::run_chaos(no_servers, script).ok());
 }
 
 TEST(FailureInjection, ProfileLookupFailsClosed) {

@@ -3,6 +3,8 @@
 // with the analytic cost model.
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "common/contracts.hpp"
 #include "graph/generators.hpp"
 #include "mec/costs.hpp"
@@ -50,6 +52,48 @@ TEST(Engine, PastSchedulingThrows) {
     EXPECT_THROW(engine.schedule_at(1.0, [] {}), mecoff::PreconditionError);
   });
   engine.run();
+}
+
+TEST(Engine, RunUntilExecutesOnlyEventsInsideTheHorizon) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.schedule_at(7.0, [&] { order.push_back(7); });
+  EXPECT_DOUBLE_EQ(engine.run_until(5.0), 5.0);  // clock lands ON horizon
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(engine.pending(), 1u);  // the 7.0 event survives, unexecuted
+  // A later run picks up exactly where the horizon left off.
+  EXPECT_DOUBLE_EQ(engine.run_until(10.0), 10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 7}));
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(Engine, RunUntilIncludesEventsExactlyAtTheHorizon) {
+  SimEngine engine;
+  int fired = 0;
+  engine.schedule_at(5.0, [&] { ++fired; });
+  engine.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, EventBudgetStopsASelfPerpetuatingHandler) {
+  // An unbounded run() would never return on this workload — the
+  // documented hazard the budget overload exists for.
+  SimEngine engine;
+  std::size_t fired = 0;
+  std::function<void()> tick = [&] {
+    ++fired;
+    engine.schedule_after(1.0, tick);
+  };
+  engine.schedule_at(0.0, tick);
+  engine.run(100);
+  EXPECT_EQ(fired, 100u);
+  EXPECT_EQ(engine.events_executed(), 100u);
+  EXPECT_EQ(engine.pending(), 1u);  // the next tick is queued, not run
+  // The budget is per-call: a fresh budget resumes the same queue.
+  engine.run(50);
+  EXPECT_EQ(fired, 150u);
 }
 
 TEST(FifoResource, SingleJobNoWait) {

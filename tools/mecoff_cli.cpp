@@ -19,6 +19,9 @@
 //
 // `solve` accepts out=<file> to save the scheme; `simulate` accepts
 // scheme=<file> to replay a saved scheme instead of re-solving.
+// Both accept deadline=<seconds> — a wall-clock solve budget past which
+// remaining sub-graphs degrade to cheaper cuts (spectral → KL →
+// all-remote) instead of hanging; fallback counts are printed.
 //
 // `solve`/`simulate`/`trace` accept profile=<name> to start from a
 // deployment preset (wifi_campus, lte_smallcell, mmwave_hotspot,
@@ -263,6 +266,7 @@ int cmd_solve(const std::string& path, const Config& cfg, bool simulate,
   const std::string algo = cfg.get_string("algo", "spectral");
   if (algo == "maxflow") options.backend = mec::CutBackend::kMaxFlow;
   if (algo == "kl") options.backend = mec::CutBackend::kKernighanLin;
+  options.deadline.seconds = cfg.get_double("deadline", -1.0);
   mec::PipelineOffloader offloader(options);
 
   mec::OffloadingScheme scheme;
@@ -291,6 +295,15 @@ int cmd_solve(const std::string& path, const Config& cfg, bool simulate,
     scheme_source = "replayed from " + scheme_path;
   } else {
     scheme = offloader.solve(system);
+    const mec::PipelineOffloader::SolveStats& stats = offloader.last_stats();
+    std::printf("solver: %zu parts, %zu greedy moves, %.3fs\n",
+                stats.num_parts, stats.greedy_moves, stats.total_seconds);
+    if (stats.degraded() || stats.deadline_expired)
+      std::printf("solver degraded: %zu non-converged eigensolves, "
+                  "%zu KL recuts, %zu all-remote fallbacks%s\n",
+                  stats.spectral_nonconverged, stats.fallback_kl_cuts,
+                  stats.fallback_all_remote,
+                  stats.deadline_expired ? " (deadline expired)" : "");
   }
   const mec::SystemCost cost = mec::evaluate(system, scheme);
 
