@@ -152,5 +152,10 @@ int run_thread_sweep() {
 int main() {
   const int rc = run_users_sweep();
   if (rc != 0) return rc;
-  return run_thread_sweep();
+  const int rc2 = run_thread_sweep();
+  // Registry dump covers both sweeps; compare against SolveStats rows
+  // above (the gauges are written from the same doubles, see
+  // src/mec/offloader.cpp).
+  print_metrics_json("bench_scalability");
+  return rc2;
 }

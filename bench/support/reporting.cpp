@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "common/strings.hpp"
+#include "obs/metrics.hpp"
 
 namespace mecoff::bench {
 
@@ -107,6 +108,26 @@ void print_table(const std::string& title,
 
 void print_shape_check(const std::string& what, bool ok) {
   std::printf("[%s] %s\n", ok ? "SHAPE-OK" : "SHAPE-WARN", what.c_str());
+}
+
+void print_metrics_json(const std::string& title) {
+#ifdef MECOFF_OBS_DISABLED
+  const std::string json = "{}";
+#else
+  const std::string json = obs::MetricsRegistry::global().to_json();
+#endif
+  std::printf("[metrics] %s\n", json.c_str());
+  const char* dir = std::getenv("MECOFF_BENCH_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path =
+      std::string(dir) + "/" + slugify(title) + ".metrics.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << json << '\n';
+  std::printf("[metrics] wrote %s\n", path.c_str());
 }
 
 }  // namespace mecoff::bench

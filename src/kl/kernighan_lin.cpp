@@ -6,6 +6,7 @@
 
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace mecoff::kl {
 
@@ -54,6 +55,8 @@ KlResult kernighan_lin_refine(const WeightedGraph& g, Bipartition initial,
                               const KlOptions& options) {
   MECOFF_EXPECTS(graph::is_valid_partition(g, initial.side));
   MECOFF_EXPECTS(options.max_passes >= 1);
+  MECOFF_TRACE_SPAN_ARG("kl.refine", g.num_nodes());
+  MECOFF_COUNTER_ADD("kl.refine.runs", 1);
 
   KlResult result;
   result.partition = std::move(initial);
@@ -130,6 +133,8 @@ KlResult kernighan_lin_refine(const WeightedGraph& g, Bipartition initial,
   }
 
   result.partition.cut_weight = graph::cut_weight(g, side);
+  MECOFF_COUNTER_ADD("kl.refine.passes", result.passes);
+  MECOFF_GAUGE_ADD("kl.refine.total_gain", result.total_gain);
   return result;
 }
 

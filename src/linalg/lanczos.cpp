@@ -6,6 +6,7 @@
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "linalg/tridiagonal.hpp"
+#include "obs/obs.hpp"
 
 namespace mecoff::linalg {
 
@@ -140,6 +141,8 @@ LanczosResult lanczos_smallest(const LinearOperator& op,
                                const LanczosOptions& options) {
   MECOFF_EXPECTS(op.dim >= 1);
   MECOFF_EXPECTS(options.num_pairs >= 1);
+  MECOFF_TRACE_SPAN_ARG("linalg.lanczos", op.dim);
+  MECOFF_COUNTER_ADD("linalg.lanczos.solves", 1);
   const std::size_t n = op.dim;
 
   // Effective dimension after deflation.
@@ -172,9 +175,14 @@ LanczosResult lanczos_smallest(const LinearOperator& op,
 
   SweepOutcome best;
   bool have_best = false;
+  std::size_t sweeps = 0;
   while (true) {
-    SweepOutcome sweep = lanczos_sweep(op, start, m, k, options.deflate,
-                                       result.matvec_count);
+    SweepOutcome sweep = [&] {
+      MECOFF_TRACE_SPAN_ARG("linalg.lanczos.sweep", m);
+      return lanczos_sweep(op, start, m, k, options.deflate,
+                           result.matvec_count);
+    }();
+    ++sweeps;
     if (!have_best || sweep.max_residual < best.max_residual) {
       best = std::move(sweep);
       have_best = true;
@@ -189,6 +197,10 @@ LanczosResult lanczos_smallest(const LinearOperator& op,
   result.pairs = std::move(best.pairs);
   result.max_residual = best.max_residual;
   result.converged = best.max_residual <= abs_tol || best.basis_exhausted;
+  MECOFF_COUNTER_ADD("linalg.lanczos.matvecs", result.matvec_count);
+  MECOFF_COUNTER_ADD("linalg.lanczos.restarts", sweeps - 1);
+  MECOFF_COUNTER_ADD("linalg.lanczos.nonconverged",
+                     result.converged ? 0 : 1);
   return result;
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace mecoff::linalg {
 
@@ -18,6 +19,8 @@ void project_out(Vec& x, const std::vector<Vec>& dirs) {
 PowerResult power_dominant(const LinearOperator& op,
                            const PowerOptions& options) {
   MECOFF_EXPECTS(op.dim >= 1);
+  MECOFF_TRACE_SPAN_ARG("linalg.power", op.dim);
+  MECOFF_COUNTER_ADD("linalg.power.solves", 1);
   const std::size_t n = op.dim;
 
   Rng rng(options.seed);
@@ -28,6 +31,13 @@ PowerResult power_dominant(const LinearOperator& op,
   PowerResult result;
   if (start_norm <= 1e-300) return result;  // deflation spans everything
   scale(v, 1.0 / start_norm);
+
+  // Publishes however the iteration exits (convergence, null-space hit,
+  // or iteration-cap bailout).
+  const auto publish = [](const PowerResult& r) {
+    MECOFF_COUNTER_ADD("linalg.power.iterations", r.iterations);
+    MECOFF_COUNTER_ADD("linalg.power.nonconverged", r.converged ? 0 : 1);
+  };
 
   Vec av(n, 0.0);
   double lambda = 0.0;
@@ -40,6 +50,7 @@ PowerResult power_dominant(const LinearOperator& op,
       result.pair = EigenPair{0.0, v};
       result.converged = true;
       result.iterations = it + 1;
+      publish(result);
       return result;
     }
     scale(av, 1.0 / norm);
@@ -66,6 +77,7 @@ PowerResult power_dominant(const LinearOperator& op,
     lambda = new_lambda;
   }
   result.pair = EigenPair{lambda, v};
+  publish(result);
   return result;
 }
 

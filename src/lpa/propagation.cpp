@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "common/contracts.hpp"
+#include "obs/obs.hpp"
 
 namespace mecoff::lpa {
 
@@ -84,6 +85,8 @@ std::uint32_t densify(std::vector<std::uint32_t>& labels) {
 PropagationResult propagate_labels(const WeightedGraph& g,
                                    const PropagationConfig& config) {
   MECOFF_EXPECTS(config.max_rounds >= 1);
+  MECOFF_TRACE_SPAN_ARG("lpa.propagate", g.num_nodes());
+  MECOFF_COUNTER_ADD("lpa.propagation.runs", 1);
   PropagationResult result;
   const std::size_t n = g.num_nodes();
   if (n == 0) return result;
@@ -127,9 +130,14 @@ PropagationResult propagate_labels(const WeightedGraph& g,
     const double rate =
         static_cast<double>(updates) / static_cast<double>(n);
     result.update_rates.push_back(rate);
+    MECOFF_COUNTER_ADD("lpa.propagation.rounds", 1);
+    MECOFF_COUNTER_ADD("lpa.propagation.label_updates", updates);
     if (rate <= config.min_update_rate) break;
   }
 
+  // α of the final round: how hard the termination rule had to brake.
+  MECOFF_GAUGE_SET("lpa.propagation.last_update_rate",
+                   result.update_rates.back());
   result.num_labels = densify(result.labels);
   return result;
 }

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/contracts.hpp"
+#include "obs/obs.hpp"
 
 namespace mecoff::mec {
 
@@ -257,6 +258,8 @@ SystemCost FailoverController::eval_group(
 
 SystemCost FailoverController::resolve_group(std::size_t server,
                                              OffloadingScheme& scheme) const {
+  MECOFF_TRACE_SPAN_ARG("mec.failover.resolve_group", server);
+  MECOFF_COUNTER_ADD("mec.failover.group_resolves", 1);
   return solve_group(system_, options_.base, current_.server_of_user, server,
                      scheme, &health_[server], &active_);
 }
@@ -280,6 +283,7 @@ void FailoverController::refresh_totals() {
 }
 
 void FailoverController::enter_all_local() {
+  MECOFF_COUNTER_ADD("mec.failover.all_local_entered", 1);
   all_local_ = true;
   for (std::size_t u = 0; u < system_.users.size(); ++u)
     current_.scheme.placement[u].assign(
@@ -298,6 +302,8 @@ Result<FailoverStep> FailoverController::on_server_failed(
   if (!health_[server].alive)
     return Error("server " + std::to_string(server) + " is already down");
 
+  MECOFF_TRACE_SPAN_ARG("mec.failover.server_failed", server);
+  MECOFF_COUNTER_ADD("mec.failover.server_crashes", 1);
   FailoverStep step;
   step.objective_before = objective();
   health_[server].alive = false;
@@ -359,6 +365,8 @@ Result<FailoverStep> FailoverController::on_server_recovered(
   if (health_[server].alive)
     return Error("server " + std::to_string(server) + " is already up");
 
+  MECOFF_TRACE_SPAN_ARG("mec.failover.server_recovered", server);
+  MECOFF_COUNTER_ADD("mec.failover.server_recoveries", 1);
   FailoverStep step;
   step.objective_before = objective();
   health_[server] = ServerHealth{};  // alive, fresh link

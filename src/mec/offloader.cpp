@@ -8,6 +8,7 @@
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/obs.hpp"
 
 namespace mecoff::mec {
 
@@ -40,6 +41,8 @@ std::unique_ptr<graph::Bipartitioner> PipelineOffloader::make_cutter() const {
 
 OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
   MECOFF_EXPECTS(system.valid());
+  MECOFF_TRACE_SPAN_ARG("mec.solve", system.num_users());
+  MECOFF_COUNTER_ADD("mec.solve.count", 1);
   stats_ = SolveStats{};
   Stopwatch total_timer;
 
@@ -70,6 +73,7 @@ OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
   // shared-cutter path while keeping tasks free of shared mutable
   // state.
   const auto solve_user = [&](std::size_t u) {
+    MECOFF_TRACE_SPAN_ARG("mec.solve_user", u);
     UserSolve out;
     const std::unique_ptr<graph::Bipartitioner> cutter = make_cutter();
     const UserApp& user = system.users[u];
@@ -78,13 +82,19 @@ OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
             ? std::vector<bool>(user.graph.num_nodes(), false)
             : user.unoffloadable;
     Stopwatch compress_timer;
-    const lpa::CompressionPipelineResult pipeline = lpa::compress_application(
-        user.graph, mask, options_.propagation, options_.pool,
-        user.components.empty() ? nullptr : &user.components);
+    const lpa::CompressionPipelineResult pipeline = [&] {
+      MECOFF_TRACE_SPAN_ARG("mec.compress", u);
+      return lpa::compress_application(
+          user.graph, mask, options_.propagation, options_.pool,
+          user.components.empty() ? nullptr : &user.components);
+    }();
     out.compress_seconds = compress_timer.elapsed_seconds();
+    MECOFF_HISTOGRAM_RECORD("mec.user.compress_seconds",
+                            out.compress_seconds);
     out.compression = pipeline.aggregate_stats();
 
     Stopwatch cut_timer;
+    MECOFF_TRACE_SPAN_ARG("mec.cut", u);
     std::vector<Part>& parts = out.parts;
 
     // The terminal leg of the fallback chain: the whole sub-graph as
@@ -114,6 +124,7 @@ OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
     std::unique_ptr<kl::KernighanLinBipartitioner> kl_fallback;
 
     for (std::size_t c = 0; c < pipeline.components.size(); ++c) {
+      MECOFF_TRACE_SPAN_ARG("mec.cut.component", c);
       const lpa::CompressedComponent& comp = pipeline.components[c];
       if (deadline_expired()) {
         push_all_remote(c);
@@ -199,6 +210,7 @@ OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
         if (!part.nodes.empty()) parts.push_back(std::move(part));
     }
     out.cut_seconds = cut_timer.elapsed_seconds();
+    MECOFF_HISTOGRAM_RECORD("mec.user.cut_seconds", out.cut_seconds);
     return out;
   };
 
@@ -261,12 +273,36 @@ OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
 
   stats_.num_parts = all_parts.size();
   Stopwatch greedy_timer;
-  const GreedyResult greedy =
-      generate_scheme(system, all_parts, options_.greedy);
+  const GreedyResult greedy = [&] {
+    MECOFF_TRACE_SPAN_ARG("mec.greedy", all_parts.size());
+    return generate_scheme(system, all_parts, options_.greedy);
+  }();
   stats_.greedy_seconds = greedy_timer.elapsed_seconds();
   stats_.greedy_moves = greedy.moves;
   stats_.final_objective = greedy.objective_history.back();
   stats_.total_seconds = total_timer.elapsed_seconds();
+
+  // Single-source timing contract: the registry gauges below are
+  // written from the very doubles SolveStats holds — there is no second
+  // clock — so last_stats() and the metrics dump can never disagree
+  // (asserted in tests/obs_test.cpp). Counters accumulate across
+  // solves; gauges reflect the most recent one.
+  MECOFF_GAUGE_SET("mec.solve.compress_seconds", stats_.compress_seconds);
+  MECOFF_GAUGE_SET("mec.solve.cut_seconds", stats_.cut_seconds);
+  MECOFF_GAUGE_SET("mec.solve.greedy_seconds", stats_.greedy_seconds);
+  MECOFF_GAUGE_SET("mec.solve.total_seconds", stats_.total_seconds);
+  MECOFF_GAUGE_SET("mec.solve.final_objective", stats_.final_objective);
+  MECOFF_HISTOGRAM_RECORD("mec.solve.seconds", stats_.total_seconds);
+  MECOFF_COUNTER_ADD("mec.solve.users", num_users);
+  MECOFF_COUNTER_ADD("mec.solve.distinct_users", distinct);
+  MECOFF_COUNTER_ADD("mec.solve.parts", stats_.num_parts);
+  MECOFF_COUNTER_ADD("mec.solve.greedy_moves", stats_.greedy_moves);
+  MECOFF_COUNTER_ADD("mec.fallback.spectral_nonconverged",
+                     stats_.spectral_nonconverged);
+  MECOFF_COUNTER_ADD("mec.fallback.kl_cuts", stats_.fallback_kl_cuts);
+  MECOFF_COUNTER_ADD("mec.fallback.all_remote", stats_.fallback_all_remote);
+  MECOFF_COUNTER_ADD("mec.solve.deadline_expired",
+                     stats_.deadline_expired ? 1 : 0);
   return greedy.scheme;
 }
 

@@ -1,0 +1,199 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace mecoff::obs {
+
+namespace {
+
+/// Shortest representation that round-trips a double (%.17g worst
+/// case, but most metric values print compactly).
+std::string format_double(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+}  // namespace
+
+void Gauge::add(double delta) {
+  // fetch_add on atomic<double> is C++20; spelled as a CAS loop to stay
+  // portable across older libstdc++ floating-point atomics.
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::span<const double> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()),
+      buckets_(bounds_.size() + 1) {
+  MECOFF_EXPECTS(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::record(double sample) {
+  const auto it =
+      std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + sample,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::span<const double> Histogram::default_latency_bounds() {
+  static const double kBounds[] = {1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3,
+                                   3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0,  3.0,
+                                   10.0, 30.0, 100.0};
+  return kBounds;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  MECOFF_EXPECTS(i < buckets_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (std::atomic<std::uint64_t>& b : buckets_)
+    b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    std::string_view name, Kind kind, std::span<const double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind)
+      throw PreconditionError("metric '" + std::string(name) +
+                              "' already registered as a different kind");
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  switch (kind) {
+    case Kind::kCounter: entry.counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: entry.gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>(
+          upper_bounds.empty() ? Histogram::default_latency_bounds()
+                               : upper_bounds);
+      break;
+  }
+  return entries_.emplace(std::string(name), std::move(entry))
+      .first->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return *find_or_create(name, Kind::kCounter, {}).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return *find_or_create(name, Kind::kGauge, {}).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> upper_bounds) {
+  return *find_or_create(name, Kind::kHistogram, upper_bounds).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snap.counters[name] = entry.counter->value();
+        break;
+      case Kind::kGauge:
+        snap.gauges[name] = entry.gauge->value();
+        break;
+      case Kind::kHistogram: {
+        MetricsSnapshot::HistogramValue h;
+        h.bounds = entry.histogram->bounds();
+        h.buckets.resize(h.bounds.size() + 1);
+        for (std::size_t i = 0; i < h.buckets.size(); ++i)
+          h.buckets[i] = entry.histogram->bucket_count(i);
+        h.count = entry.histogram->count();
+        h.sum = entry.histogram->sum();
+        snap.histograms[name] = std::move(h);
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    (void)name;
+    switch (entry.kind) {
+      case Kind::kCounter: entry.counter->reset(); break;
+      case Kind::kGauge: entry.gauge->reset(); break;
+      case Kind::kHistogram: entry.histogram->reset(); break;
+    }
+  }
+}
+
+std::string MetricsRegistry::to_text() const {
+  const MetricsSnapshot snap = snapshot();
+  std::ostringstream out;
+  for (const auto& [name, value] : snap.counters)
+    out << name << ' ' << value << '\n';
+  for (const auto& [name, value] : snap.gauges)
+    out << name << ' ' << format_double(value) << '\n';
+  for (const auto& [name, h] : snap.histograms)
+    out << name << " count=" << h.count << " sum=" << format_double(h.sum)
+        << '\n';
+  return out.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  const MetricsSnapshot snap = snapshot();
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":" << format_double(value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":{\"count\":" << h.count
+        << ",\"sum\":" << format_double(h.sum) << ",\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i)
+      out << (i == 0 ? "" : ",") << format_double(h.bounds[i]);
+    out << "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i)
+      out << (i == 0 ? "" : ",") << h.buckets[i];
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace mecoff::obs

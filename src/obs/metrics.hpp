@@ -1,0 +1,150 @@
+// Lock-cheap metrics: named counters, gauges, and fixed-bucket latency
+// histograms shared by the whole solve pipeline.
+//
+// The registry is the slow path: name lookup takes a mutex and returns
+// a reference to a heap-stable instrument. Call sites cache that
+// reference (a function-local static at instrumentation points), so the
+// hot path is a single relaxed atomic RMW — safe from ThreadPool
+// workers, no locks, no allocation. Instruments are never destroyed
+// before the registry, so cached references cannot dangle.
+//
+// The registry stays compiled in even under MECOFF_OBS_DISABLED (the
+// CLI and tests use it directly); only the MECOFF_* instrumentation
+// macros in obs.hpp compile away.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mecoff::obs {
+
+/// Monotone event count. add() is a relaxed atomic fetch-add.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (e.g. the most recent solve's stage seconds).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta);
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-boundary histogram: bucket i counts samples <= bounds[i], the
+/// last bucket is the +inf overflow. Boundaries are fixed at creation
+/// so record() is one binary search plus two relaxed atomic adds.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> upper_bounds);
+
+  void record(double sample);
+
+  /// Default latency boundaries in seconds: 1us..100s, decade steps
+  /// with a 1-3 split (14 finite buckets).
+  [[nodiscard]] static std::span<const double> default_latency_bounds();
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket i (i == bounds().size() is the overflow bucket).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every instrument, for reporting and tests.
+struct MetricsSnapshot {
+  struct HistogramValue {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramValue> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every instrumentation macro targets.
+  static MetricsRegistry& global();
+
+  /// Find-or-create by name. References stay valid for the registry's
+  /// lifetime. A name identifies at most one instrument kind; asking
+  /// for the same name as a different kind throws.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `upper_bounds` applies on creation only (empty = default latency
+  /// boundaries); later lookups ignore it.
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> upper_bounds = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every instrument (names and boundaries stay registered).
+  void reset_values();
+
+  /// Human-readable dump, one `name value` line per instrument, sorted.
+  [[nodiscard]] std::string to_text() const;
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(std::string_view name, Kind kind,
+                        std::span<const double> upper_bounds);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace mecoff::obs

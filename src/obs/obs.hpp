@@ -1,0 +1,88 @@
+// Instrumentation facade: the macros every pipeline layer uses.
+//
+// Compile-out contract: building with -DMECOFF_OBS_DISABLED (CMake
+// option MECOFF_OBS=OFF) turns every macro here into nothing — no
+// atomic traffic, no clock reads, no registry lookups — while the
+// obs classes themselves stay declared so non-macro call sites (the
+// CLI's trace/metrics flags, tests) still compile.
+//
+// Hot-path cost with observability compiled in:
+//  * spans: one relaxed atomic load when tracing is disabled at
+//    runtime (the default); two clock reads + one uncontended mutexed
+//    push_back when enabled;
+//  * counters/histograms: a once-per-site registry lookup cached in a
+//    function-local static, then one relaxed atomic RMW per hit.
+//
+// Naming convention (see docs/observability.md for the full taxonomy):
+// metric and span names are dot-separated, lowercase, rooted at the
+// owning layer — "lpa.propagation.rounds", "linalg.lanczos.matvecs",
+// "mec.solve.compress_seconds", "sim.events".
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+// Token pasting needs two layers so __LINE__ expands first.
+#define MECOFF_OBS_CONCAT_IMPL(a, b) a##b
+#define MECOFF_OBS_CONCAT(a, b) MECOFF_OBS_CONCAT_IMPL(a, b)
+
+#ifndef MECOFF_OBS_DISABLED
+
+/// Scoped trace span covering the rest of the enclosing block.
+#define MECOFF_TRACE_SPAN(name)                      \
+  [[maybe_unused]] const ::mecoff::obs::TraceSpan    \
+      MECOFF_OBS_CONCAT(mecoff_obs_span_, __LINE__)( \
+          name, ::mecoff::obs::kNoArg)
+
+/// Span with one numeric argument (user index, event seq, ...).
+#define MECOFF_TRACE_SPAN_ARG(name, arg)             \
+  [[maybe_unused]] const ::mecoff::obs::TraceSpan    \
+      MECOFF_OBS_CONCAT(mecoff_obs_span_, __LINE__)( \
+          name, static_cast<std::uint64_t>(arg))
+
+#define MECOFF_COUNTER_ADD(name, delta)                               \
+  do {                                                                \
+    static ::mecoff::obs::Counter& mecoff_obs_counter =               \
+        ::mecoff::obs::MetricsRegistry::global().counter(name);       \
+    mecoff_obs_counter.add(static_cast<std::uint64_t>(delta));        \
+  } while (0)
+
+#define MECOFF_GAUGE_SET(name, value)                                 \
+  do {                                                                \
+    static ::mecoff::obs::Gauge& mecoff_obs_gauge =                   \
+        ::mecoff::obs::MetricsRegistry::global().gauge(name);         \
+    mecoff_obs_gauge.set(static_cast<double>(value));                 \
+  } while (0)
+
+#define MECOFF_GAUGE_ADD(name, delta)                                 \
+  do {                                                                \
+    static ::mecoff::obs::Gauge& mecoff_obs_gauge =                   \
+        ::mecoff::obs::MetricsRegistry::global().gauge(name);         \
+    mecoff_obs_gauge.add(static_cast<double>(delta));                 \
+  } while (0)
+
+/// Record into a histogram with the default latency boundaries.
+#define MECOFF_HISTOGRAM_RECORD(name, value)                          \
+  do {                                                                \
+    static ::mecoff::obs::Histogram& mecoff_obs_hist =                \
+        ::mecoff::obs::MetricsRegistry::global().histogram(name);     \
+    mecoff_obs_hist.record(static_cast<double>(value));               \
+  } while (0)
+
+#else  // MECOFF_OBS_DISABLED
+
+// sizeof in an unevaluated context keeps the operands "used" (no
+// -Wunused warnings at call sites) while generating no code at all.
+#define MECOFF_TRACE_SPAN(name) ((void)sizeof(name))
+#define MECOFF_TRACE_SPAN_ARG(name, arg) \
+  ((void)sizeof(name), (void)sizeof(arg))
+#define MECOFF_COUNTER_ADD(name, delta) \
+  ((void)sizeof(name), (void)sizeof(delta))
+#define MECOFF_GAUGE_SET(name, value) \
+  ((void)sizeof(name), (void)sizeof(value))
+#define MECOFF_GAUGE_ADD(name, delta) \
+  ((void)sizeof(name), (void)sizeof(delta))
+#define MECOFF_HISTOGRAM_RECORD(name, value) \
+  ((void)sizeof(name), (void)sizeof(value))
+
+#endif  // MECOFF_OBS_DISABLED

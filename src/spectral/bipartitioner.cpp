@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "graph/components.hpp"
+#include "obs/obs.hpp"
 
 namespace mecoff::spectral {
 
@@ -14,6 +15,8 @@ SpectralBipartitioner::SpectralBipartitioner(SpectralOptions options)
     : options_(std::move(options)) {}
 
 Bipartition SpectralBipartitioner::bipartition(const WeightedGraph& g) {
+  MECOFF_TRACE_SPAN_ARG("spectral.bipartition", g.num_nodes());
+  MECOFF_COUNTER_ADD("spectral.bipartition.runs", 1);
   last_converged_ = true;  // degenerate paths need no eigensolve
   Bipartition out;
   out.side.assign(g.num_nodes(), 0);
@@ -38,6 +41,7 @@ Bipartition SpectralBipartitioner::bipartition(const WeightedGraph& g) {
   last_converged_ = fiedler.converged;
   if (!fiedler.converged) {
     ++nonconverged_count_;
+    MECOFF_COUNTER_ADD("spectral.bipartition.nonconverged", 1);
     MECOFF_LOG_WARN << "Fiedler solver did not reach tolerance (graph n="
                     << g.num_nodes() << "); using best available vector";
   }

@@ -4,6 +4,7 @@
 #include "graph/components.hpp"
 #include "linalg/laplacian.hpp"
 #include "linalg/power_iteration.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_spmv.hpp"
 
 namespace mecoff::spectral {
@@ -11,6 +12,8 @@ namespace mecoff::spectral {
 FiedlerResult fiedler_pair(const graph::WeightedGraph& g,
                            const FiedlerOptions& options) {
   MECOFF_EXPECTS(g.num_nodes() >= 2);
+  MECOFF_TRACE_SPAN_ARG("spectral.eigensolve", g.num_nodes());
+  MECOFF_COUNTER_ADD("spectral.eigensolve.runs", 1);
 
   const linalg::SparseMatrix lap = linalg::laplacian(g);
   const linalg::LinearOperator op =

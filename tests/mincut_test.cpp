@@ -235,5 +235,65 @@ TEST(Bipartitioner, Name) {
   EXPECT_EQ(MaxFlowBipartitioner{}.name(), "maxflow");
 }
 
+// ---- brute-force differential (small graphs) ------------------------------
+// The exhaustive sweep lives in tests/differential_test.cpp (label
+// `differential`); this tier-1 version pins the exact algorithms to the
+// oracle on a handful of graphs so a mincut regression fails fast even
+// when only the default ctest set runs.
+
+double brute_force_min_cut_weight(const WeightedGraph& g) {
+  const std::size_t n = g.num_nodes();
+  double best = 0.0;
+  bool have_best = false;
+  std::vector<std::uint8_t> side(n, 0);
+  for (std::uint32_t mask = 1; mask < (1u << (n - 1)); ++mask) {
+    for (std::size_t v = 1; v < n; ++v)
+      side[v] = (mask >> (v - 1)) & 1u;
+    const double w = graph::cut_weight(g, side);
+    if (!have_best || w < best) {
+      best = w;
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+TEST(StoerWagner, EqualsBruteForceOnSmallRandomGraphs) {
+  for (const std::uint64_t seed : {11ULL, 22ULL, 33ULL, 44ULL}) {
+    graph::NetgenParams p;
+    p.nodes = 8;
+    p.edges = 16;
+    p.components = 1;
+    p.seed = seed;
+    const WeightedGraph g = graph::netgen_style(p);
+    const double oracle = brute_force_min_cut_weight(g);
+    const Bipartition sw = stoer_wagner(g);
+    EXPECT_NEAR(sw.cut_weight, oracle, 1e-9 * (1.0 + oracle))
+        << "seed " << seed;
+  }
+}
+
+TEST(MaxFlowBipartitionerDifferential, NeverBeatsBruteForce) {
+  // The terminal-selection heuristic is not exact, but it must never
+  // report a cut below the true minimum (that would mean a bogus
+  // cut_weight), and with kBestOfK it should land on the optimum for
+  // graphs this small most of the time — assert within 2x.
+  for (const std::uint64_t seed : {5ULL, 6ULL, 7ULL}) {
+    graph::NetgenParams p;
+    p.nodes = 7;
+    p.edges = 14;
+    p.components = 1;
+    p.seed = seed;
+    const WeightedGraph g = graph::netgen_style(p);
+    const double oracle = brute_force_min_cut_weight(g);
+    MaxFlowCutOptions opts;
+    opts.strategy = TerminalStrategy::kBestOfK;
+    opts.num_pairs = 16;
+    const Bipartition cut = MaxFlowBipartitioner(opts).bipartition(g);
+    EXPECT_GE(cut.cut_weight, oracle - 1e-9 * (1.0 + oracle));
+    EXPECT_LE(cut.cut_weight, 2.0 * oracle + 1e-9) << "seed " << seed;
+  }
+}
+
 }  // namespace
 }  // namespace mecoff::mincut

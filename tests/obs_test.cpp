@@ -1,0 +1,298 @@
+// Observability-layer tests (ctest label: obs).
+//
+// Three claims are under test:
+//   1. The MetricsRegistry primitives are exact under concurrency —
+//      counts survive a ThreadPool hammering them.
+//   2. The TraceCollector records what happened (nesting, counts,
+//      capacity) and exports well-formed Chrome trace JSON.
+//   3. Instrumentation is OBSERVATION ONLY: enabling tracing does not
+//      change a single placement bit, and the SolveStats the solver
+//      reports agree exactly with the registry gauges (they are written
+//      from the same doubles — see src/mec/offloader.cpp).
+//
+// This file also compiles (and passes, trivially where appropriate)
+// under -DMECOFF_OBS=OFF, which is how CI proves the compile-out path.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "graph/generators.hpp"
+#include "mec/offloader.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mecoff {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::TraceCollector;
+
+// ---- metrics primitives ---------------------------------------------------
+
+TEST(Metrics, CounterAddsAndResets) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add(3);
+  c.add(4);
+  EXPECT_EQ(c.value(), 7u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  obs::Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), 1.25);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Metrics, HistogramBucketsSamplesAgainstSortedBounds) {
+  const double bounds[] = {1.0, 10.0, 100.0};
+  obs::Histogram h{bounds};
+  h.record(0.5);    // <= 1      -> bucket 0
+  h.record(1.0);    // <= 1      -> bucket 0 (lower_bound: inclusive upper)
+  h.record(5.0);    // <= 10     -> bucket 1
+  h.record(1000.0); // overflow  -> bucket 3
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+}
+
+TEST(Metrics, RegistryReturnsStableReferencesAndRejectsKindClashes) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  obs::Counter& a = reg.counter("obs_test.stable");
+  obs::Counter& b = reg.counter("obs_test.stable");
+  EXPECT_EQ(&a, &b);
+  EXPECT_THROW((void)reg.gauge("obs_test.stable"), PreconditionError);
+  EXPECT_THROW((void)reg.histogram("obs_test.stable"), PreconditionError);
+}
+
+TEST(Metrics, SnapshotAndTextContainRegisteredNames) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("obs_test.snap.counter").add(11);
+  reg.gauge("obs_test.snap.gauge").set(0.5);
+  reg.histogram("obs_test.snap.hist").record(0.01);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_TRUE(snap.counters.contains("obs_test.snap.counter"));
+  EXPECT_GE(snap.counters.at("obs_test.snap.counter"), 11u);
+  ASSERT_TRUE(snap.gauges.contains("obs_test.snap.gauge"));
+  ASSERT_TRUE(snap.histograms.contains("obs_test.snap.hist"));
+  const std::string text = reg.to_text();
+  EXPECT_NE(text.find("obs_test.snap.counter"), std::string::npos);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"obs_test.snap.gauge\":0.5"), std::string::npos);
+}
+
+TEST(Metrics, CounterIsExactUnderThreadPoolContention) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  obs::Counter& c = reg.counter("obs_test.contended");
+  c.reset();
+  constexpr std::size_t kTasks = 64;
+  constexpr std::size_t kPerTask = 1000;
+  parallel::ThreadPool pool(4);
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    futures.push_back(pool.submit([&c] {
+      for (std::size_t i = 0; i < kPerTask; ++i)
+        c.add(1);
+    }));
+  }
+  for (std::future<void>& f : futures) f.get();
+  EXPECT_EQ(c.value(), kTasks * kPerTask);
+}
+
+TEST(Metrics, MacroFacadeTouchesTheGlobalRegistry) {
+  MetricsRegistry::global().counter("obs_test.macro").reset();
+  MECOFF_COUNTER_ADD("obs_test.macro", 5);
+  MECOFF_COUNTER_ADD("obs_test.macro", 2);
+#ifdef MECOFF_OBS_DISABLED
+  EXPECT_EQ(MetricsRegistry::global().counter("obs_test.macro").value(), 0u);
+#else
+  EXPECT_EQ(MetricsRegistry::global().counter("obs_test.macro").value(), 7u);
+#endif
+}
+
+// ---- trace collector ------------------------------------------------------
+
+#ifndef MECOFF_OBS_DISABLED
+
+/// RAII guard: tests must not leave the global collector enabled (other
+/// suites in other binaries assume tracing is opt-in).
+struct TraceSession {
+  explicit TraceSession(bool enabled) {
+    TraceCollector::global().clear();
+    TraceCollector::global().enable(enabled);
+  }
+  ~TraceSession() {
+    TraceCollector::global().enable(false);
+    TraceCollector::global().clear();
+  }
+};
+
+TEST(Trace, DisabledCollectorRecordsNothing) {
+  TraceSession session(false);
+  { MECOFF_TRACE_SPAN("obs_test.ignored"); }
+  EXPECT_EQ(TraceCollector::global().event_count(), 0u);
+}
+
+TEST(Trace, RecordsNestedSpansWithDepth) {
+  TraceSession session(true);
+  {
+    MECOFF_TRACE_SPAN("obs_test.outer");
+    {
+      MECOFF_TRACE_SPAN_ARG("obs_test.inner", 42);
+    }
+  }
+  TraceCollector::global().enable(false);
+  EXPECT_EQ(TraceCollector::global().event_count(), 2u);
+  std::ostringstream out;
+  TraceCollector::global().write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("obs_test.outer"), std::string::npos);
+  EXPECT_NE(json.find("obs_test.inner"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // The inner span closed first and nests one level deeper.
+  EXPECT_NE(json.find("\"depth\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"arg\":42"), std::string::npos);
+}
+
+TEST(Trace, CapacityCapDropsInsteadOfGrowing) {
+  TraceSession session(true);
+  TraceCollector::global().set_capacity(8);
+  for (int i = 0; i < 20; ++i) {
+    MECOFF_TRACE_SPAN("obs_test.burst");
+  }
+  TraceCollector::global().enable(false);
+  EXPECT_LE(TraceCollector::global().event_count(), 8u);
+  EXPECT_GE(TraceCollector::global().dropped_count(), 12u);
+  TraceCollector::global().set_capacity(1u << 20);
+}
+
+TEST(Trace, ThreadsGetDistinctLogsAndAllEventsSurvive) {
+  TraceSession session(true);
+  constexpr std::size_t kSpansPerThread = 50;
+  std::thread t1([] {
+    for (std::size_t i = 0; i < kSpansPerThread; ++i) {
+      MECOFF_TRACE_SPAN("obs_test.t1");
+    }
+  });
+  std::thread t2([] {
+    for (std::size_t i = 0; i < kSpansPerThread; ++i) {
+      MECOFF_TRACE_SPAN("obs_test.t2");
+    }
+  });
+  t1.join();
+  t2.join();
+  TraceCollector::global().enable(false);
+  EXPECT_EQ(TraceCollector::global().event_count(), 2 * kSpansPerThread);
+}
+
+#endif  // MECOFF_OBS_DISABLED
+
+// ---- instrumentation is observation only ----------------------------------
+
+mec::MecSystem obs_test_system(std::size_t users) {
+  mec::SystemParams params;
+  params.mobile_power = 1.0;
+  params.transmit_power = 8.0;
+  params.bandwidth = 50.0;
+  params.mobile_capacity = 5.0;
+  params.server_capacity = 500.0;
+  std::vector<mec::UserApp> apps;
+  apps.reserve(users);
+  for (std::size_t u = 0; u < users; ++u) {
+    graph::NetgenParams p;
+    p.nodes = 80;
+    p.edges = 320;
+    p.seed = 1000 + u;
+    mec::UserApp app;
+    app.graph = graph::netgen_style(p);
+    apps.push_back(std::move(app));
+  }
+  return mec::MecSystem{params, std::move(apps)};
+}
+
+mec::OffloadingScheme solve_once(const mec::MecSystem& system,
+                                 parallel::ThreadPool* pool,
+                                 mec::PipelineOffloader::SolveStats* stats) {
+  mec::PipelineOptions opts;
+  opts.propagation.coupling_threshold = 10.0;
+  opts.pool = pool;
+  mec::PipelineOffloader offloader(opts);
+  const mec::OffloadingScheme scheme = offloader.solve(system);
+  if (stats != nullptr) *stats = offloader.last_stats();
+  return scheme;
+}
+
+TEST(ObsEquivalence, TracingDoesNotChangeSchemesSerial) {
+  const mec::MecSystem system = obs_test_system(6);
+  const mec::OffloadingScheme untraced = solve_once(system, nullptr, nullptr);
+#ifndef MECOFF_OBS_DISABLED
+  TraceSession session(true);
+#endif
+  const mec::OffloadingScheme traced = solve_once(system, nullptr, nullptr);
+  EXPECT_EQ(traced, untraced);
+}
+
+TEST(ObsEquivalence, TracingDoesNotChangeSchemesPooled) {
+  const mec::MecSystem system = obs_test_system(6);
+  parallel::ThreadPool pool(4);
+  const mec::OffloadingScheme untraced = solve_once(system, &pool, nullptr);
+#ifndef MECOFF_OBS_DISABLED
+  TraceSession session(true);
+#endif
+  const mec::OffloadingScheme traced = solve_once(system, &pool, nullptr);
+  EXPECT_EQ(traced, untraced);
+  // And pooled == serial stays true with tracing on (the bench's
+  // bit-identity claim must survive instrumentation).
+  const mec::OffloadingScheme serial = solve_once(system, nullptr, nullptr);
+  EXPECT_EQ(traced, serial);
+}
+
+TEST(ObsEquivalence, SolveStatsStageSumsBoundedByTotalOnSerialRuns) {
+  const mec::MecSystem system = obs_test_system(4);
+  mec::PipelineOffloader::SolveStats stats;
+  (void)solve_once(system, nullptr, &stats);
+  // Serial run: stage clocks are disjoint slices of the same wall
+  // clock, so their sum cannot exceed the total (small epsilon for the
+  // unmeasured glue between stopwatches).
+  EXPECT_LE(stats.compress_seconds + stats.cut_seconds + stats.greedy_seconds,
+            stats.total_seconds + 1e-6);
+  EXPECT_GE(stats.total_seconds, 0.0);
+}
+
+#ifndef MECOFF_OBS_DISABLED
+TEST(ObsEquivalence, RegistryGaugesEqualSolveStatsExactly) {
+  const mec::MecSystem system = obs_test_system(4);
+  mec::PipelineOffloader::SolveStats stats;
+  (void)solve_once(system, nullptr, &stats);
+  // Single-source timing contract: the gauges are written from the very
+  // doubles SolveStats holds, so equality is exact, not approximate.
+  const obs::MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.gauges.at("mec.solve.compress_seconds"),
+            stats.compress_seconds);
+  EXPECT_EQ(snap.gauges.at("mec.solve.cut_seconds"), stats.cut_seconds);
+  EXPECT_EQ(snap.gauges.at("mec.solve.greedy_seconds"),
+            stats.greedy_seconds);
+  EXPECT_EQ(snap.gauges.at("mec.solve.total_seconds"), stats.total_seconds);
+  EXPECT_EQ(snap.gauges.at("mec.solve.final_objective"),
+            stats.final_objective);
+}
+#endif
+
+}  // namespace
+}  // namespace mecoff

@@ -9,6 +9,7 @@
 #include "graph/generators.hpp"
 #include "graph/partition.hpp"
 #include "kl/kernighan_lin.hpp"
+#include "linalg/jacobi.hpp"
 #include "linalg/laplacian.hpp"
 #include "lpa/pipeline.hpp"
 #include "mec/costs.hpp"
@@ -174,6 +175,38 @@ TEST_P(WorkloadProperty, FiedlerValuePositiveOnConnectedGraphs) {
   if (!graph::is_connected(g)) GTEST_SKIP();
   const spectral::FiedlerResult f = spectral::fiedler_pair(g);
   EXPECT_GT(f.value, 0.0);
+}
+
+TEST_P(WorkloadProperty, SpectralCutWithinMoharBoundOfJacobiLambda2) {
+  // The workload-scale companion of tests/differential_test.cpp: graphs
+  // too big to brute-force still obey Mohar's sweep-cut guarantee
+  //   W_sweep ≤ sqrt(λ₂ (2Δ − λ₂)) · n / 2
+  // with λ₂ taken from the dense cyclic-Jacobi oracle, NOT from the
+  // iterative solver under test (which must agree with it to 1e-5).
+  const graph::WeightedGraph g = make_graph(GetParam());
+  if (!graph::is_connected(g)) GTEST_SKIP() << "connected instances only";
+  const std::size_t n = g.num_nodes();
+
+  const linalg::JacobiResult eig =
+      linalg::jacobi_eigen(linalg::dense_laplacian(g));
+  ASSERT_TRUE(eig.converged);
+  const double lambda2 = eig.values[1];
+  ASSERT_GT(lambda2, 0.0);
+
+  spectral::SpectralBipartitioner cutter;
+  const graph::Bipartition cut = cutter.bipartition(g);
+  if (!cutter.last_converged()) GTEST_SKIP() << "eigensolver gave up";
+  EXPECT_NEAR(cutter.last_fiedler_value(), lambda2, 1e-5 * (1.0 + lambda2));
+
+  double delta = 0.0;
+  for (graph::NodeId v = 0; v < n; ++v)
+    delta = std::max(delta, g.weighted_degree(v));
+  const double slack = 2.0 * delta - lambda2;  // ≥ 0 by Gershgorin
+  ASSERT_GE(slack, -1e-9 * (1.0 + delta));
+  const double mohar = std::sqrt(std::max(0.0, lambda2 * slack)) *
+                       static_cast<double>(n) / 2.0;
+  EXPECT_LE(cut.cut_weight, mohar * (1.0 + 1e-9) + 1e-9)
+      << "n=" << n << " λ₂=" << lambda2 << " Δ=" << delta;
 }
 
 // ---- Scheme generation -------------------------------------------------------

@@ -27,12 +27,20 @@
 // deployment preset (wifi_campus, lte_smallcell, mmwave_hotspot,
 // congested_venue); explicit key=value options override preset fields.
 //
+// Observability (see docs/observability.md):
+//   users=<n>      replicate the application into an n-user system
+//   threads=<n>    solve the per-user stage on an n-worker pool
+//   trace=<file>   record spans and write chrome://tracing JSON
+//   metrics=1      dump the metrics registry after the run
+//
 // All options are key=value tokens after the positional arguments.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <vector>
 
 #include "appmodel/dsl_parser.hpp"
 #include "appmodel/trace_import.hpp"
@@ -51,6 +59,9 @@
 #include "mec/scheme_io.hpp"
 #include "mincut/bipartitioner.hpp"
 #include "mincut/stoer_wagner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
 #include "sim/dag_executor.hpp"
 #include "sim/executor.hpp"
 #include "spectral/bipartitioner.hpp"
@@ -259,7 +270,16 @@ int cmd_solve(const std::string& path, const Config& cfg, bool simulate,
   user.graph = app.to_graph();
   user.unoffloadable = app.unoffloadable_mask();
   user.components = app.component_ids();
-  mec::MecSystem system{params_from(cfg), {user}};
+  const std::size_t num_users = static_cast<std::size_t>(
+      std::max<long long>(1, cfg.get_int("users", 1)));
+  mec::MecSystem system{params_from(cfg), {}};
+  system.users.assign(num_users, user);
+
+  // Observability surface: tracing must be on BEFORE the solve so the
+  // compress/cut/eigensolve spans land in the export.
+  const std::string trace_path = cfg.get_string("trace", "");
+  const bool dump_metrics = cfg.get_int("metrics", 0) != 0;
+  if (!trace_path.empty()) obs::TraceCollector::global().enable();
 
   mec::PipelineOptions options;
   options.propagation.coupling_threshold = cfg.get_double("threshold", 10.0);
@@ -267,6 +287,13 @@ int cmd_solve(const std::string& path, const Config& cfg, bool simulate,
   if (algo == "maxflow") options.backend = mec::CutBackend::kMaxFlow;
   if (algo == "kl") options.backend = mec::CutBackend::kKernighanLin;
   options.deadline.seconds = cfg.get_double("deadline", -1.0);
+  const std::size_t threads = static_cast<std::size_t>(
+      std::max<long long>(0, cfg.get_int("threads", 0)));
+  std::unique_ptr<parallel::ThreadPool> pool;
+  if (threads > 0) {
+    pool = std::make_unique<parallel::ThreadPool>(threads);
+    options.pool = pool.get();
+  }
   mec::PipelineOffloader offloader(options);
 
   mec::OffloadingScheme scheme;
@@ -332,7 +359,8 @@ int cmd_solve(const std::string& path, const Config& cfg, bool simulate,
                 "(events: %zu)\n",
                 batch.total_energy, batch.makespan, batch.events);
     if (sim::call_graph_is_acyclic(app)) {
-      const auto dag = sim::execute_dag(system, {app}, scheme);
+      const std::vector<appmodel::Application> apps(system.users.size(), app);
+      const auto dag = sim::execute_dag(system, apps, scheme);
       if (dag.ok())
         std::printf("task-DAG DES:  energy = %.3f  makespan = %.3f  "
                     "(events: %zu)\n",
@@ -341,6 +369,26 @@ int cmd_solve(const std::string& path, const Config& cfg, bool simulate,
     } else {
       std::printf("task-DAG DES:  skipped (cyclic call structure)\n");
     }
+  }
+
+  // Observability dump happens last so the spans/counters from the solve
+  // AND the simulation (if any) are included.
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open trace file %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    obs::TraceCollector::global().write_chrome_trace(out);
+    std::printf("wrote %zu trace events to %s (dropped %zu)\n",
+                obs::TraceCollector::global().event_count(),
+                trace_path.c_str(),
+                obs::TraceCollector::global().dropped_count());
+  }
+  if (dump_metrics) {
+    std::printf("--- metrics ---\n%s",
+                obs::MetricsRegistry::global().to_text().c_str());
   }
   return 0;
 }
