@@ -8,6 +8,7 @@
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 
 namespace mecoff::mec {
@@ -303,6 +304,33 @@ OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
   MECOFF_COUNTER_ADD("mec.fallback.all_remote", stats_.fallback_all_remote);
   MECOFF_COUNTER_ADD("mec.solve.deadline_expired",
                      stats_.deadline_expired ? 1 : 0);
+  // Live serving feeds, same doubles as SolveStats (the gauge==stats
+  // contract extends to the quantile window and the flight recorder):
+  // the sliding-window latency summary /metrics exposes...
+  MECOFF_QUANTILES_RECORD("mec.solve.latency", stats_.total_seconds);
+#ifndef MECOFF_OBS_DISABLED
+  // ...and one flight-recorder record per solve. Strictly observational
+  // — nothing reads the recorder back into a solve — so placements stay
+  // bit-identical with the recorder armed, dumping, or compiled out.
+  {
+    obs::SolveRecord record;
+    record.users = num_users;
+    record.distinct_users = distinct;
+    record.parts = stats_.num_parts;
+    record.greedy_moves = stats_.greedy_moves;
+    record.compress_seconds = stats_.compress_seconds;
+    record.cut_seconds = stats_.cut_seconds;
+    record.greedy_seconds = stats_.greedy_seconds;
+    record.total_seconds = stats_.total_seconds;
+    record.final_objective = stats_.final_objective;
+    record.spectral_nonconverged = stats_.spectral_nonconverged;
+    record.fallback_kl_cuts = stats_.fallback_kl_cuts;
+    record.fallback_all_remote = stats_.fallback_all_remote;
+    record.deadline_expired = stats_.deadline_expired;
+    record.trace_dropped = obs::TraceCollector::global().dropped_count();
+    (void)obs::FlightRecorder::global().record(std::move(record));
+  }
+#endif  // MECOFF_OBS_DISABLED
   return greedy.scheme;
 }
 

@@ -1,0 +1,22 @@
+// Locale-independent round-trip number rendering shared by every obs
+// dump (metrics text/JSON, Prometheus exposition, flight recorder).
+// snprintf("%g") honors LC_NUMERIC and would break byte-for-byte golden
+// diffs under a comma-decimal locale; std::to_chars cannot.
+#pragma once
+
+#include <charconv>
+#include <string>
+
+namespace mecoff::obs {
+
+/// Shortest form that round-trips the exact double (0.1 stays "0.1",
+/// never "0.10000000000000001" — the shortest-round-trip digit string
+/// is unique, so the rendering is still deterministic).
+inline std::string format_double(double v) {
+  char buffer[40];
+  const std::to_chars_result res =
+      std::to_chars(buffer, buffer + sizeof(buffer), v);
+  return std::string(buffer, res.ptr);
+}
+
+}  // namespace mecoff::obs

@@ -1,24 +1,12 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <sstream>
 
 #include "common/contracts.hpp"
+#include "obs/format.hpp"
 
 namespace mecoff::obs {
-
-namespace {
-
-/// Shortest representation that round-trips a double (%.17g worst
-/// case, but most metric values print compactly).
-std::string format_double(double v) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
-  return buffer;
-}
-
-}  // namespace
 
 void Gauge::add(double delta) {
   // fetch_add on atomic<double> is C++20; spelled as a CAS loop to stay
@@ -72,7 +60,8 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 MetricsRegistry::Entry& MetricsRegistry::find_or_create(
-    std::string_view name, Kind kind, std::span<const double> upper_bounds) {
+    std::string_view name, Kind kind, std::span<const double> upper_bounds,
+    std::size_t window_capacity) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(name);
   if (it != entries_.end()) {
@@ -91,6 +80,11 @@ MetricsRegistry::Entry& MetricsRegistry::find_or_create(
           upper_bounds.empty() ? Histogram::default_latency_bounds()
                                : upper_bounds);
       break;
+    case Kind::kQuantiles:
+      entry.quantiles = std::make_unique<Quantiles>(
+          window_capacity == 0 ? Quantiles::kDefaultWindow
+                               : window_capacity);
+      break;
   }
   return entries_.emplace(std::string(name), std::move(entry))
       .first->second;
@@ -107,6 +101,12 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::span<const double> upper_bounds) {
   return *find_or_create(name, Kind::kHistogram, upper_bounds).histogram;
+}
+
+Quantiles& MetricsRegistry::quantiles(std::string_view name,
+                                      std::size_t window_capacity) {
+  return *find_or_create(name, Kind::kQuantiles, {}, window_capacity)
+              .quantiles;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
@@ -131,6 +131,21 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         snap.histograms[name] = std::move(h);
         break;
       }
+      case Kind::kQuantiles: {
+        MetricsSnapshot::QuantilesValue q;
+        q.count = entry.quantiles->count();
+        q.sum = entry.quantiles->sum();
+        q.window_size = entry.quantiles->window_size();
+        if (q.window_size > 0) {  // empty window: keep zeros (JSON-safe)
+          static constexpr double kQs[] = {0.5, 0.95, 0.99};
+          const std::vector<double> values = entry.quantiles->quantiles(kQs);
+          q.p50 = values[0];
+          q.p95 = values[1];
+          q.p99 = values[2];
+        }
+        snap.quantiles[name] = q;
+        break;
+      }
     }
   }
   return snap;
@@ -144,20 +159,33 @@ void MetricsRegistry::reset_values() {
       case Kind::kCounter: entry.counter->reset(); break;
       case Kind::kGauge: entry.gauge->reset(); break;
       case Kind::kHistogram: entry.histogram->reset(); break;
+      case Kind::kQuantiles: entry.quantiles->reset(); break;
     }
   }
 }
 
 std::string MetricsRegistry::to_text() const {
   const MetricsSnapshot snap = snapshot();
-  std::ostringstream out;
+  // One `name ...` line per instrument, merge-sorted by name across the
+  // four kind maps (each already sorted) so the dump order is a single
+  // global lexicographic order, stable across runs.
+  std::map<std::string, std::string> lines;
   for (const auto& [name, value] : snap.counters)
-    out << name << ' ' << value << '\n';
+    lines[name] = std::to_string(value);
   for (const auto& [name, value] : snap.gauges)
-    out << name << ' ' << format_double(value) << '\n';
+    lines[name] = format_double(value);
   for (const auto& [name, h] : snap.histograms)
-    out << name << " count=" << h.count << " sum=" << format_double(h.sum)
-        << '\n';
+    lines[name] = "count=" + std::to_string(h.count) +
+                  " sum=" + format_double(h.sum);
+  for (const auto& [name, q] : snap.quantiles)
+    lines[name] = "count=" + std::to_string(q.count) +
+                  " sum=" + format_double(q.sum) +
+                  " p50=" + format_double(q.p50) +
+                  " p95=" + format_double(q.p95) +
+                  " p99=" + format_double(q.p99);
+  std::ostringstream out;
+  for (const auto& [name, rendered] : lines)
+    out << name << ' ' << rendered << '\n';
   return out.str();
 }
 
@@ -191,6 +219,18 @@ std::string MetricsRegistry::to_json() const {
     for (std::size_t i = 0; i < h.buckets.size(); ++i)
       out << (i == 0 ? "" : ",") << h.buckets[i];
     out << "]}";
+  }
+  out << "},\"quantiles\":{";
+  first = true;
+  for (const auto& [name, q] : snap.quantiles) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":{\"count\":" << q.count
+        << ",\"sum\":" << format_double(q.sum)
+        << ",\"window\":" << q.window_size
+        << ",\"p50\":" << format_double(q.p50)
+        << ",\"p95\":" << format_double(q.p95)
+        << ",\"p99\":" << format_double(q.p99) << '}';
   }
   out << "}}";
   return out.str();

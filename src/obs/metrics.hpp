@@ -23,6 +23,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/quantiles.hpp"
+
 namespace mecoff::obs {
 
 /// Monotone event count. add() is a relaxed atomic fetch-add.
@@ -97,9 +99,20 @@ struct MetricsSnapshot {
     std::uint64_t count = 0;
     double sum = 0.0;
   };
+  /// Summary view of a Quantiles instrument: the standard serving
+  /// percentiles, evaluated over the sliding window at snapshot time.
+  struct QuantilesValue {
+    std::uint64_t count = 0;  ///< samples ever recorded
+    double sum = 0.0;         ///< over every sample ever recorded
+    std::size_t window_size = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramValue> histograms;
+  std::map<std::string, QuantilesValue> quantiles;
 };
 
 class MetricsRegistry {
@@ -120,28 +133,40 @@ class MetricsRegistry {
   /// boundaries); later lookups ignore it.
   Histogram& histogram(std::string_view name,
                        std::span<const double> upper_bounds = {});
+  /// Sliding-window quantile estimator (see obs/quantiles.hpp).
+  /// `window_capacity` applies on creation only (0 = default window);
+  /// later lookups ignore it.
+  Quantiles& quantiles(std::string_view name,
+                       std::size_t window_capacity = 0);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
   /// Zero every instrument (names and boundaries stay registered).
   void reset_values();
 
-  /// Human-readable dump, one `name value` line per instrument, sorted.
+  /// Human-readable dump, one `name ...` line per instrument, sorted by
+  /// name across ALL instrument kinds. Byte-stable: deterministic
+  /// ordering and locale-independent round-trip number formatting
+  /// (std::to_chars), so golden tests and the bench gate can diff the
+  /// dump byte-for-byte across runs and machines.
   [[nodiscard]] std::string to_text() const;
-  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...},
+  /// "quantiles":{...}}, keys sorted, numbers via std::to_chars.
   [[nodiscard]] std::string to_json() const;
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kQuantiles };
   struct Entry {
     Kind kind;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<Quantiles> quantiles;
   };
 
   Entry& find_or_create(std::string_view name, Kind kind,
-                        std::span<const double> upper_bounds);
+                        std::span<const double> upper_bounds,
+                        std::size_t window_capacity = 0);
 
   mutable std::mutex mutex_;
   std::map<std::string, Entry, std::less<>> entries_;

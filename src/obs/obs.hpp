@@ -69,6 +69,16 @@
     mecoff_obs_hist.record(static_cast<double>(value));               \
   } while (0)
 
+/// Record into a sliding-window quantile estimator (default window).
+/// NOT for per-node hot paths: record() takes a short mutex — feed it
+/// once per solve/request, where the lock is uncontended.
+#define MECOFF_QUANTILES_RECORD(name, value)                          \
+  do {                                                                \
+    static ::mecoff::obs::Quantiles& mecoff_obs_quant =               \
+        ::mecoff::obs::MetricsRegistry::global().quantiles(name);     \
+    mecoff_obs_quant.record(static_cast<double>(value));              \
+  } while (0)
+
 #else  // MECOFF_OBS_DISABLED
 
 // sizeof in an unevaluated context keeps the operands "used" (no
@@ -83,6 +93,8 @@
 #define MECOFF_GAUGE_ADD(name, delta) \
   ((void)sizeof(name), (void)sizeof(delta))
 #define MECOFF_HISTOGRAM_RECORD(name, value) \
+  ((void)sizeof(name), (void)sizeof(value))
+#define MECOFF_QUANTILES_RECORD(name, value) \
   ((void)sizeof(name), (void)sizeof(value))
 
 #endif  // MECOFF_OBS_DISABLED

@@ -1,0 +1,95 @@
+#include "obs/quantiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace mecoff::obs {
+
+double quantile_of_sorted(std::span<const double> sorted, double q) {
+  MECOFF_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+Quantiles::Quantiles(std::size_t window_capacity)
+    : capacity_(window_capacity) {
+  MECOFF_EXPECTS(window_capacity > 0);
+  ring_.reserve(std::min<std::size_t>(window_capacity, 1024));
+}
+
+void Quantiles::record(double sample) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(sample);
+  } else {
+    ring_[head_] = sample;
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++total_count_;
+  total_sum_ += sample;
+}
+
+std::vector<double> Quantiles::snapshot_window() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_;  // ring order is fine: queries sort anyway
+}
+
+std::vector<double> Quantiles::window() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) return ring_;  // not yet wrapped
+  std::vector<double> ordered;
+  ordered.reserve(ring_.size());
+  ordered.insert(ordered.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+                 ring_.end());
+  ordered.insert(ordered.end(), ring_.begin(),
+                 ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  return ordered;
+}
+
+double Quantiles::quantile(double q) const {
+  std::vector<double> values = snapshot_window();
+  std::sort(values.begin(), values.end());
+  return quantile_of_sorted(values, q);
+}
+
+std::vector<double> Quantiles::quantiles(std::span<const double> qs) const {
+  std::vector<double> values = snapshot_window();
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) out.push_back(quantile_of_sorted(values, q));
+  return out;
+}
+
+std::uint64_t Quantiles::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_count_;
+}
+
+double Quantiles::sum() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_sum_;
+}
+
+std::size_t Quantiles::window_size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+void Quantiles::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+  total_count_ = 0;
+  total_sum_ = 0.0;
+}
+
+}  // namespace mecoff::obs

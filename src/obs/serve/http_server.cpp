@@ -1,0 +1,199 @@
+#include "obs/serve/http_server.hpp"
+
+#ifndef MECOFF_OBS_DISABLED
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mecoff::obs::serve {
+
+namespace {
+
+constexpr std::size_t kMaxRequestLine = 8 * 1024;
+constexpr std::size_t kMaxHeaderBlock = 64 * 1024;
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+/// write(2) until done; a peer that hangs up mid-response is ignored
+/// (SIGPIPE is suppressed per-call via MSG_NOSIGNAL).
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + ' ' +
+                    status_text(response.status) +
+                    "\r\nContent-Type: " + response.content_type +
+                    "\r\nContent-Length: " +
+                    std::to_string(response.body.size()) +
+                    "\r\nConnection: close\r\n\r\n" + response.body;
+  send_all(fd, out);
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string path, Handler handler) {
+  routes_[std::move(path)] = std::move(handler);
+}
+
+Result<std::uint16_t> HttpServer::start(std::uint16_t port) {
+  if (running()) return Error("server already running");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Error(std::string("socket: ") + std::strerror(errno));
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    return Error("bind 127.0.0.1:" + std::to_string(port) + ": " + why);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    return Error("listen: " + why);
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    return Error("getsockname: " + why);
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { accept_loop(); });
+  return port_;
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // shutdown() wakes the blocking accept() with an error so the loop
+  // observes running_ == false and exits; close() alone is racy.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      // Listener shut down (stop()) or fd exhaustion — in either case
+      // re-check running_ and bail out cleanly rather than spinning.
+      if (!running_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    serve_connection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  // Read until the end of the header block. One recv loop with hard
+  // caps: exposition requests are tiny, anything larger is hostile.
+  std::string buffer;
+  while (buffer.find("\r\n\r\n") == std::string::npos) {
+    if (buffer.size() > kMaxHeaderBlock) {
+      send_response(fd, HttpResponse{431, "text/plain; charset=utf-8",
+                                     "header block too large\n"});
+      return;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // peer went away before finishing the request
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  const std::size_t line_end = buffer.find("\r\n");
+  if (line_end == std::string::npos || line_end > kMaxRequestLine) {
+    send_response(fd, HttpResponse{400, "text/plain; charset=utf-8",
+                                   "malformed request line\n"});
+    return;
+  }
+  const std::string line = buffer.substr(0, line_end);
+
+  // "GET /path?query HTTP/1.1"
+  const std::size_t method_end = line.find(' ');
+  const std::size_t target_end =
+      method_end == std::string::npos ? std::string::npos
+                                      : line.find(' ', method_end + 1);
+  if (method_end == std::string::npos || target_end == std::string::npos) {
+    send_response(fd, HttpResponse{400, "text/plain; charset=utf-8",
+                                   "malformed request line\n"});
+    return;
+  }
+  HttpRequest request;
+  request.method = line.substr(0, method_end);
+  std::string target =
+      line.substr(method_end + 1, target_end - method_end - 1);
+  const std::size_t query_start = target.find('?');
+  if (query_start != std::string::npos) {
+    request.query = target.substr(query_start + 1);
+    target.resize(query_start);
+  }
+  request.path = std::move(target);
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  if (request.method != "GET" && request.method != "HEAD") {
+    send_response(fd, HttpResponse{405, "text/plain; charset=utf-8",
+                                   "only GET is served\n"});
+    return;
+  }
+  const auto it = routes_.find(request.path);
+  if (it == routes_.end()) {
+    std::string known = "not found; routes:";
+    for (const auto& [path, handler] : routes_) known += ' ' + path;
+    send_response(fd, HttpResponse{404, "text/plain; charset=utf-8",
+                                   known + '\n'});
+    return;
+  }
+  HttpResponse response = it->second(request);
+  if (request.method == "HEAD") response.body.clear();
+  send_response(fd, response);
+}
+
+}  // namespace mecoff::obs::serve
+
+#endif  // MECOFF_OBS_DISABLED

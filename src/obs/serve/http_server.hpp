@@ -1,0 +1,120 @@
+// Minimal embedded HTTP/1.0-style exposition server.
+//
+// One dedicated thread runs a blocking accept loop on a loopback
+// listener; each connection is served one GET and closed
+// ("Connection: close" — scrape traffic, not an RPC plane). No external
+// dependencies: plain POSIX sockets. Routes are exact-path handlers
+// registered BEFORE start(); handlers run on the server thread, so
+// anything they touch must be internally synchronized (the metrics
+// registry, trace collector, and flight recorder all are).
+//
+// Deliberate non-goals: TLS, keep-alive, chunked bodies, request
+// bodies, path parameters. This serves /metrics to a scraper and a
+// human with curl; an ingress proxy owns everything else.
+//
+// The request path (including the query string, which handlers may
+// parse) is capped at 8 KiB and the header block at 64 KiB; oversized
+// or malformed requests get 400/431 and the connection is closed — the
+// server survives garbage, slow, and hostile peers without allocating
+// unboundedly.
+//
+// Under MECOFF_OBS_DISABLED the class degrades to an inert stub whose
+// start() reports failure, so callers (the CLI's serve mode) compile
+// unchanged and fail loudly at runtime instead of silently serving
+// nothing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/result.hpp"
+
+#ifndef MECOFF_OBS_DISABLED
+
+#include <atomic>
+#include <thread>
+
+#endif  // MECOFF_OBS_DISABLED
+
+namespace mecoff::obs::serve {
+
+struct HttpRequest {
+  std::string method;  ///< "GET"
+  std::string path;    ///< "/metrics" (query string stripped)
+  std::string query;   ///< "a=1&b=2" (no leading '?'), may be empty
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+#ifndef MECOFF_OBS_DISABLED
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+  ~HttpServer();  ///< stops and joins if still running
+
+  /// Register an exact-path GET handler. Must be called before start().
+  void handle(std::string path, Handler handler);
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral), start the accept thread.
+  /// Returns the bound port, or an Error (port in use, out of fds...).
+  Result<std::uint16_t> start(std::uint16_t port);
+
+  /// Close the listener and join the accept thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// Bound port (valid after a successful start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// Requests answered (any status) since start.
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  std::map<std::string, Handler> routes_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+#else  // MECOFF_OBS_DISABLED
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  void handle(std::string, Handler) {}
+  Result<std::uint16_t> start(std::uint16_t) {
+    return Error("telemetry serving compiled out (MECOFF_OBS_DISABLED)");
+  }
+  void stop() {}
+  [[nodiscard]] bool running() const { return false; }
+  [[nodiscard]] std::uint16_t port() const { return 0; }
+  [[nodiscard]] std::uint64_t requests_served() const { return 0; }
+};
+
+#endif  // MECOFF_OBS_DISABLED
+
+}  // namespace mecoff::obs::serve

@@ -1,0 +1,85 @@
+#include "obs/serve/telemetry_server.hpp"
+
+#include <utility>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/serve/exposition.hpp"
+#include "obs/trace.hpp"
+
+namespace mecoff::obs::serve {
+
+#ifndef MECOFF_OBS_DISABLED
+
+TelemetryServer::TelemetryServer() {
+  http_.handle("/metrics", [](const HttpRequest&) {
+    HttpResponse response;
+    // The exposition-format version the Prometheus scraper negotiates.
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body =
+        to_prometheus_text(MetricsRegistry::global().snapshot());
+    return response;
+  });
+  http_.handle("/varz", [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    // The registry dump plus the collectors' meta counters, so one
+    // scrape answers "is tracing dropping?" and "how many anomalies?".
+    response.body =
+        "{\"metrics\":" + MetricsRegistry::global().to_json() +
+        ",\"trace\":{\"events\":" +
+        std::to_string(TraceCollector::global().event_count()) +
+        ",\"dropped\":" +
+        std::to_string(TraceCollector::global().dropped_count()) +
+        "},\"flight_recorder\":{\"records\":" +
+        std::to_string(FlightRecorder::global().total_records()) +
+        ",\"anomalies\":" +
+        std::to_string(FlightRecorder::global().anomaly_count()) +
+        ",\"dumps\":" +
+        std::to_string(FlightRecorder::global().dump_count()) + "}}";
+    return response;
+  });
+  http_.handle("/healthz", [this](const HttpRequest&) {
+    const HealthStatus health = health_ ? health_() : HealthStatus{};
+    HttpResponse response;
+    response.status = health.ok ? 200 : 503;
+    response.body = health.reason;
+    if (response.body.empty() || response.body.back() != '\n')
+      response.body += '\n';
+    return response;
+  });
+  http_.handle("/flightz", [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = FlightRecorder::global().to_json();
+    return response;
+  });
+}
+
+void TelemetryServer::set_health_callback(HealthCallback callback) {
+  health_ = std::move(callback);
+}
+
+Result<std::uint16_t> TelemetryServer::start(std::uint16_t port) {
+  return http_.start(port);
+}
+
+void TelemetryServer::stop() { http_.stop(); }
+
+#else  // MECOFF_OBS_DISABLED
+
+TelemetryServer::TelemetryServer() = default;
+
+void TelemetryServer::set_health_callback(HealthCallback callback) {
+  health_ = std::move(callback);
+}
+
+Result<std::uint16_t> TelemetryServer::start(std::uint16_t port) {
+  return http_.start(port);  // the stub reports the compile-out error
+}
+
+void TelemetryServer::stop() {}
+
+#endif  // MECOFF_OBS_DISABLED
+
+}  // namespace mecoff::obs::serve

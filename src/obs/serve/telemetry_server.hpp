@@ -1,0 +1,68 @@
+// TelemetryServer: the live observability surface of a solve loop.
+//
+// Wires the embedded HttpServer to the process-global instruments:
+//
+//   /metrics  Prometheus text exposition of the MetricsRegistry
+//             (counters, gauges, histograms, and the sliding-window
+//             quantile summaries — mec_solve_latency{quantile="..."})
+//   /varz     the registry's JSON dump (the same document `metrics=1`
+//             prints), plus trace/recorder meta counters
+//   /healthz  liveness callback: 200 "ok" while healthy, 503 with the
+//             reason while degraded (a dead edge server, the all-local
+//             fallback...). No callback registered = always ok.
+//   /flightz  the flight recorder's current ring as JSON (the same
+//             document an anomaly dump writes, anomaly=null)
+//
+// Serving OBSERVES: every route renders from snapshots of internally
+// synchronized state, so a scrape can never perturb a running solve —
+// tests/obs_serve_test.cpp extends the ObsEquivalence suite with
+// exactly that claim (placement bits identical with the server up).
+//
+// Under MECOFF_OBS_DISABLED this degrades with HttpServer: start()
+// returns an Error and nothing listens.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/result.hpp"
+#include "obs/serve/http_server.hpp"
+
+namespace mecoff::obs::serve {
+
+/// What /healthz reports. `reason` is served verbatim as the body.
+struct HealthStatus {
+  bool ok = true;
+  std::string reason = "ok";
+};
+
+class TelemetryServer {
+ public:
+  using HealthCallback = std::function<HealthStatus()>;
+
+  TelemetryServer();
+
+  /// Liveness source for /healthz. The callback runs on the server
+  /// thread — it must be thread-safe (copy state under a mutex or read
+  /// atomics; do NOT touch an unsynchronized controller directly).
+  /// Call before start().
+  void set_health_callback(HealthCallback callback);
+
+  /// Start serving on 127.0.0.1:`port` (0 = ephemeral). Returns the
+  /// bound port.
+  Result<std::uint16_t> start(std::uint16_t port);
+  void stop();
+
+  [[nodiscard]] bool running() const { return http_.running(); }
+  [[nodiscard]] std::uint16_t port() const { return http_.port(); }
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return http_.requests_served();
+  }
+
+ private:
+  HttpServer http_;
+  HealthCallback health_;
+};
+
+}  // namespace mecoff::obs::serve

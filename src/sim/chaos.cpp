@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/flight_recorder.hpp"
+
 namespace mecoff::sim {
 
 namespace {
@@ -41,6 +43,11 @@ Result<ChaosOutcome> run_chaos(const mec::MultiServerSystem& system,
   if (!system.valid()) return Error("invalid multi-server system");
 
   ChaosOutcome outcome;
+  // Anomalies are attributed by delta so the recorder can be shared
+  // with other runs in the process. Obs-off builds feed no records, so
+  // the delta (and the field) stays 0 there.
+  const std::uint64_t anomalies_before =
+      obs::FlightRecorder::global().anomaly_count();
   mec::FailoverController controller(system, options.failover);
   outcome.trace.push_back(
       "at 0 init objective=" + format_double(controller.objective()));
@@ -78,6 +85,8 @@ Result<ChaosOutcome> run_chaos(const mec::MultiServerSystem& system,
   outcome.end_time = engine.run(options.max_events);
   outcome.final_result = controller.current();
   outcome.all_local_fallback = controller.all_local_fallback();
+  outcome.anomalies_recorded =
+      obs::FlightRecorder::global().anomaly_count() - anomalies_before;
   outcome.trace.push_back(
       "at " + format_double(outcome.end_time) +
       " final objective=" + format_double(controller.objective()) +

@@ -51,6 +51,10 @@ SimTime SimEngine::run_core(SimTime horizon, std::size_t max_events) {
     MECOFF_COUNTER_ADD("sim.events", 1);
     event.fn();
   }
+  // Live gauges for the /varz scrape of a long-running serve loop:
+  // how much the last run() executed and how deep the queue still is.
+  MECOFF_GAUGE_SET("sim.run.executed", static_cast<double>(executed_));
+  MECOFF_GAUGE_SET("sim.run.pending", static_cast<double>(queue_.size()));
   return now_;
 }
 

@@ -1,0 +1,467 @@
+// Live-telemetry serving tests (ctest label: obs).
+//
+// Claims under test:
+//   1. The Prometheus exposition is byte-stable — a hand-built snapshot
+//      renders exactly the committed golden fixture (name mangling,
+//      cumulative buckets, summary quantiles, number formatting).
+//   2. The sliding-window quantile estimator agrees with an exact
+//      sort-the-window oracle to within 1% at p50/p95/p99 on 10k
+//      samples, including after the window has slid.
+//   3. The flight recorder ring wraps correctly, classifies anomalies
+//      (deadline fallback > failover > latency outlier), and writes a
+//      post-mortem JSON dump when armed with a dump directory.
+//   4. The embedded HTTP server answers /metrics, /varz, /healthz and
+//      /flightz over a real loopback socket, flips /healthz to 503 when
+//      the health callback degrades, and 404s unknown paths.
+//   5. ObsEquivalence extension: serving OBSERVES — running the
+//      telemetry server changes no placement bit of a solve.
+//
+// Like obs_test.cpp this file compiles under -DMECOFF_OBS=OFF; the
+// socket-level tests degrade to asserting that start() fails loudly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "mec/offloader.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/quantiles.hpp"
+#include "obs/serve/exposition.hpp"
+#include "obs/serve/telemetry_server.hpp"
+
+#ifndef MECOFF_OBS_DISABLED
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace mecoff {
+namespace {
+
+using obs::FlightRecorder;
+using obs::Quantiles;
+using obs::SolveRecord;
+
+// ---- Prometheus exposition ------------------------------------------------
+
+TEST(Exposition, ManglesNamesToPrometheusGrammar) {
+  EXPECT_EQ(obs::serve::prometheus_name("mec.solve.latency"),
+            "mec_solve_latency");
+  EXPECT_EQ(obs::serve::prometheus_name("already_legal:name"),
+            "already_legal:name");
+  EXPECT_EQ(obs::serve::prometheus_name("9starts.with digit!"),
+            "_9starts_with_digit_");
+}
+
+/// A fully deterministic snapshot covering every instrument kind plus
+/// the mangling edge cases; the golden fixture is its exact rendering.
+obs::MetricsSnapshot golden_snapshot() {
+  obs::MetricsSnapshot snap;
+  snap.counters["mec.solve.count"] = 42;
+  snap.counters["9weird name!"] = 1;
+  snap.gauges["mec.solve.total_seconds"] = 0.125;
+  obs::MetricsSnapshot::HistogramValue hist;
+  hist.bounds = {0.001, 0.01, 0.1};
+  hist.buckets = {1, 2, 3, 4};  // non-cumulative; renderer accumulates
+  hist.count = 10;
+  hist.sum = 1.5;
+  snap.histograms["mec.solve.seconds"] = hist;
+  obs::MetricsSnapshot::QuantilesValue q;
+  q.count = 100;
+  q.sum = 12.5;
+  q.window_size = 64;
+  q.p50 = 0.1;
+  q.p95 = 0.25;
+  q.p99 = 0.5;
+  snap.quantiles["mec.solve.latency"] = q;
+  return snap;
+}
+
+TEST(Exposition, MatchesGoldenFixtureByteForByte) {
+  const std::string rendered =
+      obs::serve::to_prometheus_text(golden_snapshot());
+  const std::string path =
+      std::string(MECOFF_GOLDEN_DIR) + "/prometheus_exposition.txt";
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden fixture " << path;
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  // Byte-for-byte: the exposition promises locale-independent,
+  // deterministically ordered output (print both on mismatch).
+  EXPECT_EQ(rendered, expected.str());
+}
+
+TEST(Exposition, HistogramBucketsAreCumulativeAndEndAtInf) {
+  const std::string text =
+      obs::serve::to_prometheus_text(golden_snapshot());
+  // buckets {1,2,3,4} -> cumulative 1, 3, 6, and +Inf == count == 10.
+  EXPECT_NE(text.find("mec_solve_seconds_bucket{le=\"0.001\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mec_solve_seconds_bucket{le=\"0.01\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mec_solve_seconds_bucket{le=\"0.1\"} 6\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mec_solve_seconds_bucket{le=\"+Inf\"} 10\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mec_solve_seconds_count 10\n"), std::string::npos);
+}
+
+TEST(Exposition, EmptyQuantileWindowRendersNaNSamples) {
+  obs::MetricsSnapshot snap;
+  obs::MetricsSnapshot::QuantilesValue q;  // window_size == 0
+  snap.quantiles["empty.window"] = q;
+  const std::string text = obs::serve::to_prometheus_text(snap);
+  EXPECT_NE(text.find("empty_window{quantile=\"0.5\"} NaN\n"),
+            std::string::npos);
+}
+
+// ---- quantile estimator vs exact oracle -----------------------------------
+
+/// numpy-style linear interpolation over an explicit sort — the oracle
+/// the streaming window must agree with.
+double oracle_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return obs::quantile_of_sorted(values, q);
+}
+
+TEST(QuantilesOracle, TracksExactSortWithinOnePercentOn10kSamples) {
+  // Deterministic heavy-tailed samples (mt19937_64 is bit-specified by
+  // the standard; the exp transform avoids distribution<> variance
+  // across standard libraries).
+  std::mt19937_64 rng(0x5EED);
+  std::vector<double> samples;
+  samples.reserve(10000);
+  Quantiles window(10000);
+  for (int i = 0; i < 10000; ++i) {
+    const double u =
+        static_cast<double>(rng()) / static_cast<double>(rng.max());
+    const double value = std::exp(3.0 * u);  // in [1, e^3], skewed
+    samples.push_back(value);
+    window.record(value);
+  }
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double exact = oracle_quantile(samples, q);
+    const double streamed = window.quantile(q);
+    EXPECT_NEAR(streamed, exact, 0.01 * exact)
+        << "quantile " << q << " drifted past 1%";
+  }
+}
+
+TEST(QuantilesOracle, SlidingWindowForgetsOldSamples) {
+  std::mt19937_64 rng(77);
+  std::vector<double> all;
+  all.reserve(20000);
+  Quantiles window(10000);
+  for (int i = 0; i < 20000; ++i) {
+    const double u =
+        static_cast<double>(rng()) / static_cast<double>(rng.max());
+    // First half low, second half shifted up: a slid window must see
+    // only the recent regime.
+    const double value = (i < 10000 ? 1.0 : 100.0) + u;
+    all.push_back(value);
+    window.record(value);
+  }
+  EXPECT_EQ(window.count(), 20000u);
+  EXPECT_EQ(window.window_size(), 10000u);
+  const std::vector<double> recent(all.begin() + 10000, all.end());
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double exact = oracle_quantile(recent, q);
+    EXPECT_NEAR(window.quantile(q), exact, 0.01 * exact);
+    EXPECT_GE(window.quantile(q), 100.0);  // old regime fully forgotten
+  }
+}
+
+TEST(QuantilesOracle, InterpolatesBetweenOrderStatistics) {
+  const double sorted[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(obs::quantile_of_sorted(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(obs::quantile_of_sorted(sorted, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(obs::quantile_of_sorted(sorted, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(obs::quantile_of_sorted(sorted, 1.0 / 3.0), 2.0);
+}
+
+// ---- flight recorder ------------------------------------------------------
+
+SolveRecord healthy_record(double total_seconds = 0.01) {
+  SolveRecord r;
+  r.users = 4;
+  r.parts = 8;
+  r.total_seconds = total_seconds;
+  return r;
+}
+
+TEST(FlightRecorderTest, RingWrapsKeepingNewestRecords) {
+  FlightRecorder recorder(4);
+  recorder.set_latency_trigger(0.0);  // disarm: only topology under test
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(recorder.record(healthy_record()), obs::AnomalyKind::kNone);
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.total_records(), 10u);
+  const std::vector<SolveRecord> ring = recorder.snapshot();
+  ASSERT_EQ(ring.size(), 4u);
+  // Oldest to newest, and only the newest four survive: seq 6..9.
+  for (std::size_t i = 0; i < ring.size(); ++i)
+    EXPECT_EQ(ring[i].seq, 6u + i);
+}
+
+TEST(FlightRecorderTest, ClassifiesDegradedSolvesAboveFailover) {
+  FlightRecorder recorder(8);
+  SolveRecord degraded = healthy_record();
+  degraded.fallback_all_remote = 2;
+  recorder.note_failover_event();  // folded into the same record...
+  const obs::AnomalyKind kind = recorder.record(degraded);
+  // ...but the degraded solve outranks it.
+  EXPECT_EQ(kind, obs::AnomalyKind::kDeadlineFallback);
+  EXPECT_EQ(recorder.anomaly_count(), 1u);
+  const std::vector<SolveRecord> ring = recorder.snapshot();
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring[0].failover_events, 1u);
+  EXPECT_STREQ(ring[0].fallback_level(), "all_remote");
+}
+
+TEST(FlightRecorderTest, LatencyOutlierJudgedAgainstPriorWindow) {
+  FlightRecorder recorder(8);
+  recorder.set_latency_trigger(3.0, /*min_samples=*/8);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(recorder.record(healthy_record(0.010)),
+              obs::AnomalyKind::kNone);
+  // 10x the window's p95: fires. The sample is excluded from the window
+  // it is judged against, so it cannot hide behind itself.
+  EXPECT_EQ(recorder.record(healthy_record(0.100)),
+            obs::AnomalyKind::kLatencyOutlier);
+  // Back to normal: no anomaly even though the outlier is now IN the
+  // window (3x margin absorbs one outlier's pull on p95).
+  EXPECT_EQ(recorder.record(healthy_record(0.010)),
+            obs::AnomalyKind::kNone);
+}
+
+TEST(FlightRecorderTest, AnomalyWritesPostMortemDump) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "mecoff_flight_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  FlightRecorder recorder(4);
+  recorder.set_dump_dir(dir.string());
+  (void)recorder.record(healthy_record());
+  EXPECT_EQ(recorder.dump_count(), 0u);  // healthy: no dump
+
+  SolveRecord bad = healthy_record();
+  bad.deadline_expired = true;
+  EXPECT_EQ(recorder.record(bad), obs::AnomalyKind::kDeadlineFallback);
+  EXPECT_EQ(recorder.dump_count(), 1u);
+  const std::string path = recorder.last_dump_path();
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("deadline_fallback"), std::string::npos);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "dump file missing: " << path;
+  std::ostringstream dumped;
+  dumped << in.rdbuf();
+  EXPECT_NE(dumped.str().find("\"schema\":\"mecoff.flight_recorder.v1\""),
+            std::string::npos);
+  EXPECT_NE(dumped.str().find("\"kind\":\"deadline_fallback\""),
+            std::string::npos);
+  // Both ring records are in the post-mortem, oldest first.
+  EXPECT_NE(dumped.str().find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(dumped.str().find("\"seq\":1"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FlightRecorderTest, ToJsonWithoutAnomalyHasNullTrigger) {
+  FlightRecorder recorder(2);
+  (void)recorder.record(healthy_record());
+  const std::string json = recorder.to_json();
+  EXPECT_EQ(json.find("\"anomaly\":null"), json.find("\"anomaly\":"));
+  EXPECT_NE(json.find("\"records\":[{"), std::string::npos);
+}
+
+// ---- HTTP serving over a real socket --------------------------------------
+
+#ifndef MECOFF_OBS_DISABLED
+
+/// Minimal raw-socket HTTP client: one GET, read to EOF. Keeps the
+/// in-tree tests free of a curl dependency (CI smoke uses curl).
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(TelemetryServerTest, ServesMetricsVarzAndFlightz) {
+  obs::MetricsRegistry::global().counter("obs_serve_test.hits").add(3);
+  obs::MetricsRegistry::global().quantiles("obs_serve_test.lat").record(0.5);
+
+  obs::serve::TelemetryServer server;
+  const Result<std::uint16_t> port = server.start(0);  // ephemeral
+  ASSERT_TRUE(port.ok()) << port.error().message;
+  EXPECT_TRUE(server.running());
+
+  const std::string metrics = http_get(port.value(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("obs_serve_test_hits"), std::string::npos);
+  EXPECT_NE(metrics.find("obs_serve_test_lat{quantile=\"0.5\"}"),
+            std::string::npos);
+
+  const std::string varz = http_get(port.value(), "/varz");
+  EXPECT_NE(varz.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(varz.find("\"flight_recorder\":{"), std::string::npos);
+
+  const std::string flightz = http_get(port.value(), "/flightz");
+  EXPECT_NE(flightz.find("\"schema\":\"mecoff.flight_recorder.v1\""),
+            std::string::npos);
+
+  EXPECT_NE(http_get(port.value(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_GE(server.requests_served(), 4u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(TelemetryServerTest, HealthzFlipsTo503WithReasonWhenDegraded) {
+  obs::serve::TelemetryServer server;
+  std::atomic<bool> healthy{true};
+  server.set_health_callback([&healthy] {
+    obs::serve::HealthStatus s;
+    if (!healthy.load()) {
+      s.ok = false;
+      s.reason = "degraded: 1/2 servers alive";
+    }
+    return s;
+  });
+  const Result<std::uint16_t> port = server.start(0);
+  ASSERT_TRUE(port.ok()) << port.error().message;
+
+  const std::string up = http_get(port.value(), "/healthz");
+  EXPECT_NE(up.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(up.find("ok"), std::string::npos);
+
+  healthy.store(false);
+  const std::string down = http_get(port.value(), "/healthz");
+  EXPECT_NE(down.find("HTTP/1.1 503"), std::string::npos);
+  EXPECT_NE(down.find("degraded: 1/2 servers alive"), std::string::npos);
+  server.stop();
+}
+
+TEST(TelemetryServerTest, SurvivesGarbageRequests) {
+  obs::serve::TelemetryServer server;
+  const Result<std::uint16_t> port = server.start(0);
+  ASSERT_TRUE(port.ok());
+  // Raw garbage instead of HTTP.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port.value());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const char garbage[] = "\x01\x02 not http at all\r\n\r\n";
+  (void)::send(fd, garbage, sizeof(garbage) - 1, 0);
+  char buffer[256];
+  (void)::recv(fd, buffer, sizeof(buffer), 0);
+  ::close(fd);
+  // And the server still answers a well-formed request afterwards.
+  EXPECT_NE(http_get(port.value(), "/healthz").find("HTTP/1.1 200"),
+            std::string::npos);
+  server.stop();
+}
+
+#else  // MECOFF_OBS_DISABLED
+
+TEST(TelemetryServerTest, CompiledOutStartFailsLoudly) {
+  obs::serve::TelemetryServer server;
+  const Result<std::uint16_t> port = server.start(0);
+  ASSERT_FALSE(port.ok());
+  EXPECT_NE(port.error().message.find("compiled out"), std::string::npos);
+  EXPECT_FALSE(server.running());
+}
+
+#endif  // MECOFF_OBS_DISABLED
+
+// ---- serving is observation only ------------------------------------------
+
+mec::MecSystem serve_test_system(std::size_t users) {
+  mec::SystemParams params;
+  params.mobile_power = 1.0;
+  params.transmit_power = 8.0;
+  params.bandwidth = 50.0;
+  params.mobile_capacity = 5.0;
+  params.server_capacity = 500.0;
+  std::vector<mec::UserApp> apps;
+  apps.reserve(users);
+  for (std::size_t u = 0; u < users; ++u) {
+    graph::NetgenParams p;
+    p.nodes = 60;
+    p.edges = 240;
+    p.seed = 4000 + u;
+    mec::UserApp app;
+    app.graph = graph::netgen_style(p);
+    apps.push_back(std::move(app));
+  }
+  return mec::MecSystem{params, std::move(apps)};
+}
+
+TEST(ObsEquivalence, ServingChangesNoPlacementBit) {
+  const mec::MecSystem system = serve_test_system(4);
+  mec::PipelineOptions opts;
+  const mec::OffloadingScheme quiet =
+      mec::PipelineOffloader(opts).solve(system);
+#ifndef MECOFF_OBS_DISABLED
+  obs::serve::TelemetryServer server;
+  const Result<std::uint16_t> port = server.start(0);
+  ASSERT_TRUE(port.ok());
+  // Scrape concurrently with the solve below — a read-only observer.
+  const std::string before = http_get(port.value(), "/metrics");
+  EXPECT_FALSE(before.empty());
+#endif
+  const mec::OffloadingScheme served =
+      mec::PipelineOffloader(opts).solve(system);
+#ifndef MECOFF_OBS_DISABLED
+  const std::string after = http_get(port.value(), "/metrics");
+  EXPECT_FALSE(after.empty());
+  server.stop();
+#endif
+  EXPECT_EQ(served, quiet);
+}
+
+}  // namespace
+}  // namespace mecoff

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""bench_gate.py — regression gate over a bench's `[metrics]` JSON line.
+
+The benches print one machine-readable line per run:
+
+    [metrics] {"counters":{...},"gauges":{...},"histograms":{...},...}
+
+This gate flattens that document into `kind.name[.field]` scalars and
+compares them against a committed baseline with per-metric tolerance
+bands, so structural drift (a counter that should be bit-stable across
+machines changing value, an instrument disappearing) fails CI while
+wall-clock noise does not.
+
+Usage:
+    bench_gate.py <bench-output-or-json> <baseline.json>
+    bench_gate.py --update <bench-output-or-json> <baseline.json>
+
+The first positional argument is either a file containing raw bench
+stdout (the LAST `[metrics]` line wins) or a bare metrics JSON document
+(e.g. a `*.metrics.json` written via MECOFF_BENCH_CSV_DIR). `-` reads
+stdin.
+
+Baseline schema (mecoff.bench_gate.v1):
+
+    {"schema": "mecoff.bench_gate.v1",
+     "metrics": {"counters.mec.solve.runs": {"value": 15, "tol": 0.0},
+                 "gauges.mec.solve.total_seconds": {"value": 0.1,
+                                                     "tol": null}}}
+
+Per metric: relative error |cand - base| / max(|base|, 1e-12) must stay
+within `tol`; `tol: null` means presence-only (timings: the value is
+recorded for humans, never compared). Baseline metrics missing from the
+candidate always fail. Candidate metrics missing from the baseline are
+reported but pass (new instruments should not break old gates); commit
+a refreshed baseline to start tracking them.
+
+`--update` rewrites the baseline from the candidate, assigning
+tolerances by the default policy: timing-like metrics (names containing
+"seconds", "latency", "rate", or any histogram/quantile `.sum`,
+quantile `.p*` / `.window`) are presence-only; everything else is
+exact. Exit codes: 0 pass, 1 gate failure, 2 usage/input error.
+"""
+
+import json
+import re
+import sys
+
+SCHEMA = "mecoff.bench_gate.v1"
+EPS = 1e-12
+
+# Metrics whose VALUE is machine-dependent: compared for presence only.
+_TIMING_PATTERN = re.compile(
+    r"(seconds|latency|rate|duration)"
+    r"|(^(histograms|quantiles)\..*\.sum$)"
+    r"|(^quantiles\..*\.(p50|p95|p99|window)$)"
+)
+
+
+def read_metrics(path):
+    """Load a metrics document from bench stdout or a bare JSON file."""
+    text = sys.stdin.read() if path == "-" else open(path).read()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        return json.loads(stripped)
+    doc = None
+    for line in text.splitlines():
+        line = line.strip()
+        if line.startswith("[metrics] {"):
+            doc = line[len("[metrics] "):]
+    if doc is None:
+        raise ValueError(f"no [metrics] line found in {path}")
+    return json.loads(doc)
+
+
+def flatten(doc):
+    """Metrics JSON -> {'kind.name[.field]': scalar}."""
+    flat = {}
+    for name, value in doc.get("counters", {}).items():
+        flat[f"counters.{name}"] = value
+    for name, value in doc.get("gauges", {}).items():
+        flat[f"gauges.{name}"] = value
+    for name, h in doc.get("histograms", {}).items():
+        flat[f"histograms.{name}.count"] = h["count"]
+        flat[f"histograms.{name}.sum"] = h["sum"]
+    for name, q in doc.get("quantiles", {}).items():
+        flat[f"quantiles.{name}.count"] = q["count"]
+        flat[f"quantiles.{name}.sum"] = q["sum"]
+        flat[f"quantiles.{name}.window"] = q.get("window", 0)
+        for p in ("p50", "p95", "p99"):
+            if p in q:
+                flat[f"quantiles.{name}.{p}"] = q[p]
+    return flat
+
+
+def default_tolerance(key):
+    """None (presence-only) for timing-like metrics, exact otherwise."""
+    return None if _TIMING_PATTERN.search(key) else 0.0
+
+
+def update_baseline(flat, path):
+    metrics = {
+        key: {"value": flat[key], "tol": default_tolerance(key)}
+        for key in sorted(flat)
+    }
+    with open(path, "w") as out:
+        json.dump({"schema": SCHEMA, "metrics": metrics}, out, indent=1,
+                  sort_keys=True)
+        out.write("\n")
+    print(f"bench_gate: wrote {path} ({len(metrics)} metrics)")
+    return 0
+
+
+def run_gate(flat, baseline_path):
+    baseline = json.load(open(baseline_path))
+    if baseline.get("schema") != SCHEMA:
+        print(f"bench_gate: {baseline_path} is not a {SCHEMA} document",
+              file=sys.stderr)
+        return 2
+    failures = []
+    checked = skipped = 0
+    for key, spec in sorted(baseline["metrics"].items()):
+        if key not in flat:
+            failures.append(f"{key}: missing from candidate "
+                            f"(baseline {spec['value']})")
+            continue
+        if spec["tol"] is None:
+            skipped += 1
+            continue
+        checked += 1
+        base, cand = float(spec["value"]), float(flat[key])
+        err = abs(cand - base) / max(abs(base), EPS)
+        if err > spec["tol"]:
+            failures.append(f"{key}: {cand} vs baseline {base} "
+                            f"(rel err {err:.3g} > tol {spec['tol']:.3g})")
+    extra = sorted(set(flat) - set(baseline["metrics"]))
+    if extra:
+        print(f"bench_gate: {len(extra)} metrics not in baseline "
+              f"(pass; refresh with --update to track): "
+              + ", ".join(extra[:8]) + ("..." if len(extra) > 8 else ""))
+    if failures:
+        print(f"bench_gate: FAIL ({len(failures)} of "
+              f"{len(baseline['metrics'])} baseline metrics)")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"bench_gate: OK ({checked} compared, {skipped} presence-only)")
+    return 0
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--update"]
+    update = "--update" in argv[1:]
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        flat = flatten(read_metrics(args[0]))
+    except (OSError, ValueError, KeyError) as err:
+        print(f"bench_gate: cannot read candidate: {err}", file=sys.stderr)
+        return 2
+    if update:
+        return update_baseline(flat, args[1])
+    try:
+        return run_gate(flat, args[1])
+    except (OSError, ValueError, KeyError) as err:
+        print(f"bench_gate: cannot read baseline: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

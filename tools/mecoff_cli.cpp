@@ -16,6 +16,15 @@
 //       import an execution trace (profiler format) and solve it
 //   mecoff_cli stats <graph.edgelist>
 //       validate the file and print structural statistics
+//   mecoff_cli serve <app.dsl> [users=N threads=T port=P servers=S
+//                               iterations=K interval=ms faults=script
+//                               dump_dir=DIR ...solve params]
+//       long-running solve loop with live telemetry on 127.0.0.1:P —
+//       /metrics (Prometheus), /varz (JSON), /healthz (503 while
+//       degraded), /flightz (anomaly flight recorder). iterations=0
+//       loops until SIGINT. faults= replays a fault script whose times
+//       are iteration indices against a FailoverController driving
+//       /healthz. dump_dir= arms flight-recorder post-mortem dumps.
 //
 // `solve` accepts out=<file> to save the scheme; `simulate` accepts
 // scheme=<file> to replay a saved scheme instead of re-solving.
@@ -35,11 +44,15 @@
 //
 // All options are key=value tokens after the positional arguments.
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "appmodel/dsl_parser.hpp"
@@ -54,16 +67,20 @@
 #include "kl/multilevel.hpp"
 #include "lpa/pipeline.hpp"
 #include "mec/costs.hpp"
+#include "mec/multiserver.hpp"
 #include "mec/offloader.hpp"
 #include "mec/profiles.hpp"
 #include "mec/scheme_io.hpp"
 #include "mincut/bipartitioner.hpp"
 #include "mincut/stoer_wagner.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/serve/telemetry_server.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sim/dag_executor.hpp"
 #include "sim/executor.hpp"
+#include "sim/fault_script.hpp"
 #include "spectral/bipartitioner.hpp"
 #include "spectral/kway.hpp"
 
@@ -246,6 +263,25 @@ Result<appmodel::Application> load_app(const std::string& path) {
   return appmodel::parse_app_dsl(text.value());
 }
 
+/// Exit summary of the observability layer: the trace drop counter plus
+/// every histogram's and quantile window's totals. One glance answers
+/// "did tracing drop events?" and "how many samples landed where?".
+void print_obs_summary() {
+  std::printf("obs summary: trace events=%zu dropped=%zu\n",
+              obs::TraceCollector::global().event_count(),
+              obs::TraceCollector::global().dropped_count());
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  for (const auto& [name, h] : snap.histograms)
+    std::printf("obs summary: histogram %s count=%llu sum=%.6f\n",
+                name.c_str(), static_cast<unsigned long long>(h.count),
+                h.sum);
+  for (const auto& [name, q] : snap.quantiles)
+    std::printf("obs summary: quantiles %s count=%llu window=%zu "
+                "p50=%.6f p95=%.6f p99=%.6f\n",
+                name.c_str(), static_cast<unsigned long long>(q.count),
+                q.window_size, q.p50, q.p95, q.p99);
+}
+
 int cmd_solve(const std::string& path, const Config& cfg, bool simulate,
               bool from_trace = false) {
   Result<appmodel::Application> parsed = [&]() -> Result<appmodel::Application> {
@@ -390,6 +426,197 @@ int cmd_solve(const std::string& path, const Config& cfg, bool simulate,
     std::printf("--- metrics ---\n%s",
                 obs::MetricsRegistry::global().to_text().c_str());
   }
+  if (dump_metrics || !trace_path.empty()) print_obs_summary();
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// serve: long-running solve loop with live telemetry.
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_stop_signal(int) { g_stop = 1; }
+
+int cmd_serve(const std::string& path, const Config& cfg) {
+  const Result<appmodel::Application> parsed = load_app(path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.error().message.c_str());
+    return 1;
+  }
+  const appmodel::Application& app = parsed.value();
+
+  mec::UserApp user;
+  user.graph = app.to_graph();
+  user.unoffloadable = app.unoffloadable_mask();
+  user.components = app.component_ids();
+  const std::size_t num_users = static_cast<std::size_t>(
+      std::max<long long>(1, cfg.get_int("users", 1)));
+  const std::size_t num_servers = static_cast<std::size_t>(
+      std::max<long long>(1, cfg.get_int("servers", 2)));
+
+  const mec::SystemParams params = params_from(cfg);
+  // The steady-state solve target (feeds mec.solve.latency each
+  // iteration) and the multi-server deployment /healthz reports on.
+  mec::MecSystem system{params, {}};
+  system.users.assign(num_users, user);
+  mec::MultiServerSystem msystem;
+  msystem.device = params;
+  msystem.servers.assign(
+      num_servers, mec::ServerSpec{params.server_capacity, params.bandwidth,
+                                   params.transmit_power});
+  msystem.users.assign(num_users, user);
+  if (!system.valid() || !msystem.valid()) {
+    std::fprintf(stderr, "error: invalid system parameters\n");
+    return 1;
+  }
+
+  const std::string dump_dir = cfg.get_string("dump_dir", "");
+  if (!dump_dir.empty())
+    obs::FlightRecorder::global().set_dump_dir(dump_dir);
+  const std::string trace_path = cfg.get_string("trace", "");
+  if (!trace_path.empty()) obs::TraceCollector::global().enable();
+
+  // Fault script, replayed by ITERATION INDEX: an event at time t fires
+  // just before iteration t solves. Same text format as the chaos
+  // harness (sim/fault_script.hpp).
+  sim::FaultScript script;
+  const std::string faults_path = cfg.get_string("faults", "");
+  if (!faults_path.empty()) {
+    const Result<std::string> text = read_file(faults_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "error: %s\n", text.error().message.c_str());
+      return 1;
+    }
+    Result<sim::FaultScript> loaded = sim::FaultScript::parse(text.value());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "fault script error: %s\n",
+                   loaded.error().message.c_str());
+      return 1;
+    }
+    script = std::move(loaded).value();
+  }
+  const std::vector<sim::FaultEvent> faults = script.ordered();
+
+  mec::FailoverOptions fopts;
+  fopts.base.pipeline.deadline.seconds = cfg.get_double("deadline", -1.0);
+  mec::FailoverController controller(msystem, fopts);
+
+  // /healthz source. The callback runs on the server thread, so it only
+  // copies this snapshot; the loop below refreshes it after every fault
+  // (the controller itself is not thread-safe).
+  std::mutex health_mutex;
+  obs::serve::HealthStatus health;
+  const auto refresh_health = [&] {
+    obs::serve::HealthStatus fresh;
+    const std::size_t alive = controller.alive_servers();
+    if (controller.all_local_fallback()) {
+      fresh.ok = false;
+      fresh.reason = "degraded: all-local fallback (0/" +
+                     std::to_string(num_servers) + " servers alive)";
+    } else if (alive < num_servers) {
+      fresh.ok = false;
+      fresh.reason = "degraded: " + std::to_string(alive) + "/" +
+                     std::to_string(num_servers) + " servers alive";
+    }
+    const std::lock_guard<std::mutex> lock(health_mutex);
+    health = std::move(fresh);
+  };
+  refresh_health();
+
+  obs::serve::TelemetryServer server;
+  server.set_health_callback([&health_mutex, &health] {
+    const std::lock_guard<std::mutex> lock(health_mutex);
+    return health;
+  });
+  const auto port_arg = cfg.get_int("port", 0);
+  if (port_arg < 0 || port_arg > 65535) {
+    std::fprintf(stderr, "error: port must be in [0, 65535]\n");
+    return 2;
+  }
+  const Result<std::uint16_t> bound =
+      server.start(static_cast<std::uint16_t>(port_arg));
+  if (!bound.ok()) {
+    std::fprintf(stderr, "error: %s\n", bound.error().message.c_str());
+    return 1;
+  }
+  std::printf("serving telemetry on 127.0.0.1:%u "
+              "(/metrics /varz /healthz /flightz)\n",
+              static_cast<unsigned>(bound.value()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  mec::PipelineOptions options;
+  options.propagation.coupling_threshold = cfg.get_double("threshold", 10.0);
+  options.deadline.seconds = cfg.get_double("deadline", -1.0);
+  const std::size_t threads = static_cast<std::size_t>(
+      std::max<long long>(0, cfg.get_int("threads", 0)));
+  std::unique_ptr<parallel::ThreadPool> pool;
+  if (threads > 0) {
+    pool = std::make_unique<parallel::ThreadPool>(threads);
+    options.pool = pool.get();
+  }
+  mec::PipelineOffloader offloader(options);
+
+  const long long iterations = cfg.get_int("iterations", 0);  // 0 = ∞
+  const long long interval_ms = cfg.get_int("interval", 100);
+  std::size_t next_fault = 0;
+  long long iter = 0;
+  for (; g_stop == 0 && (iterations <= 0 || iter < iterations); ++iter) {
+    while (next_fault < faults.size() &&
+           faults[next_fault].time <= static_cast<double>(iter)) {
+      const sim::FaultEvent& event = faults[next_fault++];
+      const Result<mec::FailoverStep> step = [&]() -> Result<mec::FailoverStep> {
+        switch (event.kind) {
+          case sim::FaultKind::kServerCrash:
+            return controller.on_server_failed(event.target);
+          case sim::FaultKind::kServerRecover:
+            return controller.on_server_recovered(event.target);
+          case sim::FaultKind::kLinkDegrade:
+            return controller.on_link_degraded(event.target, event.severity);
+          case sim::FaultKind::kLinkRestore:
+            return controller.on_link_restored(event.target);
+          case sim::FaultKind::kUserDisconnect:
+            return controller.on_user_disconnected(event.target);
+        }
+        return Error("unknown fault kind");
+      }();
+      std::printf("iteration %lld: %s%s%s\n", iter, event.describe().c_str(),
+                  step.ok() ? "" : " rejected: ",
+                  step.ok() ? "" : step.error().message.c_str());
+      refresh_health();
+    }
+    (void)offloader.solve(system);
+    if (interval_ms > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  server.stop();
+
+  std::printf("served %lld iterations, %llu http requests%s\n", iter,
+              static_cast<unsigned long long>(server.requests_served()),
+              g_stop != 0 ? " (interrupted)" : "");
+  std::printf("flight recorder: %llu records, %llu anomalies, %llu dumps%s%s\n",
+              static_cast<unsigned long long>(
+                  obs::FlightRecorder::global().total_records()),
+              static_cast<unsigned long long>(
+                  obs::FlightRecorder::global().anomaly_count()),
+              static_cast<unsigned long long>(
+                  obs::FlightRecorder::global().dump_count()),
+              obs::FlightRecorder::global().last_dump_path().empty()
+                  ? ""
+                  : ", last ",
+              obs::FlightRecorder::global().last_dump_path().c_str());
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (out) {
+      obs::TraceCollector::global().write_chrome_trace(out);
+      std::printf("wrote %zu trace events to %s (dropped %zu)\n",
+                  obs::TraceCollector::global().event_count(),
+                  trace_path.c_str(),
+                  obs::TraceCollector::global().dropped_count());
+    }
+  }
+  print_obs_summary();
   return 0;
 }
 
@@ -414,5 +641,6 @@ int main(int argc, char** argv) {
   if (command == "stats" && has_file) return cmd_stats(file);
   if (command == "trace" && has_file)
     return cmd_solve(file, cfg, false, /*from_trace=*/true);
+  if (command == "serve" && has_file) return cmd_serve(file, cfg);
   return usage();
 }
