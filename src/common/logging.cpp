@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "common/thread_annotations.hpp"
 
 namespace mecoff {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+Mutex g_mutex;  // serializes whole lines onto std::cerr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,7 +27,7 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& message) {
-  const std::scoped_lock lock(g_mutex);
+  const MutexLock lock(g_mutex);
   std::cerr << "[mecoff " << level_name(level) << "] " << message << '\n';
 }
 

@@ -2,7 +2,6 @@
 
 #include <cctype>
 #include <charconv>
-#include <cstdio>
 
 namespace mecoff {
 
@@ -76,9 +75,19 @@ bool parse_int(std::string_view text, long long& out) {
 }
 
 std::string format_fixed(double value, int precision) {
+  // Fixed notation of a huge double spells out every integral digit
+  // (DBL_MAX is 309 of them), hence the large stack buffer.
+  char buf[400];
+  const std::to_chars_result res = std::to_chars(
+      buf, buf + sizeof(buf), value, std::chars_format::fixed, precision);
+  return res.ec == std::errc{} ? std::string(buf, res.ptr) : "inf";
+}
+
+std::string format_general(double value, int precision) {
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
-  return buf;
+  const std::to_chars_result res = std::to_chars(
+      buf, buf + sizeof(buf), value, std::chars_format::general, precision);
+  return res.ec == std::errc{} ? std::string(buf, res.ptr) : "inf";
 }
 
 }  // namespace mecoff

@@ -27,7 +27,14 @@ bool starts_with(std::string_view text, std::string_view prefix);
 bool parse_double(std::string_view text, double& out);
 bool parse_int(std::string_view text, long long& out);
 
-/// Format a double with `precision` digits after the point.
+/// Format a double with `precision` digits after the point. Rendered
+/// via std::to_chars (printf "%.*f" semantics pinned to the "C"
+/// locale), so the bytes never vary with LC_NUMERIC.
 std::string format_fixed(double value, int precision);
+
+/// printf "%.*g" semantics pinned to the "C" locale, via std::to_chars.
+/// precision 17 round-trips any double exactly — the sim layer's replay
+/// keys (fault scripts, chaos traces) rely on that.
+std::string format_general(double value, int precision);
 
 }  // namespace mecoff

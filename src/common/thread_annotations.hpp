@@ -1,0 +1,117 @@
+// Clang thread-safety annotations plus the annotated lock vocabulary
+// the whole repo uses: mecoff::Mutex (a CAPABILITY), MutexLock (a
+// SCOPED_CAPABILITY), and CondVar (condition waits that keep the
+// capability "held" across the wait, matching what callers may assume
+// at every point they can observe).
+//
+// Under clang, `-Wthread-safety` turns the annotations into a
+// compile-time proof of lock discipline: every GUARDED_BY member access
+// must happen with its mutex held, every REQUIRES function must be
+// called with the lock, every EXCLUDES function without it. The CI
+// static-analysis job builds with `-Werror=thread-safety`, so a missed
+// lock or a dropped REQUIRES is a build break, not a TSAN coin flip.
+// Under gcc (the tier-1 matrix) every macro expands to nothing and the
+// wrappers are zero-cost shims over std::mutex/std::condition_variable.
+//
+// Convention (see docs/static_analysis.md):
+//  * declare lock members as `Mutex`, never raw `std::mutex` — the
+//    project linter (tools/lint_mecoff.py) enforces this in src/;
+//  * tag every field a mutex protects with GUARDED_BY(mutex_);
+//  * name private must-hold helpers `*_locked` and declare them
+//    REQUIRES(mutex_);
+//  * annotate public entry points that must NOT hold the lock (they
+//    acquire it, and the mutex is non-reentrant) with EXCLUDES(mutex_).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// GNU attribute spelling, erased everywhere but clang. The annotations
+// are harmless without -Wthread-safety, so they stay on under clang
+// unconditionally.
+#if defined(__clang__)
+#define MECOFF_TSA(x) __attribute__((x))
+#else
+#define MECOFF_TSA(x)
+#endif
+
+#define CAPABILITY(x) MECOFF_TSA(capability(x))
+#define SCOPED_CAPABILITY MECOFF_TSA(scoped_lockable)
+#define GUARDED_BY(x) MECOFF_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) MECOFF_TSA(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) MECOFF_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) MECOFF_TSA(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) MECOFF_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  MECOFF_TSA(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) MECOFF_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) MECOFF_TSA(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) MECOFF_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) MECOFF_TSA(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) MECOFF_TSA(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) MECOFF_TSA(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) MECOFF_TSA(assert_capability(x))
+#define RETURN_CAPABILITY(x) MECOFF_TSA(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS MECOFF_TSA(no_thread_safety_analysis)
+
+namespace mecoff {
+
+/// std::mutex as a named capability the analysis can track.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mutex_.lock(); }
+  void unlock() RELEASE() { mutex_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// RAII lock. The SCOPED_CAPABILITY tag tells the analysis the
+/// capability is held from construction to the end of the scope, so
+/// GUARDED_BY accesses inside the block typecheck.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() RELEASE() { mutex_.unlock(); }
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition waits against a Mutex. wait() REQUIRES the mutex: it is
+/// atomically released while blocked and reacquired before returning,
+/// so the capability is held at every sequence point the caller can
+/// observe — which is exactly the contract the analysis assumes.
+/// Callers re-check their predicate in a loop (spurious wakeups), which
+/// also keeps the guarded reads inside the analysed critical section
+/// instead of inside a lambda the analysis cannot see into.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mutex) REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mecoff

@@ -64,7 +64,7 @@ FlightRecorder& FlightRecorder::global() {
 
 void FlightRecorder::set_capacity(std::size_t capacity) {
   MECOFF_EXPECTS(capacity > 0);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   capacity_ = capacity;
   ring_.clear();
   ring_.reserve(capacity);
@@ -72,19 +72,19 @@ void FlightRecorder::set_capacity(std::size_t capacity) {
 }
 
 void FlightRecorder::set_dump_dir(std::string dir) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   dump_dir_ = std::move(dir);
 }
 
 void FlightRecorder::set_latency_trigger(double factor,
                                          std::size_t min_samples) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   latency_factor_ = factor;
   latency_min_samples_ = std::max<std::size_t>(min_samples, 2);
 }
 
 void FlightRecorder::note_failover_event() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ++pending_failover_events_;
 }
 
@@ -107,7 +107,7 @@ AnomalyKind FlightRecorder::record(SolveRecord record) {
   std::string dump_path;
   AnomalyKind anomaly = AnomalyKind::kNone;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     record.seq = next_seq_++;
     record.wall_time_us =
         std::chrono::duration<double, std::micro>(
@@ -142,7 +142,7 @@ AnomalyKind FlightRecorder::record(SolveRecord record) {
     std::ofstream out(dump_path);
     if (out) {
       out << dump_json << '\n';
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       ++dumps_;
       last_dump_path_ = dump_path;
     }
@@ -151,37 +151,37 @@ AnomalyKind FlightRecorder::record(SolveRecord record) {
 }
 
 std::size_t FlightRecorder::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return ring_.size();
 }
 
 std::size_t FlightRecorder::capacity() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return capacity_;
 }
 
 std::uint64_t FlightRecorder::total_records() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return next_seq_;
 }
 
 std::uint64_t FlightRecorder::anomaly_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return anomalies_;
 }
 
 std::uint64_t FlightRecorder::dump_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return dumps_;
 }
 
 std::string FlightRecorder::last_dump_path() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return last_dump_path_;
 }
 
 std::vector<SolveRecord> FlightRecorder::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::vector<SolveRecord> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -237,12 +237,12 @@ std::string FlightRecorder::render_json_locked(AnomalyKind trigger) const {
 }
 
 std::string FlightRecorder::to_json(AnomalyKind trigger) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return render_json_locked(trigger);
 }
 
 void FlightRecorder::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ring_.clear();
   head_ = 0;
   next_seq_ = 0;

@@ -30,10 +30,10 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "obs/quantiles.hpp"
 
 namespace mecoff::obs {
@@ -134,24 +134,29 @@ class FlightRecorder {
   void clear();
 
  private:
-  [[nodiscard]] std::string render_json_locked(AnomalyKind trigger) const;
-  [[nodiscard]] AnomalyKind classify_locked(const SolveRecord& record) const;
+  [[nodiscard]] std::string render_json_locked(AnomalyKind trigger) const
+      REQUIRES(mutex_);
+  [[nodiscard]] AnomalyKind classify_locked(const SolveRecord& record) const
+      REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<SolveRecord> ring_;
-  std::size_t capacity_;
-  std::size_t head_ = 0;  ///< next write position once full
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t anomalies_ = 0;
-  std::uint64_t dumps_ = 0;
-  std::size_t pending_failover_events_ = 0;
-  std::string dump_dir_;
-  std::string last_dump_path_;
-  double latency_factor_ = kDefaultLatencyFactor;
-  std::size_t latency_min_samples_ = kDefaultMinSamples;
+  mutable Mutex mutex_;
+  std::vector<SolveRecord> ring_ GUARDED_BY(mutex_);
+  std::size_t capacity_ GUARDED_BY(mutex_);
+  /// next write position once full
+  std::size_t head_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_seq_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t anomalies_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t dumps_ GUARDED_BY(mutex_) = 0;
+  std::size_t pending_failover_events_ GUARDED_BY(mutex_) = 0;
+  std::string dump_dir_ GUARDED_BY(mutex_);
+  std::string last_dump_path_ GUARDED_BY(mutex_);
+  double latency_factor_ GUARDED_BY(mutex_) = kDefaultLatencyFactor;
+  std::size_t latency_min_samples_ GUARDED_BY(mutex_) = kDefaultMinSamples;
   /// Sliding window of total_seconds for the p95 threshold (private to
   /// the recorder; the registry's mec.solve.latency instrument is the
-  /// serving-facing twin fed from the same double).
+  /// serving-facing twin fed from the same double). Internally
+  /// synchronized — always taken after mutex_, never the reverse, so
+  /// the nesting order is acyclic.
   Quantiles latency_window_{512};
   const std::chrono::steady_clock::time_point epoch_;
 };

@@ -62,7 +62,7 @@ MetricsRegistry& MetricsRegistry::global() {
 MetricsRegistry::Entry& MetricsRegistry::find_or_create(
     std::string_view name, Kind kind, std::span<const double> upper_bounds,
     std::size_t window_capacity) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = entries_.find(name);
   if (it != entries_.end()) {
     if (it->second.kind != kind)
@@ -110,7 +110,7 @@ Quantiles& MetricsRegistry::quantiles(std::string_view name,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   MetricsSnapshot snap;
   for (const auto& [name, entry] : entries_) {
     switch (entry.kind) {
@@ -152,7 +152,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset_values() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (auto& [name, entry] : entries_) {
     (void)name;
     switch (entry.kind) {

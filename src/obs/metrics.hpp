@@ -17,12 +17,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "obs/quantiles.hpp"
 
 namespace mecoff::obs {
@@ -164,12 +164,14 @@ class MetricsRegistry {
     std::unique_ptr<Quantiles> quantiles;
   };
 
+  /// Takes the lock itself; the returned Entry's instrument pointers
+  /// are heap-stable, so callers may hold them without the lock.
   Entry& find_or_create(std::string_view name, Kind kind,
                         std::span<const double> upper_bounds,
-                        std::size_t window_capacity = 0);
+                        std::size_t window_capacity = 0) EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry, std::less<>> entries_;
+  mutable Mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_ GUARDED_BY(mutex_);
 };
 
 }  // namespace mecoff::obs

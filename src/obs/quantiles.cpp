@@ -26,7 +26,7 @@ Quantiles::Quantiles(std::size_t window_capacity)
 }
 
 void Quantiles::record(double sample) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(sample);
   } else {
@@ -38,12 +38,12 @@ void Quantiles::record(double sample) {
 }
 
 std::vector<double> Quantiles::snapshot_window() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return ring_;  // ring order is fine: queries sort anyway
 }
 
 std::vector<double> Quantiles::window() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (ring_.size() < capacity_) return ring_;  // not yet wrapped
   std::vector<double> ordered;
   ordered.reserve(ring_.size());
@@ -70,22 +70,22 @@ std::vector<double> Quantiles::quantiles(std::span<const double> qs) const {
 }
 
 std::uint64_t Quantiles::count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return total_count_;
 }
 
 double Quantiles::sum() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return total_sum_;
 }
 
 std::size_t Quantiles::window_size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return ring_.size();
 }
 
 void Quantiles::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ring_.clear();
   head_ = 0;
   total_count_ = 0;

@@ -22,9 +22,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace mecoff::obs {
 
@@ -63,15 +64,18 @@ class Quantiles {
   void reset();
 
  private:
-  /// Window contents in ring order; caller sorts.
-  [[nodiscard]] std::vector<double> snapshot_window() const;
+  /// Window contents in ring order; caller sorts. Takes the lock.
+  [[nodiscard]] std::vector<double> snapshot_window() const
+      EXCLUDES(mutex_);
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::vector<double> ring_;   ///< size() grows to capacity_, then wraps
-  std::size_t head_ = 0;       ///< next write position once full
-  std::uint64_t total_count_ = 0;
-  double total_sum_ = 0.0;
+  mutable Mutex mutex_;
+  /// size() grows to capacity_, then wraps
+  std::vector<double> ring_ GUARDED_BY(mutex_);
+  /// next write position once full
+  std::size_t head_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t total_count_ GUARDED_BY(mutex_) = 0;
+  double total_sum_ GUARDED_BY(mutex_) = 0.0;
 };
 
 /// Shared quantile definition, exposed so tests and the flight recorder

@@ -8,7 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
+#include <system_error>
 
 namespace mecoff::obs::serve {
 
@@ -16,6 +16,22 @@ namespace {
 
 constexpr std::size_t kMaxRequestLine = 8 * 1024;
 constexpr std::size_t kMaxHeaderBlock = 64 * 1024;
+
+/// The BSD socket ABI takes every address as `sockaddr*` regardless of
+/// family; the cast from the concrete sockaddr_in is required and
+/// well-defined for these calls. It lives in this one helper so the
+/// project linter can pin the file's reinterpret_cast budget to a
+/// single audited site (tools/lint_mecoff.py, rule reinterpret-cast).
+sockaddr* as_sockaddr(sockaddr_in& addr) {
+  return reinterpret_cast<sockaddr*>(&addr);
+}
+
+/// strerror(3) without its shared static buffer (clang-tidy
+/// concurrency-mt-unsafe): the generic category renders errno values
+/// thread-safely.
+std::string errno_message(int err) {
+  return std::error_code(err, std::generic_category()).message();
+}
 
 const char* status_text(int status) {
   switch (status) {
@@ -66,8 +82,7 @@ Result<std::uint16_t> HttpServer::start(std::uint16_t port) {
   if (running()) return Error("server already running");
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0)
-    return Error(std::string("socket: ") + std::strerror(errno));
+  if (fd < 0) return Error("socket: " + errno_message(errno));
 
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -76,20 +91,20 @@ Result<std::uint16_t> HttpServer::start(std::uint16_t port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
   addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const std::string why = std::strerror(errno);
+  if (::bind(fd, as_sockaddr(addr), sizeof(addr)) < 0) {
+    const std::string why = errno_message(errno);
     ::close(fd);
     return Error("bind 127.0.0.1:" + std::to_string(port) + ": " + why);
   }
   if (::listen(fd, 16) < 0) {
-    const std::string why = std::strerror(errno);
+    const std::string why = errno_message(errno);
     ::close(fd);
     return Error("listen: " + why);
   }
 
   socklen_t len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
-    const std::string why = std::strerror(errno);
+  if (::getsockname(fd, as_sockaddr(addr), &len) < 0) {
+    const std::string why = errno_message(errno);
     ::close(fd);
     return Error("getsockname: " + why);
   }

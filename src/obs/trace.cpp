@@ -1,12 +1,13 @@
 #include "obs/trace.hpp"
 
-#include <cstdio>
 #include <ostream>
 #include <sstream>
 
 #ifndef MECOFF_OBS_DISABLED
 
 #include <algorithm>
+
+#include "common/strings.hpp"
 
 namespace mecoff::obs {
 
@@ -35,7 +36,7 @@ TraceCollector::ThreadLog& TraceCollector::local_log() {
   // global singleton), so a plain pointer cache is enough.
   thread_local ThreadLog* cached = nullptr;
   if (cached != nullptr) return *cached;
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const MutexLock lock(registry_mutex_);
   logs_.push_back(std::make_unique<ThreadLog>());
   logs_.back()->tid = static_cast<std::uint32_t>(logs_.size() - 1);
   cached = logs_.back().get();
@@ -50,14 +51,14 @@ void TraceCollector::record(const TraceEvent& event) {
     return;
   }
   ThreadLog& log = local_log();
-  std::lock_guard<std::mutex> lock(log.mutex);
+  const MutexLock lock(log.mutex);
   log.events.push_back(event);
 }
 
 void TraceCollector::clear() {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const MutexLock lock(registry_mutex_);
   for (const std::unique_ptr<ThreadLog>& log : logs_) {
-    std::lock_guard<std::mutex> log_lock(log->mutex);
+    const MutexLock log_lock(log->mutex);
     log->events.clear();
   }
   total_events_.store(0, std::memory_order_relaxed);
@@ -69,9 +70,9 @@ void TraceCollector::write_chrome_trace(std::ostream& out) const {
   // time so the JSON is stable and diffs cleanly.
   std::vector<TraceEvent> events;
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    const MutexLock lock(registry_mutex_);
     for (const std::unique_ptr<ThreadLog>& log : logs_) {
-      std::lock_guard<std::mutex> log_lock(log->mutex);
+      const MutexLock log_lock(log->mutex);
       events.insert(events.end(), log->events.begin(), log->events.end());
     }
   }
@@ -85,24 +86,16 @@ void TraceCollector::write_chrome_trace(std::ostream& out) const {
   for (const TraceEvent& event : events) {
     if (!first) out << ',';
     first = false;
-    char buffer[256];
-    if (event.arg == kNoArg) {
-      std::snprintf(buffer, sizeof(buffer),
-                    "{\"name\":\"%s\",\"cat\":\"mecoff\",\"ph\":\"X\","
-                    "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
-                    "\"args\":{\"depth\":%u}}",
-                    event.name, event.start_us, event.duration_us,
-                    event.tid, event.depth);
-    } else {
-      std::snprintf(buffer, sizeof(buffer),
-                    "{\"name\":\"%s\",\"cat\":\"mecoff\",\"ph\":\"X\","
-                    "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
-                    "\"args\":{\"depth\":%u,\"arg\":%llu}}",
-                    event.name, event.start_us, event.duration_us,
-                    event.tid, event.depth,
-                    static_cast<unsigned long long>(event.arg));
-    }
-    out << buffer;
+    // Timestamps via format_fixed (to_chars) — "%.3f" would follow
+    // LC_NUMERIC and emit JSON-invalid comma decimals.
+    out << "{\"name\":\"" << event.name
+        << "\",\"cat\":\"mecoff\",\"ph\":\"X\",\"ts\":"
+        << format_fixed(event.start_us, 3)
+        << ",\"dur\":" << format_fixed(event.duration_us, 3)
+        << ",\"pid\":1,\"tid\":" << event.tid
+        << ",\"args\":{\"depth\":" << event.depth;
+    if (event.arg != kNoArg) out << ",\"arg\":" << event.arg;
+    out << "}}";
   }
   out << "]}";
 }

@@ -29,8 +29,9 @@
 #include <chrono>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 #endif  // MECOFF_OBS_DISABLED
 
@@ -95,14 +96,16 @@ class TraceCollector {
   friend class TraceSpan;
 
   struct ThreadLog {
-    std::mutex mutex;
-    std::vector<TraceEvent> events;
+    Mutex mutex;
+    std::vector<TraceEvent> events GUARDED_BY(mutex);
     std::uint32_t tid = 0;
-    std::uint32_t depth = 0;  ///< live nesting; touched only by owner
+    /// Live nesting; touched only by the owning thread (TraceSpan
+    /// ctor/dtor), never under the lock — deliberately unguarded.
+    std::uint32_t depth = 0;
   };
 
   /// This thread's log, created and registered on first use.
-  ThreadLog& local_log();
+  ThreadLog& local_log() EXCLUDES(registry_mutex_);
 
   void record(const TraceEvent& event);
 
@@ -112,8 +115,11 @@ class TraceCollector {
   std::atomic<std::size_t> capacity_{1u << 20};
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex registry_mutex_;
-  std::deque<std::unique_ptr<ThreadLog>> logs_;
+  /// Lock order: registry_mutex_ first, then a ThreadLog::mutex —
+  /// clear() and write_chrome_trace() nest that way; nothing nests the
+  /// other way around.
+  mutable Mutex registry_mutex_;
+  std::deque<std::unique_ptr<ThreadLog>> logs_ GUARDED_BY(registry_mutex_);
 };
 
 /// RAII span: records [construction, destruction) into the global

@@ -24,7 +24,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -33,20 +33,33 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::in_worker_thread() const { return tl_owner_pool == this; }
 
+void ThreadPool::enqueue(Task task) {
+  {
+    const MutexLock lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::pop_task_locked(TaskGroup group, std::function<void()>& out) {
+  auto it = queue_.begin();
+  if (group != kNoGroup) {
+    // First queued task of this group; the scan is O(queue length)
+    // but queues stay short (≈3×threads chunks per section).
+    it = std::find_if(queue_.begin(), queue_.end(),
+                      [group](const Task& t) { return t.group == group; });
+  }
+  if (it == queue_.end()) return false;
+  out = std::move(it->fn);
+  queue_.erase(it);
+  return true;
+}
+
 bool ThreadPool::try_run_one(TaskGroup group) {
   std::function<void()> fn;
   {
-    const std::scoped_lock lock(mutex_);
-    auto it = queue_.begin();
-    if (group != kNoGroup) {
-      // First queued task of this group; the scan is O(queue length)
-      // but queues stay short (≈3×threads chunks per section).
-      it = std::find_if(queue_.begin(), queue_.end(),
-                        [group](const Task& t) { return t.group == group; });
-    }
-    if (it == queue_.end()) return false;
-    fn = std::move(it->fn);
-    queue_.erase(it);
+    const MutexLock lock(mutex_);
+    if (!pop_task_locked(group, fn)) return false;
   }
   fn();
   return true;
@@ -57,8 +70,11 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> fn;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      const MutexLock lock(mutex_);
+      // Explicit predicate loop (not a wait-with-lambda): the guarded
+      // reads stay inside the analysed critical section, and spurious
+      // wakeups are handled the same way.
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) return;  // stopping and drained
       fn = std::move(queue_.front().fn);
       queue_.pop_front();

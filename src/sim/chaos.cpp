@@ -1,19 +1,18 @@
 #include "sim/chaos.hpp"
 
-#include <cstdio>
 #include <sstream>
 
+#include "common/strings.hpp"
 #include "obs/flight_recorder.hpp"
 
 namespace mecoff::sim {
 
 namespace {
 
-std::string format_double(double value) {
-  char buffer[40];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return buffer;
-}
+// 17 significant digits round-trip exactly; format_general keeps the
+// chaos trace locale-independent so (system, script) replays diff
+// byte-for-byte on any machine.
+std::string format_double(double value) { return format_general(value, 17); }
 
 std::string format_step(const mec::FailoverStep& step) {
   std::ostringstream out;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <sstream>
 
 #include "common/contracts.hpp"
@@ -23,17 +22,17 @@ const char* to_string(FaultKind kind) {
 }
 
 std::string FaultEvent::describe() const {
-  // %.17g round-trips doubles exactly, so describe() output is a
-  // faithful replay key, not just a display string.
-  char buffer[128];
-  if (kind == FaultKind::kLinkDegrade) {
-    std::snprintf(buffer, sizeof(buffer), "at %.17g %s %zu %.17g", time,
-                  to_string(kind), target, severity);
-  } else {
-    std::snprintf(buffer, sizeof(buffer), "at %.17g %s %zu", time,
-                  to_string(kind), target);
-  }
-  return buffer;
+  // 17 significant digits round-trip doubles exactly, so describe()
+  // output is a faithful replay key, not just a display string.
+  // format_general pins the bytes to the "C" locale ("%.17g" would
+  // follow LC_NUMERIC and break script round-trips under a
+  // comma-decimal locale).
+  std::string out = "at " + format_general(time, 17) + ' ' +
+                    std::string(to_string(kind)) + ' ' +
+                    std::to_string(target);
+  if (kind == FaultKind::kLinkDegrade)
+    out += ' ' + format_general(severity, 17);
+  return out;
 }
 
 FaultScript& FaultScript::add(FaultEvent event) {

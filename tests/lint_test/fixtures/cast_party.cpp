@@ -1,0 +1,11 @@
+// Lint fixture: reinterpret_cast outside the audited allowlist
+// (rule reinterpret-cast). Expected findings: 1.
+#include <cstdint>
+
+namespace fixture {
+
+std::uint32_t low_word(const double* value) {
+  return *reinterpret_cast<const std::uint32_t*>(value);
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Lint fixture: conforming code. Expected findings: 0.
+//
+// Mentions of std::mutex, rand(), %f, and std::endl in comments or
+// string literals (below) must NOT be flagged — the linter strips
+// comments, and only printf conversions inside literals count.
+#include <string>
+
+namespace fixture {
+
+// A comment that says std::mutex and rand() and std::endl is fine.
+std::string describe(int servers) {
+  std::string out = "servers use std::mutex internally? no";  // prose
+  out += std::to_string(servers);  // integer: allowed
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Lint fixture: std::endl (rule no-endl).
+// Expected findings: 1.
+#include <iostream>
+
+namespace fixture {
+
+void report(int iterations) {
+  std::cout << "iterations=" << iterations << std::endl;
+  std::cout << "done\n";  // correct form, not flagged
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Lint fixture: unseeded / wall-clock randomness (rule nondeterminism).
+// Expected findings: 4 (srand, time() seed, rand, std::random_device).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+int roll_initial_assignment(int users) {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  int pick = std::rand() % users;
+  std::random_device entropy;
+  return pick ^ static_cast<int>(entropy() % 2);
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Lint fixture: locale-dependent float serialization (rule float-format).
+// Expected findings: 2 (std::to_string on a double, printf %f literal).
+#include <cstdio>
+#include <string>
+
+namespace fixture {
+
+std::string render(double objective) {
+  // std::to_string follows LC_NUMERIC; a comma-decimal locale would
+  // change the bytes.
+  std::string out = std::to_string(objective);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "obj=%.6f", objective);
+  out += buf;
+  // Integer to_string is fine and must NOT be flagged:
+  out += std::to_string(42);
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Lint fixture: direct observability types outside src/obs/
+// (rule obs-facade). Expected findings: 2 (TraceSpan, MetricsRegistry).
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace fixture {
+
+double solve_once() {
+  mecoff::obs::TraceSpan span("fixture.solve");
+  auto& counter = mecoff::obs::MetricsRegistry::global().counter(
+      "fixture.solves");
+  counter.increment();
+  return 0.0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Lint fixture: raw std synchronization primitives (rule raw-sync).
+// Expected findings: 2 (std::mutex member, std::scoped_lock use).
+#include <mutex>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    std::scoped_lock lock(mutex_);
+    ++value_;
+  }
+
+ private:
+  std::mutex mutex_;
+  int value_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint_mecoff.py.
+
+Runs the linter over each fixture and asserts the exact rule/finding
+counts, then runs it over the real source tree and asserts a clean
+exit. Registered as the `lint_selftest` ctest (label: lint); stdlib
+only.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+LINTER = os.path.join(ROOT, "tools", "lint_mecoff.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+# fixture file -> {rule: expected finding count}
+EXPECTED = {
+    "unannotated_mutex.cpp": {"raw-sync": 2},
+    "float_to_string.cpp": {"float-format": 2},
+    "fake_solver_rand.cpp": {"nondeterminism": 4},
+    "endl_flush.cpp": {"no-endl": 1},
+    "raw_obs_macro.cpp": {"obs-facade": 2},
+    "cast_party.cpp": {"reinterpret-cast": 1},
+    "clean.cpp": {},
+}
+
+
+def run_linter(args):
+    proc = subprocess.run(
+        [sys.executable, LINTER, "--json"] + args,
+        capture_output=True, text=True, check=False)
+    if proc.returncode == 2:
+        raise AssertionError(
+            f"linter usage/IO error on {args}: {proc.stderr}")
+    payload = json.loads(proc.stdout)
+    assert payload.get("schema") == "mecoff.lint.v1", payload.get("schema")
+    return proc.returncode, payload
+
+
+def main():
+    failures = []
+
+    for fixture, expected in sorted(EXPECTED.items()):
+        path = os.path.join(FIXTURES, fixture)
+        code, payload = run_linter([path])
+        by_rule = collections.Counter(
+            finding["rule"] for finding in payload["findings"])
+        if dict(by_rule) != expected:
+            failures.append(
+                f"{fixture}: expected {expected}, got {dict(by_rule)}: "
+                + "; ".join(
+                    f"{f['file']}:{f['line']} [{f['rule']}] {f['message']}"
+                    for f in payload["findings"]))
+        want_code = 1 if expected else 0
+        if code != want_code:
+            failures.append(
+                f"{fixture}: expected exit {want_code}, got {code}")
+
+    # Findings must carry exact locations.
+    _, payload = run_linter([os.path.join(FIXTURES, "endl_flush.cpp")])
+    finding = payload["findings"][0]
+    if finding["line"] != 8:
+        failures.append(
+            f"endl_flush.cpp: expected line 8, got {finding['line']}")
+
+    # The real tree must be clean — the gate the CI step relies on.
+    code, payload = run_linter(["--root", ROOT])
+    if code != 0 or payload["count"] != 0:
+        failures.append(
+            f"source tree not clean (exit {code}): " + "; ".join(
+                f"{f['file']}:{f['line']} [{f['rule']}]"
+                for f in payload["findings"]))
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"lint_selftest: {len(EXPECTED)} fixtures + tree scan OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,7 @@
 #include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/generators.hpp"
@@ -284,6 +285,47 @@ TEST(FlightRecorderTest, ToJsonWithoutAnomalyHasNullTrigger) {
   const std::string json = recorder.to_json();
   EXPECT_EQ(json.find("\"anomaly\":null"), json.find("\"anomaly\":"));
   EXPECT_NE(json.find("\"records\":[{"), std::string::npos);
+}
+
+// Concurrency regression pinned by the thread-safety annotations: all
+// recorder state (ring, seq counter, pending failover notes) is
+// GUARDED_BY(mutex_), so records from racing solver threads and
+// failover notes from a racing fault handler must never lose a count
+// or double-assign a sequence number. Run under TSAN by the sanitize
+// workflow.
+TEST(FlightRecorderTest, ConcurrentRecordsAndFailoverNotesLoseNothing) {
+  constexpr std::size_t kRecorders = 4;
+  constexpr std::size_t kPerThread = 100;
+  constexpr std::size_t kNotes = 64;
+  FlightRecorder recorder(kRecorders * kPerThread + 1);  // no eviction
+  recorder.set_latency_trigger(0.0);  // only counting under test
+
+  std::vector<std::thread> threads;
+  threads.reserve(kRecorders + 1);
+  for (std::size_t t = 0; t < kRecorders; ++t)
+    threads.emplace_back([&recorder] {
+      for (std::size_t i = 0; i < kPerThread; ++i)
+        (void)recorder.record(healthy_record());
+    });
+  threads.emplace_back([&recorder] {
+    for (std::size_t i = 0; i < kNotes; ++i) recorder.note_failover_event();
+  });
+  for (std::thread& thread : threads) thread.join();
+  // A final record sweeps any notes still pending from the race.
+  (void)recorder.record(healthy_record());
+
+  const std::vector<SolveRecord> ring = recorder.snapshot();
+  ASSERT_EQ(ring.size(), kRecorders * kPerThread + 1);
+  EXPECT_EQ(recorder.total_records(), kRecorders * kPerThread + 1);
+  std::size_t folded = 0;
+  std::vector<bool> seen_seq(ring.size(), false);
+  for (const SolveRecord& rec : ring) {
+    folded += rec.failover_events;
+    ASSERT_LT(rec.seq, ring.size());
+    EXPECT_FALSE(seen_seq[rec.seq]) << "duplicate seq " << rec.seq;
+    seen_seq[rec.seq] = true;
+  }
+  EXPECT_EQ(folded, kNotes);  // every note folded into exactly one record
 }
 
 // ---- HTTP serving over a real socket --------------------------------------

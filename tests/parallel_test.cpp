@@ -176,6 +176,29 @@ TEST(ThreadPool, TryRunOneRespectsTaskGroups) {
   for (auto& f : futures) f.get();
 }
 
+// Regression for the shutdown-drain contract under contention: the
+// destructor sets stopping_ and joins, but workers must keep popping
+// until the queue is empty (worker_loop re-checks the queue after the
+// stop flag), so every accepted task runs exactly once even when the
+// pool dies with a deep backlog. Guarded by the clang thread-safety
+// annotations: stopping_ and queue_ are GUARDED_BY(mutex_).
+TEST(ThreadPool, DestructionDrainsBacklogEveryTaskRunsOnce) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    // A brief stall up front so most of the backlog is still queued
+    // when the destructor starts racing the workers for mutex_.
+    for (int i = 0; i < 2; ++i)
+      futures.push_back(pool.submit(
+          [] { std::this_thread::sleep_for(std::chrono::milliseconds(5)); }));
+    for (int i = 0; i < 200; ++i)
+      futures.push_back(pool.submit([&ran] { ++ran; }));
+  }  // ~ThreadPool: stop, wake everyone, join — after draining
+  EXPECT_EQ(ran.load(), 200);
+  for (auto& f : futures) f.get();  // none may be a broken promise
+}
+
 // Regression for the nested-pool deadlock: a worker that called
 // parallel_for used to block in future::get() on chunks queued behind
 // itself, so any nesting on a 1-thread pool hung forever. With
