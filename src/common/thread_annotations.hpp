@@ -23,6 +23,7 @@
 //    acquire it, and the mutex is non-reentrant) with EXCLUDES(mutex_).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -104,6 +105,19 @@ class CondVar {
   void wait(Mutex& mutex) REQUIRES(mutex) {
     std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
     cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Timed wait: returns after a notification, a spurious wakeup, or
+  /// `timeout`, whichever comes first — callers re-check their
+  /// predicate either way, so the return value is deliberately not
+  /// exposed. Same capability contract as wait().
+  template <class Rep, class Period>
+  void wait_for(Mutex& mutex,
+                const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    cv_.wait_for(lock, timeout);
     lock.release();
   }
 

@@ -7,7 +7,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <system_error>
 
 namespace mecoff::obs::serve {
@@ -16,6 +19,7 @@ namespace {
 
 constexpr std::size_t kMaxRequestLine = 8 * 1024;
 constexpr std::size_t kMaxHeaderBlock = 64 * 1024;
+constexpr std::size_t kMaxBody = 1024 * 1024;
 
 /// The BSD socket ABI takes every address as `sockaddr*` regardless of
 /// family; the cast from the concrete sockaddr_in is required and
@@ -39,14 +43,17 @@ const char* status_text(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
     case 431: return "Request Header Fields Too Large";
     case 503: return "Service Unavailable";
     default: return "Internal Server Error";
   }
 }
 
-/// write(2) until done; a peer that hangs up mid-response is ignored
-/// (SIGPIPE is suppressed per-call via MSG_NOSIGNAL).
+/// write(2) until done; a peer that hangs up or stalls past SO_SNDTIMEO
+/// mid-response is abandoned (SIGPIPE is suppressed per-call via
+/// MSG_NOSIGNAL).
 void send_all(int fd, const std::string& data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
@@ -70,12 +77,64 @@ void send_response(int fd, const HttpResponse& response) {
   send_all(fd, out);
 }
 
+/// Both directions: recv returns EAGAIN after `ms` without data, send
+/// after `ms` without buffer space — a stalled peer costs one timeout,
+/// never a wedged worker.
+void set_socket_timeouts(int fd, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Case-insensitive Content-Length lookup in the raw header block
+/// `[start, end)`. Returns false when absent or malformed.
+bool parse_content_length(const std::string& buffer, std::size_t start,
+                          std::size_t end, std::size_t& out) {
+  while (start < end) {
+    std::size_t eol = buffer.find("\r\n", start);
+    if (eol == std::string::npos || eol > end) eol = end;
+    const std::size_t colon = buffer.find(':', start);
+    if (colon != std::string::npos && colon < eol) {
+      std::string name = buffer.substr(start, colon - start);
+      std::transform(name.begin(), name.end(), name.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (name == "content-length") {
+        std::size_t value_start = colon + 1;
+        while (value_start < eol && buffer[value_start] == ' ') ++value_start;
+        std::size_t value = 0;
+        bool any = false;
+        for (std::size_t i = value_start; i < eol; ++i) {
+          const char c = buffer[i];
+          if (c < '0' || c > '9') return false;
+          value = value * 10 + static_cast<std::size_t>(c - '0');
+          if (value > kMaxBody + 1) break;  // clamp; caller rejects > cap
+          any = true;
+        }
+        if (!any) return false;
+        out = value;
+        return true;
+      }
+    }
+    start = eol + 2;
+  }
+  return false;
+}
+
 }  // namespace
 
 HttpServer::~HttpServer() { stop(); }
 
 void HttpServer::handle(std::string path, Handler handler) {
   routes_[std::move(path)] = std::move(handler);
+}
+
+std::vector<std::string> HttpServer::route_paths() const {
+  std::vector<std::string> paths;
+  paths.reserve(routes_.size());
+  for (const auto& [path, handler] : routes_) paths.push_back(path);
+  return paths;  // std::map iteration — already sorted
 }
 
 Result<std::uint16_t> HttpServer::start(std::uint16_t port) {
@@ -110,20 +169,49 @@ Result<std::uint16_t> HttpServer::start(std::uint16_t port) {
   }
   port_ = ntohs(addr.sin_port);
   listen_fd_ = fd;
+  {
+    const MutexLock lock(conn_mutex_);
+    conn_stopping_ = false;
+    pending_.clear();
+    active_.clear();
+  }
   running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { accept_loop(); });
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(kConnectionWorkers);
+  for (std::size_t i = 0; i < kConnectionWorkers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
   return port_;
 }
 
 void HttpServer::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) {
-    if (thread_.joinable()) thread_.join();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    for (std::thread& t : workers_)
+      if (t.joinable()) t.join();
+    workers_.clear();
     return;
   }
   // shutdown() wakes the blocking accept() with an error so the loop
   // observes running_ == false and exits; close() alone is racy.
   ::shutdown(listen_fd_, SHUT_RDWR);
-  if (thread_.joinable()) thread_.join();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Shut down every connection a worker may be blocked on: a recv()
+    // mid-request returns 0 immediately, so the joins below are prompt
+    // even with a peer that never sends another byte.
+    const MutexLock lock(conn_mutex_);
+    conn_stopping_ = true;
+    for (const int fd : active_) ::shutdown(fd, SHUT_RDWR);
+    for (const int fd : pending_) ::shutdown(fd, SHUT_RDWR);
+  }
+  conn_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  {
+    const MutexLock lock(conn_mutex_);
+    for (const int fd : pending_) ::close(fd);
+    pending_.clear();
+  }
   ::close(listen_fd_);
   listen_fd_ = -1;
 }
@@ -138,24 +226,86 @@ void HttpServer::accept_loop() {
       if (!running_.load(std::memory_order_acquire)) break;
       continue;
     }
-    serve_connection(conn);
-    ::close(conn);
+    set_socket_timeouts(conn, io_timeout_ms_);
+    bool shed = false;
+    bool closing = false;
+    {
+      const MutexLock lock(conn_mutex_);
+      if (conn_stopping_)
+        closing = true;
+      else if (pending_.size() >= kMaxPending)
+        shed = true;
+      else
+        pending_.push_back(conn);
+    }
+    if (closing) {
+      ::close(conn);
+      continue;
+    }
+    if (shed) {
+      // Socket-layer admission control: a full backlog is answered now
+      // with 503 instead of queueing unboundedly behind slow peers.
+      send_response(conn, HttpResponse{503, "text/plain; charset=utf-8",
+                                       "server busy\n"});
+      ::close(conn);
+      continue;
+    }
+    conn_cv_.notify_one();
+  }
+}
+
+void HttpServer::worker_loop() {
+  while (true) {
+    int fd = -1;
+    {
+      const MutexLock lock(conn_mutex_);
+      // Explicit predicate loop (not a wait-with-lambda): the guarded
+      // reads stay inside the analysed critical section, and spurious
+      // wakeups are handled the same way.
+      while (!conn_stopping_ && pending_.empty()) conn_cv_.wait(conn_mutex_);
+      if (pending_.empty()) return;  // stopping and drained
+      fd = pending_.front();
+      pending_.pop_front();
+      active_.push_back(fd);
+    }
+    serve_connection(fd);
+    {
+      const MutexLock lock(conn_mutex_);
+      active_.erase(std::find(active_.begin(), active_.end(), fd));
+    }
+    ::close(fd);
   }
 }
 
 void HttpServer::serve_connection(int fd) {
   // Read until the end of the header block. One recv loop with hard
-  // caps: exposition requests are tiny, anything larger is hostile.
+  // caps and a wall-clock budget: exposition/ingest requests are tiny,
+  // anything larger or slower is hostile. SO_RCVTIMEO bounds each
+  // recv; the deadline bounds a peer dribbling one byte per timeout.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(io_timeout_ms_);
   std::string buffer;
-  while (buffer.find("\r\n\r\n") == std::string::npos) {
+  std::size_t header_end;
+  while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
     if (buffer.size() > kMaxHeaderBlock) {
       send_response(fd, HttpResponse{431, "text/plain; charset=utf-8",
                                      "header block too large\n"});
       return;
     }
+    if (std::chrono::steady_clock::now() > deadline) {
+      send_response(fd, HttpResponse{408, "text/plain; charset=utf-8",
+                                     "request timeout\n"});
+      return;
+    }
     char chunk[4096];
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_RCVTIMEO fired: the peer sent nothing for a full timeout.
+      send_response(fd, HttpResponse{408, "text/plain; charset=utf-8",
+                                     "request timeout\n"});
+      return;
+    }
     if (n <= 0) return;  // peer went away before finishing the request
     buffer.append(chunk, static_cast<std::size_t>(n));
   }
@@ -191,17 +341,49 @@ void HttpServer::serve_connection(int fd) {
 
   requests_.fetch_add(1, std::memory_order_relaxed);
 
-  if (request.method != "GET" && request.method != "HEAD") {
+  if (request.method != "GET" && request.method != "HEAD" &&
+      request.method != "POST") {
     send_response(fd, HttpResponse{405, "text/plain; charset=utf-8",
-                                   "only GET is served\n"});
+                                   "only GET, HEAD and POST are served\n"});
     return;
   }
+
+  if (request.method == "POST") {
+    std::size_t content_length = 0;
+    parse_content_length(buffer, line_end + 2, header_end, content_length);
+    if (content_length > kMaxBody) {
+      send_response(fd, HttpResponse{413, "text/plain; charset=utf-8",
+                                     "body too large\n"});
+      return;
+    }
+    request.body = buffer.substr(header_end + 4);
+    while (request.body.size() < content_length) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        send_response(fd, HttpResponse{408, "text/plain; charset=utf-8",
+                                       "request timeout\n"});
+        return;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        send_response(fd, HttpResponse{408, "text/plain; charset=utf-8",
+                                       "request timeout\n"});
+        return;
+      }
+      if (n <= 0) return;  // body truncated by the peer
+      request.body.append(chunk, static_cast<std::size_t>(n));
+    }
+    request.body.resize(content_length);  // drop any pipelined excess
+  }
+
   const auto it = routes_.find(request.path);
   if (it == routes_.end()) {
-    std::string known = "not found; routes:";
-    for (const auto& [path, handler] : routes_) known += ' ' + path;
+    // Plain 404 on purpose: the route table is operator information
+    // (served on /varz), not something to enumerate to any client
+    // probing an ingest port.
     send_response(fd, HttpResponse{404, "text/plain; charset=utf-8",
-                                   known + '\n'});
+                                   "not found\n"});
     return;
   }
   HttpResponse response = it->second(request);

@@ -20,13 +20,23 @@ TelemetryServer::TelemetryServer() {
         to_prometheus_text(MetricsRegistry::global().snapshot());
     return response;
   });
-  http_.handle("/varz", [](const HttpRequest&) {
+  http_.handle("/varz", [this](const HttpRequest&) {
     HttpResponse response;
     response.content_type = "application/json";
+    // The registered routes moved here from the 404 body: operator
+    // information belongs on the operator surface, not in an error any
+    // probing client sees.
+    std::string routes = "[";
+    for (const std::string& path : http_.route_paths()) {
+      if (routes.size() > 1) routes += ',';
+      routes += '"' + path + '"';
+    }
+    routes += ']';
     // The registry dump plus the collectors' meta counters, so one
     // scrape answers "is tracing dropping?" and "how many anomalies?".
     response.body =
-        "{\"metrics\":" + MetricsRegistry::global().to_json() +
+        "{\"routes\":" + routes +
+        ",\"metrics\":" + MetricsRegistry::global().to_json() +
         ",\"trace\":{\"events\":" +
         std::to_string(TraceCollector::global().event_count()) +
         ",\"dropped\":" +
@@ -60,6 +70,14 @@ void TelemetryServer::set_health_callback(HealthCallback callback) {
   health_ = std::move(callback);
 }
 
+void TelemetryServer::handle(std::string path, HttpServer::Handler handler) {
+  http_.handle(std::move(path), std::move(handler));
+}
+
+void TelemetryServer::set_io_timeout_ms(int ms) {
+  http_.set_io_timeout_ms(ms);
+}
+
 Result<std::uint16_t> TelemetryServer::start(std::uint16_t port) {
   return http_.start(port);
 }
@@ -73,6 +91,12 @@ TelemetryServer::TelemetryServer() = default;
 void TelemetryServer::set_health_callback(HealthCallback callback) {
   health_ = std::move(callback);
 }
+
+void TelemetryServer::handle(std::string path, HttpServer::Handler handler) {
+  http_.handle(std::move(path), std::move(handler));
+}
+
+void TelemetryServer::set_io_timeout_ms(int ms) { http_.set_io_timeout_ms(ms); }
 
 Result<std::uint16_t> TelemetryServer::start(std::uint16_t port) {
   return http_.start(port);  // the stub reports the compile-out error

@@ -43,11 +43,21 @@ class TelemetryServer {
 
   TelemetryServer();
 
-  /// Liveness source for /healthz. The callback runs on the server
-  /// thread — it must be thread-safe (copy state under a mutex or read
-  /// atomics; do NOT touch an unsynchronized controller directly).
-  /// Call before start().
+  /// Liveness source for /healthz. The callback runs on the server's
+  /// connection workers — it must be thread-safe (copy state under a
+  /// mutex or read atomics; do NOT touch an unsynchronized controller
+  /// directly). Call before start().
   void set_health_callback(HealthCallback callback);
+
+  /// Register an extra exact-path route next to the built-in four —
+  /// how the CLI's serve-solve mode mounts its POST /solve ingest.
+  /// Same contract as HttpServer::handle: call before start(), the
+  /// handler runs on the connection workers. The route shows up in
+  /// /varz's "routes" list (404s stay plain).
+  void handle(std::string path, HttpServer::Handler handler);
+
+  /// Passthrough to HttpServer::set_io_timeout_ms (pre-start only).
+  void set_io_timeout_ms(int ms);
 
   /// Start serving on 127.0.0.1:`port` (0 = ephemeral). Returns the
   /// bound port.

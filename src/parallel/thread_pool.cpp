@@ -39,6 +39,7 @@ void ThreadPool::enqueue(Task task) {
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
+  note_activity();
 }
 
 bool ThreadPool::pop_task_locked(TaskGroup group, std::function<void()>& out) {
@@ -62,6 +63,7 @@ bool ThreadPool::try_run_one(TaskGroup group) {
     if (!pop_task_locked(group, fn)) return false;
   }
   fn();
+  note_activity();
   return true;
 }
 
@@ -80,6 +82,7 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
     }
     fn();
+    note_activity();
   }
 }
 

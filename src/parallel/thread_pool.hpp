@@ -90,10 +90,21 @@ class ThreadPool {
   /// the section that submitted the work can always execute it itself.
   /// A task the future depends on that is already running on another
   /// worker is covered by induction (that worker helps its own waits),
-  /// so the short poll below can only add latency, never deadlock.
-  /// Contract for grouped waits: the future's task was submitted to
-  /// `group` (or is already running). From a non-worker thread this is
-  /// a plain blocking wait.
+  /// so waiting here can only add latency, never deadlock. Contract for
+  /// grouped waits: the future's task was submitted to `group` (or is
+  /// already running). From a non-worker thread this is a plain
+  /// blocking wait.
+  ///
+  /// When no eligible task is queued the helper parks on idle_cv_ until
+  /// the pool's activity counter moves (a submission or a completion)
+  /// instead of polling at a fixed period — a worker blocked behind a
+  /// long task costs a futex wait, not a spinning core. The park is
+  /// still bounded by an exponential backoff (50µs → 1ms): activity is
+  /// bumped without holding the waiters' mutex, so a notification can
+  /// land in the unlockable window between the snapshot check and the
+  /// wait; the timeout turns that rare missed wake into at most one
+  /// backoff period of extra latency. Schemes are bit-identical either
+  /// way — this changes when threads WAKE, never what they compute.
   template <typename R>
   void wait_and_help(const std::future<R>& future,
                      TaskGroup group = kNoGroup) {
@@ -102,8 +113,19 @@ class ThreadPool {
       future.wait();
       return;
     }
+    constexpr std::chrono::microseconds kMinBackoff{50};
+    constexpr std::chrono::microseconds kMaxBackoff{1000};
+    std::chrono::microseconds backoff = kMinBackoff;
+    std::uint64_t seen = activity_.load(std::memory_order_acquire);
     while (future.wait_for(0s) == std::future_status::timeout) {
-      if (!try_run_one(group)) future.wait_for(100us);
+      if (try_run_one(group)) {
+        seen = activity_.load(std::memory_order_acquire);
+        backoff = kMinBackoff;
+        continue;
+      }
+      wait_for_activity(seen, backoff);
+      seen = activity_.load(std::memory_order_acquire);
+      backoff = std::min(backoff * 2, kMaxBackoff);
     }
   }
 
@@ -131,6 +153,24 @@ class ThreadPool {
   /// Push under the lock, notify outside it.
   void enqueue(Task task) EXCLUDES(mutex_);
 
+  /// Bump the activity epoch and wake parked helpers. Called after
+  /// every submission and every task completion.
+  void note_activity() noexcept {
+    activity_.fetch_add(1, std::memory_order_acq_rel);
+    idle_cv_.notify_all();
+  }
+
+  /// Park until the activity epoch differs from `seen`, work appears in
+  /// the queue, or `timeout` elapses — whichever is first. Helpers call
+  /// this instead of a fixed-period poll; see wait_and_help.
+  void wait_for_activity(std::uint64_t seen,
+                         std::chrono::microseconds timeout) EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    if (activity_.load(std::memory_order_acquire) != seen) return;
+    if (!queue_.empty()) return;
+    idle_cv_.wait_for(mutex_, timeout);
+  }
+
   /// Extract the first queued task of `group` (kNoGroup = any) into
   /// `out`; false when none is eligible. REQUIRES(mutex_) is what makes
   /// try_run_one's lock discipline a compile-time fact under clang:
@@ -142,8 +182,14 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   Mutex mutex_;
   CondVar cv_;
+  /// Wakes helpers parked in wait_for_activity (distinct from cv_ so a
+  /// completion does not stampede every idle worker).
+  CondVar idle_cv_;
   std::deque<Task> queue_ GUARDED_BY(mutex_);
   std::atomic<TaskGroup> next_group_{1};
+  /// Monotone epoch, bumped on every submission and completion. Read
+  /// lock-free; wait_for_activity pairs it with mutex_ + idle_cv_.
+  std::atomic<std::uint64_t> activity_{0};
   bool stopping_ GUARDED_BY(mutex_) = false;
 };
 

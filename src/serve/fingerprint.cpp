@@ -1,0 +1,116 @@
+#include "serve/fingerprint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+#include <vector>
+
+namespace mecoff::serve {
+
+namespace {
+
+// Distinct FNV primes per stream keep the two digests independent.
+constexpr std::uint64_t kPrimeHi = 0x100000001b3ULL;
+constexpr std::uint64_t kPrimeLo = 0x10000000233ULL;
+
+// Section tags so "3 nodes, 2 edges" can never collide with
+// "2 nodes, 3 edges": every canonical section is prefixed.
+enum : std::uint64_t {
+  kTagNodes = 0xA1,
+  kTagEdges = 0xA2,
+  kTagPinned = 0xA3,
+  kTagComponentsEmpty = 0xA4,
+  kTagComponents = 0xA5,
+  kTagParams = 0xA6,
+};
+
+}  // namespace
+
+FingerprintBuilder::FingerprintBuilder(const Fingerprint& seed)
+    : hi_(seed.hi), lo_(seed.lo) {}
+
+void FingerprintBuilder::add_u64(std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    const std::uint64_t b = (value >> (8 * byte)) & 0xFF;
+    hi_ = (hi_ ^ b) * kPrimeHi;
+    lo_ = (lo_ ^ (b + 0x5bULL)) * kPrimeLo;
+  }
+}
+
+void FingerprintBuilder::add_double(double value) {
+  if (value == 0.0) value = 0.0;  // collapse -0.0 onto +0.0
+  add_u64(std::bit_cast<std::uint64_t>(value));
+}
+
+std::string Fingerprint::to_hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t word = i < 8 ? hi : lo;
+    const int shift = 56 - 8 * (i % 8);
+    const auto byte = static_cast<unsigned>((word >> shift) & 0xFF);
+    out[2 * static_cast<std::size_t>(i)] = digits[byte >> 4];
+    out[2 * static_cast<std::size_t>(i) + 1] = digits[byte & 0xF];
+  }
+  return out;
+}
+
+Fingerprint fingerprint_request(const mec::UserApp& user,
+                                const mec::SystemParams& params) {
+  FingerprintBuilder fp;
+  const graph::WeightedGraph& g = user.graph;
+  const std::size_t n = g.num_nodes();
+
+  fp.add_u64(kTagNodes);
+  fp.add_u64(n);
+  for (graph::NodeId v = 0; v < n; ++v) fp.add_double(g.node_weight(v));
+
+  // Edges canonicalized to (min, max, weight) and sorted: the builder
+  // merges parallel edges, so endpoint pairs are unique and the sort is
+  // a total order — insertion order and direction cannot leak in.
+  std::vector<std::tuple<graph::NodeId, graph::NodeId, double>> edges;
+  edges.reserve(g.num_edges());
+  for (const graph::Edge& e : g.edges()) {
+    edges.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v), e.weight);
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const auto& a, const auto& b) {
+              return std::get<0>(a) != std::get<0>(b)
+                         ? std::get<0>(a) < std::get<0>(b)
+                         : std::get<1>(a) < std::get<1>(b);
+            });
+  fp.add_u64(kTagEdges);
+  fp.add_u64(edges.size());
+  for (const auto& [u, v, w] : edges) {
+    fp.add_u64(u);
+    fp.add_u64(v);
+    fp.add_double(w);
+  }
+
+  // Empty mask ≡ all offloadable: hash the EFFECTIVE per-node value so
+  // the two spellings of "nothing pinned" share a fingerprint.
+  fp.add_u64(kTagPinned);
+  for (std::size_t v = 0; v < n; ++v)
+    fp.add_bool(!user.unoffloadable.empty() && user.unoffloadable[v]);
+
+  // Empty components means "derive from connectivity" — a different
+  // problem than any explicit labeling, hence the distinct tag.
+  if (user.components.empty()) {
+    fp.add_u64(kTagComponentsEmpty);
+  } else {
+    fp.add_u64(kTagComponents);
+    for (const std::uint32_t c : user.components) fp.add_u64(c);
+  }
+
+  fp.add_u64(kTagParams);
+  fp.add_double(params.mobile_power);
+  fp.add_double(params.transmit_power);
+  fp.add_double(params.bandwidth);
+  fp.add_double(params.mobile_capacity);
+  fp.add_double(params.server_capacity);
+  fp.add_double(params.contention_factor);
+
+  return fp.digest();
+}
+
+}  // namespace mecoff::serve

@@ -1,0 +1,91 @@
+// Canonical content fingerprints for solve requests.
+//
+// The scheme cache (scheme_cache.hpp) is content-addressed: two
+// requests that describe the SAME optimization problem — identical
+// application graph, cost parameters, and solver configuration — must
+// map to the same key, and any input that can change the resulting
+// placement must perturb it. This generalizes the
+// `identical_user_period` replica reuse in PipelineOffloader::solve
+// (which only recognizes duplicates by POSITION in a batch) into reuse
+// across arbitrary request streams.
+//
+// Canonicalization rules (documented in docs/serving.md):
+//   * graph: node count, node weights in node-id order, then edges as
+//     (min(u,v), max(u,v), weight) triples sorted by endpoints — the
+//     hash is invariant to edge insertion order and edge direction,
+//     matching WeightedGraph's undirected semantics;
+//   * unoffloadable mask: hashed per node; an empty mask hashes
+//     identically to an explicit all-false mask (both mean "everything
+//     offloadable");
+//   * components: an empty vector means "derive from connectivity" and
+//     is DISTINCT from any explicit assignment, so it hashes under a
+//     separate tag;
+//   * doubles: hashed by bit pattern with -0.0 normalized to +0.0 (the
+//     costs they feed into cannot distinguish the two); NaNs are not
+//     canonicalized — model validation rejects them upstream;
+//   * the solver configuration (cut backend, propagation thresholds,
+//     greedy weights...) is folded in by the service as a seed
+//     fingerprint, so services with different solver settings never
+//     share entries. The solve DEADLINE is deliberately excluded: it
+//     is a budget, not an input, and degraded (deadline-expired)
+//     results are never published to the cache.
+//
+// The digest is 128 bits built from two independent 64-bit FNV-1a
+// streams — not cryptographic, but collision-safe for the cache's
+// purpose (a collision serves a wrong-but-valid scheme; 2^64 birthday
+// bound on realistic corpus sizes makes that negligible).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mec/model.hpp"
+
+namespace mecoff::serve {
+
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] bool operator==(const Fingerprint&) const = default;
+
+  /// 32 hex digits, for logs and debugging.
+  [[nodiscard]] std::string to_hex() const;
+};
+
+struct FingerprintHash {
+  [[nodiscard]] std::size_t operator()(const Fingerprint& f) const noexcept {
+    // The streams are already well-mixed; fold them.
+    return static_cast<std::size_t>(f.lo ^ (f.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Incremental dual-stream hasher. Feed canonical scalars in a fixed
+/// order; identical feed sequences produce identical fingerprints.
+class FingerprintBuilder {
+ public:
+  FingerprintBuilder() = default;
+  /// Continue from a previous digest (how the service folds its solver
+  /// configuration in front of every per-request hash).
+  explicit FingerprintBuilder(const Fingerprint& seed);
+
+  void add_u64(std::uint64_t value);
+  /// Bit-pattern hash with -0.0 → +0.0 normalization.
+  void add_double(double value);
+  void add_bool(bool value) { add_u64(value ? 1 : 0); }
+
+  [[nodiscard]] Fingerprint digest() const { return {hi_, lo_}; }
+
+ private:
+  // FNV-1a offset bases; the second stream gets distinct constants so
+  // the two 64-bit digests are independent.
+  std::uint64_t hi_ = 0xcbf29ce484222325ULL;
+  std::uint64_t lo_ = 0x84222325cbf29ce4ULL;
+};
+
+/// Canonical fingerprint of one user's solve input: application graph
+/// + pinning + components + system (cost/channel) parameters.
+[[nodiscard]] Fingerprint fingerprint_request(const mec::UserApp& user,
+                                              const mec::SystemParams& params);
+
+}  // namespace mecoff::serve

@@ -1,0 +1,105 @@
+#include "serve/scheme_cache.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "obs/obs.hpp"
+
+namespace mecoff::serve {
+
+SchemeCache::SchemeCache(Options options) : options_(options) {}
+
+SchemeCache::Lookup SchemeCache::acquire(const Fingerprint& key) {
+  const MutexLock lock(mutex_);
+  for (;;) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      map_.emplace(key, Entry{});  // kSolving: this caller owns it
+      ++misses_;
+      return Lookup{Outcome::kMiss, {}};
+    }
+    Entry& entry = it->second;
+    if (entry.state == State::kReady) {
+      entry.lru_tick = ++tick_;
+      ++hits_;
+      return Lookup{Outcome::kHit, entry.placement};
+    }
+    // In-flight: ride the owner's solve. The entry cannot be erased
+    // while waiters > 0 (publish keeps it, abandon only flips state,
+    // eviction skips entries with waiters), so the reference stays
+    // valid across the wait.
+    ++entry.waiters;
+    while (entry.state == State::kSolving) cv_.wait(mutex_);
+    --entry.waiters;
+    if (entry.state == State::kAbandoned) {
+      // Owner bailed out; THIS rider takes over the solve. Remaining
+      // riders observe kSolving again and keep waiting on the new
+      // owner.
+      entry.state = State::kSolving;
+      ++misses_;
+      return Lookup{Outcome::kMiss, {}};
+    }
+    ++coalesced_;
+    return Lookup{Outcome::kCoalesced, entry.placement};
+  }
+}
+
+void SchemeCache::publish(const Fingerprint& key,
+                          std::vector<mec::Placement> placement) {
+  const MutexLock lock(mutex_);
+  auto it = map_.find(key);
+  MECOFF_EXPECTS(it != map_.end() && it->second.state == State::kSolving);
+  Entry& entry = it->second;
+  entry.placement = std::move(placement);
+  entry.state = State::kReady;
+  entry.lru_tick = ++tick_;
+  ++ready_count_;
+  evict_locked();
+  cv_.notify_all();
+}
+
+void SchemeCache::abandon(const Fingerprint& key) {
+  const MutexLock lock(mutex_);
+  auto it = map_.find(key);
+  MECOFF_EXPECTS(it != map_.end() && it->second.state == State::kSolving);
+  if (it->second.waiters == 0) {
+    map_.erase(it);  // nobody to hand the solve to; next acquire is cold
+    return;
+  }
+  it->second.state = State::kAbandoned;
+  cv_.notify_all();
+}
+
+SchemeCache::Stats SchemeCache::stats() const {
+  const MutexLock lock(mutex_);
+  Stats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.coalesced = coalesced_;
+  out.evictions = evictions_;
+  out.entries = ready_count_;
+  return out;
+}
+
+void SchemeCache::evict_locked() {
+  while (ready_count_ > options_.capacity) {
+    auto victim = map_.end();
+    std::size_t oldest = std::numeric_limits<std::size_t>::max();
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      const Entry& entry = it->second;
+      if (entry.state != State::kReady || entry.waiters != 0) continue;
+      if (entry.lru_tick < oldest) {
+        oldest = entry.lru_tick;
+        victim = it;
+      }
+    }
+    if (victim == map_.end()) return;  // everything pinned; try later
+    map_.erase(victim);
+    --ready_count_;
+    ++evictions_;
+    MECOFF_COUNTER_ADD("serve.cache.evictions", 1);
+  }
+}
+
+}  // namespace mecoff::serve

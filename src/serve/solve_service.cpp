@@ -1,0 +1,196 @@
+#include "serve/solve_service.hpp"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "common/stopwatch.hpp"
+#include "obs/obs.hpp"
+
+namespace mecoff::serve {
+
+namespace {
+
+/// Digest of everything in the solver configuration that can change a
+/// placement. Folded in front of every request fingerprint so services
+/// with different solver settings never share cache entries. The
+/// deadline is excluded on purpose: it is a budget, not an input, and
+/// degraded results are never published (see run_cold_solve).
+Fingerprint fingerprint_solver_config(const mec::PipelineOptions& options) {
+  FingerprintBuilder fp;
+  fp.add_u64(0xC0);  // config section tag
+  fp.add_double(options.propagation.coupling_threshold);
+  fp.add_double(options.propagation.min_update_rate);
+  fp.add_u64(options.propagation.max_rounds);
+  fp.add_u64(static_cast<std::uint64_t>(options.propagation.policy));
+  fp.add_u64(static_cast<std::uint64_t>(options.backend));
+  fp.add_u64(static_cast<std::uint64_t>(options.spectral.fiedler.backend));
+  fp.add_double(options.spectral.fiedler.tolerance);
+  fp.add_u64(options.spectral.fiedler.seed);
+  fp.add_u64(options.spectral.fiedler.max_subspace);
+  fp.add_u64(options.spectral.fiedler.max_iterations);
+  fp.add_u64(static_cast<std::uint64_t>(options.spectral.split));
+  fp.add_u64(static_cast<std::uint64_t>(options.maxflow.strategy));
+  fp.add_u64(options.maxflow.num_pairs);
+  fp.add_u64(options.maxflow.seed);
+  fp.add_u64(options.kl.max_passes);
+  fp.add_bool(options.kl.exact_pair_selection);
+  fp.add_u64(options.kl.candidate_limit);
+  fp.add_u64(options.kl.seed);
+  fp.add_u64(options.greedy.max_moves);
+  fp.add_double(options.greedy.energy_weight);
+  fp.add_double(options.greedy.time_weight);
+  fp.add_bool(options.greedy.enable_group_moves);
+  fp.add_bool(options.anchor_initial_parts);
+  return fp.digest();
+}
+
+/// The shed fallback: everything on the device. Valid for any request
+/// (pinned nodes are local by definition) and costs nothing to build —
+/// the serving twin of the solver's terminal all-remote fallback.
+std::vector<mec::Placement> all_local_placement(std::size_t num_nodes) {
+  return std::vector<mec::Placement>(num_nodes, mec::Placement::kLocal);
+}
+
+}  // namespace
+
+SolveService::SolveService(SolveServiceOptions options)
+    : options_(std::move(options)),
+      config_seed_(fingerprint_solver_config(options_.solver)),
+      cache_(options_.cache),
+      admission_limit_(options_.max_in_flight) {
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.pool != nullptr) {
+    shard_groups_.reserve(options_.shards);
+    for (std::size_t s = 0; s < options_.shards; ++s)
+      shard_groups_.push_back(options_.pool->make_group());
+  }
+}
+
+Result<SolveResponse> SolveService::solve(const SolveRequest& request) {
+  const Stopwatch timer;
+  mec::MecSystem system;
+  system.params = request.params;
+  system.users.push_back(request.user);
+  if (!system.valid())
+    return Error("invalid solve request (shape or parameter check failed)");
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  MECOFF_COUNTER_ADD("serve.solve.requests", 1);
+
+  SolveResponse response;
+  FingerprintBuilder keyed(config_seed_);
+  // Continue the config digest with the request content: same app +
+  // params + config ⇒ same key.
+  const Fingerprint content = fingerprint_request(request.user, request.params);
+  keyed.add_u64(content.hi);
+  keyed.add_u64(content.lo);
+  response.key = keyed.digest();
+
+  // Admission control BEFORE touching the cache: a shed request must
+  // cost O(1), that is the point of shedding.
+  const std::size_t limit = admission_limit_.load(std::memory_order_relaxed);
+  const std::size_t admitted =
+      in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (admitted > limit) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    MECOFF_COUNTER_ADD("serve.solve.shed", 1);
+    response.placement = all_local_placement(request.user.graph.num_nodes());
+    response.source = SolveSource::kShed;
+    response.degraded = true;
+    response.latency_seconds = timer.elapsed_seconds();
+    MECOFF_QUANTILES_RECORD("serve.solve.latency", response.latency_seconds);
+    return response;
+  }
+
+  SchemeCache::Lookup lookup = cache_.acquire(response.key);
+  switch (lookup.outcome) {
+    case SchemeCache::Outcome::kHit:
+      response.placement = std::move(lookup.placement);
+      response.source = SolveSource::kCacheHit;
+      MECOFF_COUNTER_ADD("serve.solve.cache_hits", 1);
+      break;
+    case SchemeCache::Outcome::kCoalesced:
+      response.placement = std::move(lookup.placement);
+      response.source = SolveSource::kCoalesced;
+      MECOFF_COUNTER_ADD("serve.solve.coalesced", 1);
+      break;
+    case SchemeCache::Outcome::kMiss: {
+      MECOFF_COUNTER_ADD("serve.solve.cache_misses", 1);
+      bool degraded = false;
+      try {
+        response.placement = run_cold_solve(request, response.key, degraded);
+      } catch (...) {
+        // Never strand riders: hand the solve to one of them (or clear
+        // the entry) before propagating.
+        cache_.abandon(response.key);
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        throw;
+      }
+      solved_.fetch_add(1, std::memory_order_relaxed);
+      response.source = SolveSource::kSolved;
+      response.degraded = degraded;
+      if (degraded) {
+        // Serve it, count it, but never cache it: a deadline-truncated
+        // scheme must not outlive the overload that produced it.
+        degraded_.fetch_add(1, std::memory_order_relaxed);
+        MECOFF_COUNTER_ADD("serve.solve.degraded", 1);
+        cache_.abandon(response.key);
+      } else {
+        cache_.publish(response.key, response.placement);
+      }
+      break;
+    }
+  }
+
+  const std::size_t remaining =
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  MECOFF_GAUGE_SET("serve.solve.in_flight", static_cast<double>(remaining));
+  response.latency_seconds = timer.elapsed_seconds();
+  MECOFF_QUANTILES_RECORD("serve.solve.latency", response.latency_seconds);
+  return response;
+}
+
+std::vector<mec::Placement> SolveService::run_cold_solve(
+    const SolveRequest& request, const Fingerprint& key, bool& degraded) {
+  auto solve_now = [this, &request, &degraded] {
+    mec::PipelineOptions solver = options_.solver;
+    solver.pool = options_.pool;
+    solver.identical_user_period = 0;  // superseded by the cache
+    mec::PipelineOffloader offloader(solver);
+    mec::MecSystem system;
+    system.params = request.params;
+    system.users.push_back(request.user);
+    mec::OffloadingScheme scheme = offloader.solve(system);
+    const auto& stats = offloader.last_stats();
+    degraded = stats.degraded() || stats.deadline_expired;
+    return std::move(scheme.placement.front());
+  };
+
+  // Shard cold solves across the pool's task groups by fingerprint.
+  // The calling thread is external (threading contract), so a plain
+  // future wait is correct — and if the contract is violated and we
+  // ARE on a pool worker, solving inline is the safe degradation.
+  parallel::ThreadPool* pool = options_.pool;
+  if (pool == nullptr || pool->in_worker_thread()) return solve_now();
+  const parallel::ThreadPool::TaskGroup group =
+      shard_groups_[static_cast<std::size_t>(key.lo) % shard_groups_.size()];
+  std::future<std::vector<mec::Placement>> future =
+      pool->submit_to(group, std::move(solve_now));
+  return future.get();
+}
+
+SolveService::Stats SolveService::stats() const {
+  Stats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.solved = solved_.load(std::memory_order_relaxed);
+  out.shed = shed_.load(std::memory_order_relaxed);
+  out.degraded = degraded_.load(std::memory_order_relaxed);
+  out.cache = cache_.stats();
+  out.cache_hits = out.cache.hits;
+  out.coalesced = out.cache.coalesced;
+  return out;
+}
+
+}  // namespace mecoff::serve

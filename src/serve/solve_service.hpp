@@ -1,0 +1,158 @@
+// SolveService: the online front half of the reproduction.
+//
+// The paper's Algorithm 1 solves a BATCH of users; serving a churning
+// population means accepting per-user solve requests one at a time,
+// coalescing redundant work, and shedding load before latency blows
+// through the SLO. The service composes the pieces the repo already
+// has:
+//
+//   ingest   solve(SolveRequest) — called concurrently from external
+//            threads (an HTTP worker, the CLI, a bench driver);
+//   shard    cold solves are dispatched to one of `shards` task groups
+//            on the shared reentrant ThreadPool, so the pool's grouped
+//            help discipline keeps independent solves from stealing
+//            each other's nested work;
+//   cache    a content-addressed SchemeCache keyed by the canonical
+//            request fingerprint, with single-flight semantics —
+//            concurrent identical requests ride one solve (the online
+//            generalization of identical_user_period);
+//   solve    PipelineOffloader on a single-user system, solver options
+//            fixed at service construction (and folded into the cache
+//            key as a seed fingerprint);
+//   shed     admission control: at most `max_in_flight` requests are
+//            admitted; beyond that the request is NOT dropped — it
+//            degrades to a valid all-local placement immediately
+//            (degrade-don't-die, same philosophy as the solver's
+//            spectral → KL → all-remote chain). The per-request solve
+//            deadline plugs into that chain unchanged.
+//
+// Degraded results (deadline expired or any fallback cut) are served
+// to their requester but never published to the cache: cached entries
+// are always full-quality, so a cache hit is bit-identical to what an
+// unconstrained cold solve would return.
+//
+// THREADING CONTRACT: call solve() from threads that are NOT workers
+// of the service's pool. A rider blocks on the cache's condition
+// variable; parking a pool worker there could starve the very solve it
+// is waiting on. External callers (HTTP workers, main threads, bench
+// clients) are always safe; the cold solve itself runs ON the pool via
+// submit_to + a plain future wait.
+//
+// Metrics (all through the obs facade, compiled out with it):
+//   serve.solve.requests / cache_hits / cache_misses / coalesced /
+//   shed / degraded     counters
+//   serve.cache.evictions                            counter
+//   serve.solve.in_flight                            gauge
+//   serve.solve.latency                              quantiles
+//     (p50/p95/p99 on /metrics via the standard exposition)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.hpp"
+#include "mec/model.hpp"
+#include "mec/offloader.hpp"
+#include "mec/scheme.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/fingerprint.hpp"
+#include "serve/scheme_cache.hpp"
+
+namespace mecoff::serve {
+
+/// One user's solve input. `params` carries the cost/channel state —
+/// requests with different channel conditions hash to different cache
+/// entries by construction.
+struct SolveRequest {
+  mec::UserApp user;
+  mec::SystemParams params;
+};
+
+/// Where the placement came from.
+enum class SolveSource : std::uint8_t {
+  kSolved,     ///< cold solve (cache miss, this request did the work)
+  kCacheHit,   ///< served from a ready cache entry
+  kCoalesced,  ///< rode a concurrent identical request's solve
+  kShed,       ///< admission control: immediate all-local fallback
+};
+
+struct SolveResponse {
+  /// Placement per function of the request's graph; ALWAYS valid for
+  /// the request (pinned nodes local), even when shed or degraded.
+  std::vector<mec::Placement> placement;
+  SolveSource source = SolveSource::kSolved;
+  /// True when a cold solve hit the deadline/fallback chain; degraded
+  /// placements are served but not cached.
+  bool degraded = false;
+  double latency_seconds = 0.0;
+  Fingerprint key;
+};
+
+struct SolveServiceOptions {
+  /// Execution engine for cold solves (and their nested parallelism).
+  /// null = solve on the calling thread.
+  parallel::ThreadPool* pool = nullptr;
+  /// Worker groups cold solves are sharded across (keyed by
+  /// fingerprint). At least 1.
+  std::size_t shards = 4;
+  SchemeCache::Options cache;
+  /// Admission limit: requests beyond this many concurrently in-flight
+  /// are shed. SIZE_MAX = unlimited; 0 sheds everything (drain mode).
+  std::size_t max_in_flight = SIZE_MAX;
+  /// Solver configuration, fixed for the service's lifetime and folded
+  /// into every cache key. `pool` and `identical_user_period` are
+  /// overridden internally. The `deadline` applies per cold solve.
+  mec::PipelineOptions solver;
+};
+
+class SolveService {
+ public:
+  explicit SolveService(SolveServiceOptions options = {});
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Serve one request. Fails only on malformed input (shape mismatch,
+  /// invalid params); overload and solver degradation produce valid
+  /// degraded responses instead of errors.
+  [[nodiscard]] Result<SolveResponse> solve(const SolveRequest& request);
+
+  /// Runtime admission knob (load shedding lever for operators):
+  /// lowering it sheds NEW requests immediately; in-flight ones finish.
+  void set_admission_limit(std::size_t max_in_flight) {
+    admission_limit_.store(max_in_flight, std::memory_order_relaxed);
+  }
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t solved = 0;     ///< cold solves executed
+    std::uint64_t cache_hits = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t degraded = 0;
+    SchemeCache::Stats cache;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// The solver-configuration digest folded in front of every request
+  /// fingerprint (diagnostics; lets tests assert key separation).
+  [[nodiscard]] Fingerprint config_seed() const { return config_seed_; }
+
+ private:
+  [[nodiscard]] std::vector<mec::Placement> run_cold_solve(
+      const SolveRequest& request, const Fingerprint& key, bool& degraded);
+
+  SolveServiceOptions options_;
+  Fingerprint config_seed_;
+  SchemeCache cache_;
+  /// One task group per shard, minted from the pool at construction.
+  std::vector<parallel::ThreadPool::TaskGroup> shard_groups_;
+  std::atomic<std::size_t> admission_limit_;
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> solved_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+};
+
+}  // namespace mecoff::serve

@@ -447,6 +447,192 @@ TEST(TelemetryServerTest, SurvivesGarbageRequests) {
   server.stop();
 }
 
+// ---- Stalled/hostile peers and prompt shutdown ----------------------------
+//
+// Regression suite for the telemetry-server wedge: the server used to
+// serve connections serially with an untimed blocking recv, so one
+// silent peer blocked /healthz for everyone, and stop() only shut the
+// listener down, hanging the join behind a peer mid-recv.
+
+/// Open a raw loopback connection without sending anything.
+int connect_raw(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// One POST with Content-Length, read to EOF.
+std::string http_post(std::uint16_t port, const std::string& path,
+                      const std::string& body) {
+  const int fd = connect_raw(port);
+  if (fd < 0) return "";
+  const std::string request =
+      "POST " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n" + body;
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(HttpRobustness, StalledClientDoesNotBlockOtherRequests) {
+  obs::serve::HttpServer server;
+  server.handle("/ping", [](const obs::serve::HttpRequest&) {
+    return obs::serve::HttpResponse{200, "text/plain", "pong\n"};
+  });
+  const Result<std::uint16_t> port = server.start(0);
+  ASSERT_TRUE(port.ok()) << port.error().message;
+
+  // A peer that opens a connection, dribbles half a request line, and
+  // goes silent. With the serial accept loop this wedged the server
+  // for the full recv (forever, pre-timeout).
+  const int stalled = connect_raw(port.value());
+  ASSERT_GE(stalled, 0);
+  (void)::send(stalled, "GET /pi", 7, 0);
+
+  // Requests on OTHER connections must be answered while the stalled
+  // one sits there (concurrent connection workers).
+  for (int i = 0; i < 3; ++i) {
+    const std::string response = http_get(port.value(), "/ping");
+    EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+    EXPECT_NE(response.find("pong"), std::string::npos);
+  }
+  ::close(stalled);
+  server.stop();
+}
+
+TEST(HttpRobustness, SilentPeerIsTimedOutWithin408) {
+  obs::serve::HttpServer server;
+  server.set_io_timeout_ms(200);  // keep the test fast
+  server.handle("/ping", [](const obs::serve::HttpRequest&) {
+    return obs::serve::HttpResponse{200, "text/plain", "pong\n"};
+  });
+  const Result<std::uint16_t> port = server.start(0);
+  ASSERT_TRUE(port.ok()) << port.error().message;
+
+  const auto start = std::chrono::steady_clock::now();
+  const int fd = connect_raw(port.value());
+  ASSERT_GE(fd, 0);
+  (void)::send(fd, "GET /ping HTT", 13, 0);  // never finishes
+  // The server must close the connection with 408 after its I/O
+  // timeout, not hold the worker hostage.
+  std::string response;
+  char buffer[1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_NE(response.find("HTTP/1.1 408"), std::string::npos) << response;
+  // Watchdog bound: one timeout period plus slack, nowhere near a hang.
+  EXPECT_LT(elapsed, 5.0);
+  server.stop();
+}
+
+TEST(HttpRobustness, StopJoinsPromptlyWhileConnectionMidRecv) {
+  obs::serve::HttpServer server;
+  // Deliberately long I/O timeout: a prompt stop() below proves the
+  // fd shutdown path works, not that a timeout expired.
+  server.set_io_timeout_ms(30000);
+  server.handle("/ping", [](const obs::serve::HttpRequest&) {
+    return obs::serve::HttpResponse{200, "text/plain", "pong\n"};
+  });
+  const Result<std::uint16_t> port = server.start(0);
+  ASSERT_TRUE(port.ok()) << port.error().message;
+
+  const int stalled = connect_raw(port.value());
+  ASSERT_GE(stalled, 0);
+  (void)::send(stalled, "GET /", 5, 0);
+  // Give the accept loop a beat to hand the fd to a worker, which then
+  // blocks in recv waiting for the rest of the request.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const auto start = std::chrono::steady_clock::now();
+  server.stop();  // must shut the active connection down and join
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_FALSE(server.running());
+  ::close(stalled);
+}
+
+TEST(HttpRobustness, PostBodyRoundTripsAndOversizeIsRejected) {
+  obs::serve::HttpServer server;
+  server.handle("/echo", [](const obs::serve::HttpRequest& request) {
+    return obs::serve::HttpResponse{200, "text/plain",
+                                    request.method + ":" + request.body};
+  });
+  const Result<std::uint16_t> port = server.start(0);
+  ASSERT_TRUE(port.ok()) << port.error().message;
+
+  const std::string echoed =
+      http_post(port.value(), "/echo", "hello body");
+  EXPECT_NE(echoed.find("HTTP/1.1 200"), std::string::npos) << echoed;
+  EXPECT_NE(echoed.find("POST:hello body"), std::string::npos);
+
+  // Declared body over the 1 MiB cap → 413 without reading it.
+  const int fd = connect_raw(port.value());
+  ASSERT_GE(fd, 0);
+  const std::string oversized =
+      "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 3000000\r\n\r\n";
+  (void)::send(fd, oversized.data(), oversized.size(), 0);
+  std::string response;
+  char buffer[1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.1 413"), std::string::npos) << response;
+  server.stop();
+}
+
+TEST(HttpRobustness, NotFoundIsPlainAndRoutesLiveOnVarz) {
+  obs::serve::TelemetryServer server;
+  const Result<std::uint16_t> port = server.start(0);
+  ASSERT_TRUE(port.ok()) << port.error().message;
+
+  // The 404 used to echo the whole route table to any probing client.
+  const std::string missing = http_get(port.value(), "/definitely-not-here");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_EQ(missing.find("/metrics"), std::string::npos) << missing;
+  EXPECT_EQ(missing.find("/healthz"), std::string::npos) << missing;
+
+  // The route list moved to the operator surface.
+  const std::string varz = http_get(port.value(), "/varz");
+  EXPECT_NE(varz.find("\"routes\":["), std::string::npos);
+  EXPECT_NE(varz.find("\"/metrics\""), std::string::npos);
+  EXPECT_NE(varz.find("\"/healthz\""), std::string::npos);
+  server.stop();
+}
+
 #else  // MECOFF_OBS_DISABLED
 
 TEST(TelemetryServerTest, CompiledOutStartFailsLoudly) {

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -255,6 +256,39 @@ TEST(ThreadPool, WaitAndHelpFromNonWorkerBlocksUntilReady) {
   auto f = pool.submit([] { return 7; });
   pool.wait_and_help(f);
   EXPECT_EQ(f.get(), 7);
+}
+
+// Regression for the idle busy-wait: wait_and_help with nothing to
+// help must park on the activity condition and still wake promptly
+// when a worker completes the awaited task. The bound is generous (the
+// backoff caps at 1ms), but a regression to an unnotified sleep or a
+// spin would show up as either a large latency or a burned core — the
+// former is what we can assert portably.
+TEST(ThreadPool, WaitAndHelpWakesPromptlyOnWorkerCompletion) {
+  ThreadPool pool(2);
+  const ThreadPool::TaskGroup group = pool.make_group();
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  // The task the waiter cares about: blocks until the gate opens.
+  auto f = pool.submit_to(group, [opened] {
+    opened.wait();
+    return 42;
+  });
+  // Open the gate from a side thread after the waiter has had time to
+  // exhaust the help queue and park.
+  std::thread opener([&gate] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    gate.set_value();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  pool.wait_and_help(f, group);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  opener.join();
+  EXPECT_EQ(f.get(), 42);
+  // ~100ms gate + wake latency; anything near seconds is a lost wake.
+  EXPECT_LT(elapsed, 2.0);
 }
 
 TEST(Dataset, ParallelizeAndCollectPreservesElements) {

@@ -1,0 +1,424 @@
+// Tests for the online solve service: canonical request fingerprints,
+// the single-flight scheme cache, and SolveService end-to-end (cache
+// hits bit-identical to cold solves, coalescing under concurrency,
+// admission-control shedding).
+//
+// Everything here observes behavior through return values and
+// SolveService::stats() (plain atomics), so the suite runs identically
+// with the obs facade compiled in or out.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+#include "mec/model.hpp"
+#include "mec/offloader.hpp"
+#include "mec/scheme.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/fingerprint.hpp"
+#include "serve/scheme_cache.hpp"
+#include "serve/solve_service.hpp"
+
+namespace mecoff::serve {
+namespace {
+
+/// A small offloadable app: pinned UI node feeding a few heavy workers.
+mec::UserApp make_app(double heavy_weight, std::size_t workers = 3) {
+  graph::GraphBuilder builder;
+  const graph::NodeId ui = builder.add_node(2.0);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const graph::NodeId node =
+        builder.add_node(heavy_weight + static_cast<double>(w));
+    builder.add_edge(ui, node, 1.0 + static_cast<double>(w));
+  }
+  mec::UserApp user;
+  user.graph = builder.build();
+  user.unoffloadable.assign(user.graph.num_nodes(), false);
+  user.unoffloadable[ui] = true;
+  return user;
+}
+
+// ---- Fingerprints ---------------------------------------------------------
+
+TEST(FingerprintTest, DeterministicAndSensitiveToContent) {
+  const mec::SystemParams params;
+  const mec::UserApp app = make_app(100.0);
+  const Fingerprint a = fingerprint_request(app, params);
+  const Fingerprint b = fingerprint_request(app, params);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.to_hex().size(), 32u);
+
+  // Any content perturbation must move the key: a node weight...
+  EXPECT_NE(fingerprint_request(make_app(101.0), params), a);
+  // ...graph shape...
+  EXPECT_NE(fingerprint_request(make_app(100.0, 4), params), a);
+  // ...cost/channel parameters...
+  mec::SystemParams slow = params;
+  slow.bandwidth *= 0.5;
+  EXPECT_NE(fingerprint_request(app, slow), a);
+  // ...and pinning.
+  mec::UserApp unpinned = app;
+  unpinned.unoffloadable[0] = false;
+  EXPECT_NE(fingerprint_request(unpinned, params), a);
+}
+
+TEST(FingerprintTest, EdgeOrderAndDirectionInvariant) {
+  const mec::SystemParams params;
+  graph::GraphBuilder forward;
+  const auto fa = forward.add_node(1.0);
+  const auto fb = forward.add_node(2.0);
+  const auto fc = forward.add_node(3.0);
+  forward.add_edge(fa, fb, 4.0);
+  forward.add_edge(fb, fc, 5.0);
+
+  graph::GraphBuilder shuffled;
+  const auto sa = shuffled.add_node(1.0);
+  const auto sb = shuffled.add_node(2.0);
+  const auto sc = shuffled.add_node(3.0);
+  shuffled.add_edge(sc, sb, 5.0);  // reversed direction, reversed order
+  shuffled.add_edge(sb, sa, 4.0);
+
+  mec::UserApp one;
+  one.graph = forward.build();
+  mec::UserApp two;
+  two.graph = shuffled.build();
+  EXPECT_EQ(fingerprint_request(one, params), fingerprint_request(two, params));
+}
+
+TEST(FingerprintTest, EmptyPinMaskEqualsExplicitAllFalse) {
+  const mec::SystemParams params;
+  mec::UserApp implicit = make_app(50.0);
+  implicit.unoffloadable.clear();
+  mec::UserApp explicit_mask = make_app(50.0);
+  explicit_mask.unoffloadable.assign(explicit_mask.graph.num_nodes(), false);
+  EXPECT_EQ(fingerprint_request(implicit, params),
+            fingerprint_request(explicit_mask, params));
+}
+
+TEST(FingerprintTest, EmptyComponentsDistinctFromExplicit) {
+  const mec::SystemParams params;
+  mec::UserApp derived = make_app(50.0);
+  derived.unoffloadable.clear();
+  mec::UserApp declared = derived;
+  declared.components.assign(declared.graph.num_nodes(), 0);
+  EXPECT_NE(fingerprint_request(derived, params),
+            fingerprint_request(declared, params));
+}
+
+TEST(FingerprintTest, NegativeZeroParamNormalized) {
+  const mec::UserApp app = make_app(50.0);
+  mec::SystemParams pos;
+  pos.contention_factor = 0.0;
+  mec::SystemParams neg;
+  neg.contention_factor = -0.0;
+  EXPECT_EQ(fingerprint_request(app, pos), fingerprint_request(app, neg));
+}
+
+TEST(FingerprintTest, SeededBuilderSeparatesConfigurations) {
+  FingerprintBuilder base;
+  base.add_u64(7);
+  FingerprintBuilder seeded_a(Fingerprint{1, 2});
+  seeded_a.add_u64(7);
+  FingerprintBuilder seeded_b(Fingerprint{1, 3});
+  seeded_b.add_u64(7);
+  EXPECT_NE(base.digest(), seeded_a.digest());
+  EXPECT_NE(seeded_a.digest(), seeded_b.digest());
+}
+
+// ---- SchemeCache ----------------------------------------------------------
+
+std::vector<mec::Placement> placement_of(std::size_t n, std::size_t remote) {
+  std::vector<mec::Placement> p(n, mec::Placement::kLocal);
+  for (std::size_t i = 0; i < remote && i < n; ++i)
+    p[i] = mec::Placement::kRemote;
+  return p;
+}
+
+TEST(SchemeCacheTest, MissPublishHitRoundTrip) {
+  SchemeCache cache;
+  const Fingerprint key{11, 22};
+
+  SchemeCache::Lookup first = cache.acquire(key);
+  EXPECT_EQ(first.outcome, SchemeCache::Outcome::kMiss);
+
+  cache.publish(key, placement_of(5, 2));
+
+  SchemeCache::Lookup second = cache.acquire(key);
+  EXPECT_EQ(second.outcome, SchemeCache::Outcome::kHit);
+  EXPECT_EQ(second.placement, placement_of(5, 2));
+
+  const SchemeCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(SchemeCacheTest, AbandonedMissStartsCold) {
+  SchemeCache cache;
+  const Fingerprint key{3, 4};
+  ASSERT_EQ(cache.acquire(key).outcome, SchemeCache::Outcome::kMiss);
+  cache.abandon(key);  // no riders: entry vanishes
+  EXPECT_EQ(cache.acquire(key).outcome, SchemeCache::Outcome::kMiss);
+  cache.publish(key, placement_of(3, 1));
+  EXPECT_EQ(cache.acquire(key).outcome, SchemeCache::Outcome::kHit);
+}
+
+TEST(SchemeCacheTest, LruEvictsLeastRecentlyUsedReadyEntry) {
+  SchemeCache cache(SchemeCache::Options{.capacity = 2});
+  const Fingerprint k1{1, 0}, k2{2, 0}, k3{3, 0};
+  for (const Fingerprint& k : {k1, k2, k3}) {
+    ASSERT_EQ(cache.acquire(k).outcome, SchemeCache::Outcome::kMiss);
+    cache.publish(k, placement_of(4, k.hi % 4));
+  }
+  // Publishing k3 overflowed capacity 2; k1 was least recently used.
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.acquire(k2).outcome, SchemeCache::Outcome::kHit);
+  EXPECT_EQ(cache.acquire(k3).outcome, SchemeCache::Outcome::kHit);
+  // k1 must re-solve.
+  EXPECT_EQ(cache.acquire(k1).outcome, SchemeCache::Outcome::kMiss);
+  cache.abandon(k1);
+}
+
+TEST(SchemeCacheTest, HitRefreshesLruPosition) {
+  SchemeCache cache(SchemeCache::Options{.capacity = 2});
+  const Fingerprint k1{1, 0}, k2{2, 0}, k3{3, 0};
+  for (const Fingerprint& k : {k1, k2}) {
+    ASSERT_EQ(cache.acquire(k).outcome, SchemeCache::Outcome::kMiss);
+    cache.publish(k, placement_of(4, 1));
+  }
+  // Touch k1 so k2 becomes the victim when k3 lands.
+  ASSERT_EQ(cache.acquire(k1).outcome, SchemeCache::Outcome::kHit);
+  ASSERT_EQ(cache.acquire(k3).outcome, SchemeCache::Outcome::kMiss);
+  cache.publish(k3, placement_of(4, 1));
+  EXPECT_EQ(cache.acquire(k1).outcome, SchemeCache::Outcome::kHit);
+  EXPECT_EQ(cache.acquire(k2).outcome, SchemeCache::Outcome::kMiss);
+  cache.abandon(k2);
+}
+
+TEST(SchemeCacheTest, SingleFlightRidersGetOwnersPlacement) {
+  SchemeCache cache;
+  const Fingerprint key{42, 7};
+  ASSERT_EQ(cache.acquire(key).outcome, SchemeCache::Outcome::kMiss);
+
+  constexpr std::size_t kRiders = 8;
+  std::atomic<std::size_t> parked{0};
+  std::vector<std::thread> threads;
+  std::vector<SchemeCache::Lookup> results(kRiders);
+  threads.reserve(kRiders);
+  for (std::size_t i = 0; i < kRiders; ++i) {
+    threads.emplace_back([&, i] {
+      parked.fetch_add(1, std::memory_order_relaxed);
+      results[i] = cache.acquire(key);  // blocks until publish
+    });
+  }
+  // Let the riders reach the cv (best-effort; correctness does not
+  // depend on the sleep, only the "no duplicate solve" accounting).
+  while (parked.load(std::memory_order_relaxed) < kRiders)
+    std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  cache.publish(key, placement_of(6, 3));
+  for (std::thread& t : threads) t.join();
+
+  for (const SchemeCache::Lookup& r : results) {
+    EXPECT_EQ(r.outcome, SchemeCache::Outcome::kCoalesced);
+    EXPECT_EQ(r.placement, placement_of(6, 3));
+  }
+  const SchemeCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);  // exactly ONE cold solve
+  EXPECT_EQ(stats.coalesced, kRiders);
+}
+
+TEST(SchemeCacheTest, AbandonPromotesExactlyOneRider) {
+  SchemeCache cache;
+  const Fingerprint key{9, 9};
+  ASSERT_EQ(cache.acquire(key).outcome, SchemeCache::Outcome::kMiss);
+
+  constexpr std::size_t kRiders = 4;
+  std::atomic<std::size_t> promoted{0};
+  std::atomic<std::size_t> coalesced{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kRiders);
+  for (std::size_t i = 0; i < kRiders; ++i) {
+    threads.emplace_back([&] {
+      SchemeCache::Lookup r = cache.acquire(key);
+      if (r.outcome == SchemeCache::Outcome::kMiss) {
+        // This rider was promoted to owner after the abandon; it must
+        // complete the flight so the remaining riders wake.
+        promoted.fetch_add(1, std::memory_order_relaxed);
+        cache.publish(key, placement_of(5, 5));
+      } else {
+        EXPECT_EQ(r.outcome, SchemeCache::Outcome::kCoalesced);
+        EXPECT_EQ(r.placement, placement_of(5, 5));
+        coalesced.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  cache.abandon(key);  // original owner gives up
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(promoted.load(), 1u);
+  EXPECT_EQ(coalesced.load(), kRiders - 1);
+}
+
+// ---- SolveService ---------------------------------------------------------
+
+TEST(SolveServiceTest, CacheHitIsBitIdenticalToColdSolve) {
+  parallel::ThreadPool pool(4);
+  SolveServiceOptions options;
+  options.pool = &pool;
+  SolveService service(options);
+
+  SolveRequest request{make_app(150.0, 6), mec::SystemParams{}};
+
+  // Reference: a direct PipelineOffloader run on the same single-user
+  // system with the same (default) solver options.
+  mec::MecSystem system;
+  system.params = request.params;
+  system.users.push_back(request.user);
+  mec::PipelineOffloader reference;
+  const std::vector<mec::Placement> expected =
+      reference.solve(system).placement.front();
+
+  const Result<SolveResponse> cold = service.solve(request);
+  ASSERT_TRUE(cold.ok()) << cold.error().message;
+  EXPECT_EQ(cold.value().source, SolveSource::kSolved);
+  EXPECT_FALSE(cold.value().degraded);
+  EXPECT_EQ(cold.value().placement, expected);
+
+  const Result<SolveResponse> hot = service.solve(request);
+  ASSERT_TRUE(hot.ok()) << hot.error().message;
+  EXPECT_EQ(hot.value().source, SolveSource::kCacheHit);
+  // The headline guarantee: byte-identical to the cold solve.
+  EXPECT_EQ(hot.value().placement, expected);
+  EXPECT_EQ(hot.value().key, cold.value().key);
+
+  const SolveService::Stats stats = service.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.solved, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST(SolveServiceTest, ConcurrentDuplicateStreamSolvesEachAppOnce) {
+  parallel::ThreadPool pool(4);
+  SolveServiceOptions options;
+  options.pool = &pool;
+  options.shards = 3;
+  SolveService service(options);
+
+  constexpr std::size_t kDistinct = 4;
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kPerClient = 8;
+  std::vector<SolveRequest> requests;
+  std::vector<std::vector<mec::Placement>> expected;
+  for (std::size_t a = 0; a < kDistinct; ++a) {
+    requests.push_back(
+        {make_app(120.0 + 10.0 * static_cast<double>(a), 4 + a),
+         mec::SystemParams{}});
+    mec::MecSystem system;
+    system.params = requests.back().params;
+    system.users.push_back(requests.back().user);
+    mec::PipelineOffloader reference;
+    expected.push_back(reference.solve(system).placement.front());
+  }
+
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        const std::size_t which = (c + i) % kDistinct;
+        const Result<SolveResponse> r = service.solve(requests[which]);
+        if (!r.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (r.value().placement != expected[which])
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  // EVERY response — solved, hit, or coalesced — is bit-identical to
+  // the reference cold solve of its app.
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  const SolveService::Stats stats = service.stats();
+  EXPECT_EQ(stats.requests, kClients * kPerClient);
+  // Single-flight + cache: exactly one cold solve per distinct app.
+  EXPECT_EQ(stats.solved, kDistinct);
+  EXPECT_EQ(stats.cache_hits + stats.coalesced,
+            kClients * kPerClient - kDistinct);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.degraded, 0u);
+}
+
+TEST(SolveServiceTest, AdmissionLimitShedsToValidAllLocal) {
+  SolveServiceOptions options;  // no pool: inline solves
+  options.max_in_flight = 0;    // drain mode: shed everything
+  SolveService service(options);
+
+  SolveRequest request{make_app(200.0), mec::SystemParams{}};
+  const Result<SolveResponse> r = service.solve(request);
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r.value().source, SolveSource::kShed);
+  EXPECT_TRUE(r.value().degraded);
+  ASSERT_EQ(r.value().placement.size(), request.user.graph.num_nodes());
+  for (const mec::Placement p : r.value().placement)
+    EXPECT_EQ(p, mec::Placement::kLocal);
+
+  // Shed responses must not pollute the cache.
+  EXPECT_EQ(service.stats().cache.entries, 0u);
+  EXPECT_EQ(service.stats().shed, 1u);
+
+  // Raising the limit back up restores full service.
+  service.set_admission_limit(SIZE_MAX);
+  const Result<SolveResponse> full = service.solve(request);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value().source, SolveSource::kSolved);
+  EXPECT_FALSE(full.value().degraded);
+}
+
+TEST(SolveServiceTest, MalformedRequestIsAnErrorNotACrash) {
+  SolveService service;
+  SolveRequest bad{make_app(100.0), mec::SystemParams{}};
+  bad.user.unoffloadable.resize(1);  // shape mismatch vs graph
+  EXPECT_FALSE(service.solve(bad).ok());
+
+  SolveRequest bad_params{make_app(100.0), mec::SystemParams{}};
+  bad_params.params.bandwidth = -1.0;
+  EXPECT_FALSE(service.solve(bad_params).ok());
+
+  EXPECT_EQ(service.stats().solved, 0u);
+}
+
+TEST(SolveServiceTest, DifferentSolverConfigsUseDifferentKeys) {
+  SolveServiceOptions spectral;
+  SolveService a(spectral);
+  SolveServiceOptions kl = spectral;
+  kl.solver.backend = mec::CutBackend::kKernighanLin;
+  SolveService b(kl);
+  EXPECT_NE(a.config_seed(), b.config_seed());
+
+  SolveRequest request{make_app(90.0), mec::SystemParams{}};
+  const Result<SolveResponse> ra = a.solve(request);
+  const Result<SolveResponse> rb = b.solve(request);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_NE(ra.value().key, rb.value().key);
+}
+
+}  // namespace
+}  // namespace mecoff::serve

@@ -25,6 +25,21 @@
 //       loops until SIGINT. faults= replays a fault script whose times
 //       are iteration indices against a FailoverController driving
 //       /healthz. dump_dir= arms flight-recorder post-mortem dumps.
+//   mecoff_cli serve-solve <app.dsl> [port=P threads=T shards=S
+//                                     cache=N max_inflight=M clients=C
+//                                     selfcheck=K duration=secs
+//                                     ...solve params]
+//       online solve service (SolveService): POST /solve takes an app
+//       DSL body (empty body = the positional app) and answers with
+//       the placement plus its cache provenance (hit/miss/coalesced/
+//       shed); the four telemetry routes are mounted alongside.
+//       Requests are sharded over a T-worker pool and coalesced
+//       through the content-addressed scheme cache (capacity N);
+//       max_inflight=M arms admission control. selfcheck=K skips the
+//       wait loop: C in-process client threads issue K requests,
+//       verify bit-identity against a cold solve, and exit — the
+//       self-contained smoke mode CI and ctest drive. duration=secs
+//       (0 = until SIGINT) bounds the serving window otherwise.
 //
 // `solve` accepts out=<file> to save the scheme; `simulate` accepts
 // scheme=<file> to replay a saved scheme instead of re-solving.
@@ -44,6 +59,7 @@
 //
 // All options are key=value tokens after the positional arguments.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -58,6 +74,7 @@
 #include "appmodel/dsl_parser.hpp"
 #include "appmodel/trace_import.hpp"
 #include "common/config.hpp"
+#include "common/stopwatch.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/metrics.hpp"
@@ -78,6 +95,7 @@
 #include "obs/serve/telemetry_server.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/solve_service.hpp"
 #include "sim/dag_executor.hpp"
 #include "sim/executor.hpp"
 #include "sim/fault_script.hpp"
@@ -620,6 +638,192 @@ int cmd_serve(const std::string& path, const Config& cfg) {
   return 0;
 }
 
+// serve-solve: the online solve service — per-request ingest over
+// HTTP, sharded across a pool, coalesced through the scheme cache.
+
+mec::UserApp user_from_app(const appmodel::Application& app) {
+  mec::UserApp user;
+  user.graph = app.to_graph();
+  user.unoffloadable = app.unoffloadable_mask();
+  user.components = app.component_ids();
+  return user;
+}
+
+const char* source_name(serve::SolveSource source) {
+  switch (source) {
+    case serve::SolveSource::kSolved: return "miss";
+    case serve::SolveSource::kCacheHit: return "hit";
+    case serve::SolveSource::kCoalesced: return "coalesced";
+    case serve::SolveSource::kShed: return "shed";
+  }
+  return "unknown";
+}
+
+int cmd_serve_solve(const std::string& path, const Config& cfg) {
+  const Result<appmodel::Application> parsed = load_app(path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.error().message.c_str());
+    return 1;
+  }
+  const appmodel::Application& app = parsed.value();
+  const mec::UserApp base_user = user_from_app(app);
+  const mec::SystemParams params = params_from(cfg);
+
+  const std::size_t threads = static_cast<std::size_t>(
+      std::max<long long>(1, cfg.get_int("threads", 4)));
+  parallel::ThreadPool pool(threads);
+
+  serve::SolveServiceOptions sopts;
+  sopts.pool = &pool;
+  sopts.shards = static_cast<std::size_t>(
+      std::max<long long>(1, cfg.get_int("shards", 4)));
+  sopts.cache.capacity = static_cast<std::size_t>(
+      std::max<long long>(1, cfg.get_int("cache", 1024)));
+  const long long max_inflight = cfg.get_int("max_inflight", -1);
+  if (max_inflight >= 0)
+    sopts.max_in_flight = static_cast<std::size_t>(max_inflight);
+  sopts.solver.propagation.coupling_threshold =
+      cfg.get_double("threshold", 10.0);
+  const std::string algo = cfg.get_string("algo", "spectral");
+  if (algo == "maxflow") sopts.solver.backend = mec::CutBackend::kMaxFlow;
+  if (algo == "kl") sopts.solver.backend = mec::CutBackend::kKernighanLin;
+  sopts.solver.deadline.seconds = cfg.get_double("deadline", -1.0);
+  serve::SolveService service(sopts);
+
+  obs::serve::TelemetryServer server;
+  // POST /solve: body = app DSL (empty = the positional app); the
+  // handler runs on the HTTP connection workers — external threads to
+  // the pool, exactly what SolveService's threading contract wants.
+  server.handle("/solve", [&service, &app, &base_user,
+                           &params](const obs::serve::HttpRequest& req) {
+    obs::serve::HttpResponse resp;
+    serve::SolveRequest sr;
+    sr.params = params;
+    std::vector<std::string> names;
+    if (req.body.empty()) {
+      sr.user = base_user;
+      names.reserve(app.num_functions());
+      for (std::size_t i = 0; i < app.num_functions(); ++i)
+        names.push_back(app.function(i).name);
+    } else {
+      const Result<appmodel::Application> posted =
+          appmodel::parse_app_dsl(req.body);
+      if (!posted.ok()) {
+        resp.status = 400;
+        resp.body = "app error: " + posted.error().message + "\n";
+        return resp;
+      }
+      sr.user = user_from_app(posted.value());
+      names.reserve(posted.value().num_functions());
+      for (std::size_t i = 0; i < posted.value().num_functions(); ++i)
+        names.push_back(posted.value().function(i).name);
+    }
+    const Result<serve::SolveResponse> solved = service.solve(sr);
+    if (!solved.ok()) {
+      resp.status = 400;
+      resp.body = "solve error: " + solved.error().message + "\n";
+      return resp;
+    }
+    const serve::SolveResponse& r = solved.value();
+    resp.body = std::string("cache: ") + source_name(r.source);
+    if (r.degraded && r.source != serve::SolveSource::kShed)
+      resp.body += " degraded";
+    resp.body += '\n';
+    for (std::size_t i = 0; i < r.placement.size(); ++i) {
+      resp.body += names[i];
+      resp.body += r.placement[i] == mec::Placement::kLocal ? " device\n"
+                                                            : " server\n";
+    }
+    return resp;
+  });
+
+  const auto port_arg = cfg.get_int("port", 0);
+  if (port_arg < 0 || port_arg > 65535) {
+    std::fprintf(stderr, "error: port must be in [0, 65535]\n");
+    return 2;
+  }
+  const Result<std::uint16_t> bound =
+      server.start(static_cast<std::uint16_t>(port_arg));
+  if (!bound.ok()) {
+    std::fprintf(stderr, "error: %s\n", bound.error().message.c_str());
+    return 1;
+  }
+  std::printf("serving solves on 127.0.0.1:%u "
+              "(/solve /metrics /varz /healthz /flightz)\n",
+              static_cast<unsigned>(bound.value()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  const long long selfcheck = cfg.get_int("selfcheck", 0);
+  if (selfcheck > 0) {
+    // Self-contained closed loop: no HTTP client needed, so plain-sh
+    // ctest can smoke the whole ingest → shard → cache → solve path.
+    // The reference placement comes from a cold solve with the same
+    // solver configuration; every served placement must match it bit
+    // for bit (cache hits are REUSE, not approximation).
+    mec::PipelineOptions ref_options = sopts.solver;
+    ref_options.pool = &pool;
+    mec::PipelineOffloader reference(ref_options);
+    mec::MecSystem ref_system{params, {base_user}};
+    const mec::OffloadingScheme ref_scheme = reference.solve(ref_system);
+
+    const std::size_t clients = static_cast<std::size_t>(
+        std::max<long long>(1, cfg.get_int("clients", 2)));
+    const auto total = static_cast<std::size_t>(selfcheck);
+    std::atomic<std::size_t> mismatches{0};
+    std::atomic<std::size_t> errors{0};
+    std::vector<std::thread> client_threads;
+    client_threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      const std::size_t share = total / clients + (c < total % clients);
+      client_threads.emplace_back([&, share] {
+        for (std::size_t i = 0; i < share; ++i) {
+          const Result<serve::SolveResponse> r =
+              service.solve(serve::SolveRequest{base_user, params});
+          if (!r.ok()) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (r.value().source != serve::SolveSource::kShed &&
+              r.value().placement != ref_scheme.placement[0])
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& t : client_threads) t.join();
+    std::printf("selfcheck: %zu requests from %zu clients, "
+                "%zu mismatches, %zu errors\n",
+                total, clients, mismatches.load(), errors.load());
+  } else {
+    const double duration = cfg.get_double("duration", 0.0);
+    const Stopwatch up;
+    while (g_stop == 0 &&
+           (duration <= 0.0 || up.elapsed_seconds() < duration))
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+
+  const serve::SolveService::Stats st = service.stats();
+  std::printf("serve-solve: %llu requests, %llu cold solves, "
+              "%llu cache hits, %llu coalesced, %llu shed, %llu degraded\n",
+              static_cast<unsigned long long>(st.requests),
+              static_cast<unsigned long long>(st.solved),
+              static_cast<unsigned long long>(st.cache_hits),
+              static_cast<unsigned long long>(st.coalesced),
+              static_cast<unsigned long long>(st.shed),
+              static_cast<unsigned long long>(st.degraded));
+  std::printf("scheme cache: %zu entries, %llu evictions\n",
+              st.cache.entries,
+              static_cast<unsigned long long>(st.cache.evictions));
+  std::printf("served %llu http requests%s\n",
+              static_cast<unsigned long long>(server.requests_served()),
+              g_stop != 0 ? " (interrupted)" : "");
+  print_obs_summary();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -642,5 +846,6 @@ int main(int argc, char** argv) {
   if (command == "trace" && has_file)
     return cmd_solve(file, cfg, false, /*from_trace=*/true);
   if (command == "serve" && has_file) return cmd_serve(file, cfg);
+  if (command == "serve-solve" && has_file) return cmd_serve_solve(file, cfg);
   return usage();
 }
