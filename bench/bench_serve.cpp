@@ -20,9 +20,7 @@
 // facade compiled out too; the /metrics quantiles exposition of the
 // same stream is exercised by the CLI smoke and obs_serve tests.
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
-#include <thread>
 #include <vector>
 
 #include "common/stopwatch.hpp"
@@ -30,6 +28,7 @@
 #include "mec/scheme.hpp"
 #include "parallel/thread_pool.hpp"
 #include "serve/solve_service.hpp"
+#include "support/load_harness.hpp"
 #include "support/reporting.hpp"
 #include "support/workloads.hpp"
 
@@ -43,13 +42,6 @@ constexpr std::size_t kClients = 4;
 constexpr std::size_t kHotPerClient = 125;
 constexpr std::size_t kShedRequests = 100;
 constexpr double kP99SloSeconds = 0.050;
-
-double percentile(std::vector<double>& sorted_sample, double q) {
-  if (sorted_sample.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(
-      q * static_cast<double>(sorted_sample.size() - 1));
-  return sorted_sample[rank];
-}
 
 int run() {
   parallel::ThreadPool pool(4);
@@ -78,41 +70,19 @@ int run() {
   const double cold_s = cold_timer.elapsed_seconds();
 
   // -- hot: concurrent closed loop over a warm cache ------------------
-  std::atomic<std::size_t> non_hits{0};
-  std::atomic<std::size_t> mismatches{0};
-  std::vector<std::vector<double>> latencies(kClients);
-  Stopwatch hot_timer;
-  {
-    std::vector<std::thread> clients;
-    clients.reserve(kClients);
-    for (std::size_t c = 0; c < kClients; ++c) {
-      clients.emplace_back([&, c] {
-        latencies[c].reserve(kHotPerClient);
-        for (std::size_t i = 0; i < kHotPerClient; ++i) {
-          const std::size_t which = (c + i) % kDistinctApps;
-          auto r = service.solve(requests[which]);
-          if (!r.ok() ||
-              r.value().source != serve::SolveSource::kCacheHit)
-            non_hits.fetch_add(1, std::memory_order_relaxed);
-          else if (r.value().placement != reference[which])
-            mismatches.fetch_add(1, std::memory_order_relaxed);
-          if (r.ok()) latencies[c].push_back(r.value().latency_seconds);
-        }
-      });
-    }
-    for (std::thread& t : clients) t.join();
-  }
-  const double hot_s = hot_timer.elapsed_seconds();
+  // The shared load harness replays the canonical (c + i) % apps
+  // pattern this bench's baseline counters were committed with.
   constexpr std::size_t kHotTotal = kClients * kHotPerClient;
-
-  std::vector<double> sample;
-  sample.reserve(kHotTotal);
-  for (const std::vector<double>& per_client : latencies)
-    sample.insert(sample.end(), per_client.begin(), per_client.end());
-  std::sort(sample.begin(), sample.end());
-  const double p50 = percentile(sample, 0.50);
-  const double p95 = percentile(sample, 0.95);
-  const double p99 = percentile(sample, 0.99);
+  LoadOptions hot_options;
+  hot_options.clients = kClients;
+  hot_options.total_requests = kHotTotal;
+  const LoadOutcome hot = run_load(service, requests, reference, hot_options);
+  const double hot_s = hot.wall_seconds;
+  const std::size_t non_hits = hot.requests - hot.hits;
+  const std::size_t mismatches = hot.mismatches;
+  const double p50 = hot.percentile(0.50);
+  const double p95 = hot.percentile(0.95);
+  const double p99 = hot.percentile(0.99);
 
   // -- shed: drain mode -----------------------------------------------
   service.set_admission_limit(0);
@@ -161,10 +131,9 @@ int run() {
 
   print_shape_check("cold solves == distinct apps",
                     stats.solved == kDistinctApps);
-  print_shape_check("hot phase served entirely from cache",
-                    non_hits.load() == 0);
+  print_shape_check("hot phase served entirely from cache", non_hits == 0);
   print_shape_check("cache hits byte-identical to cold placements",
-                    mismatches.load() == 0);
+                    mismatches == 0);
   print_shape_check("cache hit rate > 0", stats.cache_hits > 0);
   print_shape_check("all shed responses are valid all-local",
                     shed_all_local == kShedRequests &&
@@ -174,8 +143,8 @@ int run() {
       settle.ok() && settle.value().source == serve::SolveSource::kCacheHit;
   print_shape_check("service recovers after drain", settle_hit);
 
-  const bool ok = stats.solved == kDistinctApps && non_hits.load() == 0 &&
-                  mismatches.load() == 0 && shed_all_local == kShedRequests &&
+  const bool ok = stats.solved == kDistinctApps && non_hits == 0 &&
+                  mismatches == 0 && shed_all_local == kShedRequests &&
                   settle_hit;
   return ok ? 0 : 1;
 }

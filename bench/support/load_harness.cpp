@@ -1,0 +1,127 @@
+#include "support/load_harness.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/contracts.hpp"
+#include "common/stopwatch.hpp"
+
+namespace mecoff::bench {
+
+double LoadOutcome::percentile(double q) const {
+  if (latencies.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(latencies.size() - 1));
+  return latencies[rank];
+}
+
+namespace {
+
+/// Per-client tallies, merged after join (no shared-state contention on
+/// the measured path).
+struct ClientTally {
+  LoadOutcome counts;  ///< latencies unsorted here; merged later
+};
+
+void classify(const serve::SolveResponse& response, ClientTally& tally) {
+  switch (response.source) {
+    case serve::SolveSource::kSolved: ++tally.counts.solved; break;
+    case serve::SolveSource::kCacheHit: ++tally.counts.hits; break;
+    case serve::SolveSource::kCoalesced: ++tally.counts.coalesced; break;
+    case serve::SolveSource::kShed: ++tally.counts.shed; break;
+    case serve::SolveSource::kHedged: ++tally.counts.hedged; break;
+    case serve::SolveSource::kDeadlineDegraded:
+      ++tally.counts.deadline_degraded;
+      break;
+  }
+  if (response.degraded) ++tally.counts.degraded;
+}
+
+}  // namespace
+
+LoadOutcome run_load(serve::SolveService& service,
+                     const std::vector<serve::SolveRequest>& requests,
+                     const std::vector<std::vector<mec::Placement>>& reference,
+                     const LoadOptions& options) {
+  MECOFF_EXPECTS(!requests.empty());
+  MECOFF_EXPECTS(options.clients > 0);
+  const std::size_t apps = requests.size();
+  const std::size_t clients = options.clients;
+  const std::size_t total = options.total_requests;
+
+  std::vector<ClientTally> tallies(clients);
+  const Stopwatch wall;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      const std::size_t share =
+          total / clients + (c < total % clients ? 1 : 0);
+      threads.emplace_back([&, c, share] {
+        ClientTally& tally = tallies[c];
+        tally.counts.latencies.reserve(share);
+        const Stopwatch pace;
+        for (std::size_t i = 0; i < share; ++i) {
+          if (options.open_loop_rate_hz > 0.0) {
+            // Open loop: request i fires at i / rate on this client's
+            // clock regardless of how long earlier requests took.
+            const double due =
+                static_cast<double>(i) / options.open_loop_rate_hz;
+            const double now = pace.elapsed_seconds();
+            if (due > now)
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double>(due - now));
+          }
+          const std::size_t which = (c + i) % apps;
+          serve::SolveRequest request = requests[which];
+          if (options.deadline_seconds >= 0.0)
+            request.deadline_seconds = options.deadline_seconds;
+          const Result<serve::SolveResponse> r = service.solve(request);
+          ++tally.counts.requests;
+          if (!r.ok()) {
+            ++tally.counts.errors;
+            continue;
+          }
+          const serve::SolveResponse& response = r.value();
+          classify(response, tally);
+          tally.counts.latencies.push_back(response.latency_seconds);
+          if (options.wedge_seconds > 0.0 &&
+              response.latency_seconds > options.wedge_seconds)
+            ++tally.counts.wedged;
+          // Full-quality responses must be byte-identical to the cold
+          // reference; degraded ones are valid-by-construction schemes
+          // the checker exempts.
+          if (!response.degraded && which < reference.size() &&
+              !reference[which].empty() &&
+              response.placement != reference[which])
+            ++tally.counts.mismatches;
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  LoadOutcome out;
+  out.wall_seconds = wall.elapsed_seconds();
+  for (const ClientTally& tally : tallies) {
+    const LoadOutcome& c = tally.counts;
+    out.requests += c.requests;
+    out.errors += c.errors;
+    out.mismatches += c.mismatches;
+    out.wedged += c.wedged;
+    out.solved += c.solved;
+    out.hits += c.hits;
+    out.coalesced += c.coalesced;
+    out.shed += c.shed;
+    out.hedged += c.hedged;
+    out.deadline_degraded += c.deadline_degraded;
+    out.degraded += c.degraded;
+    out.latencies.insert(out.latencies.end(), c.latencies.begin(),
+                         c.latencies.end());
+  }
+  std::sort(out.latencies.begin(), out.latencies.end());
+  return out;
+}
+
+}  // namespace mecoff::bench

@@ -1,0 +1,86 @@
+// Shared load driver for the solve service.
+//
+// bench_serve, bench_soak and `mecoff_cli serve-solve selfcheck=` all
+// need the same closed-loop machinery: C client threads replaying a
+// request set against a SolveService, classifying every response by
+// provenance, checking full-quality placements byte-identical to a
+// cold reference, and folding latencies into percentiles. This library
+// is that machinery extracted once (ROADMAP item 5 names exactly this
+// refactor), so the bench curve, the soak harness and the CLI smoke
+// all measure the same thing.
+//
+// The request pattern is canonical and deterministic: client c's i-th
+// request is app (c + i) % apps — the pattern bench_serve committed
+// its baseline counters with. Open-loop mode paces each client at a
+// fixed rate instead of back-to-back; the watchdog classifies any
+// single response slower than `wedge_seconds` as WEDGED, the
+// anomaly class chaos soaks must keep at zero (a wedged request came
+// back — a hung one would stall the whole run, which CI's timeout
+// catches).
+//
+// THREADING: clients are plain std::threads — external to the
+// service's pool, as SolveService's contract requires.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mec/scheme.hpp"
+#include "serve/solve_service.hpp"
+
+namespace mecoff::bench {
+
+struct LoadOptions {
+  /// Concurrent client threads.
+  std::size_t clients = 4;
+  /// Total requests across all clients; client c issues
+  /// total/clients (+1 for the first total%clients clients).
+  std::size_t total_requests = 100;
+  /// Open-loop pacing per client in requests/second; 0 = closed loop
+  /// (next request as soon as the previous answers).
+  double open_loop_rate_hz = 0.0;
+  /// Per-request deadline budget handed to the service; negative = the
+  /// service default.
+  double deadline_seconds = -1.0;
+  /// A response slower than this counts as wedged; <= 0 disables.
+  double wedge_seconds = 0.0;
+};
+
+struct LoadOutcome {
+  std::size_t requests = 0;   ///< responses received (== issued)
+  std::size_t errors = 0;     ///< Result errors (malformed input only)
+  std::size_t mismatches = 0; ///< full-quality placement != reference
+  std::size_t wedged = 0;     ///< slower than wedge_seconds
+  /// Per-provenance response counts (sum == requests).
+  std::size_t solved = 0;
+  std::size_t hits = 0;
+  std::size_t coalesced = 0;
+  std::size_t shed = 0;
+  std::size_t hedged = 0;
+  std::size_t deadline_degraded = 0;
+  /// Responses with the degraded flag set (any provenance).
+  std::size_t degraded = 0;
+  double wall_seconds = 0.0;
+  /// All response latencies, sorted ascending.
+  std::vector<double> latencies;
+
+  /// Latency percentile over `latencies` (nearest-rank at
+  /// q * (n - 1), the same definition bench_serve always printed).
+  [[nodiscard]] double percentile(double q) const;
+};
+
+/// Drive `service` with options.total_requests requests drawn from
+/// `requests` by the canonical (c + i) % apps pattern. `reference[a]`,
+/// when present and non-empty, is the expected full-quality placement
+/// of app a: every non-degraded response (solved, hit, coalesced,
+/// clean hedge) is compared byte-for-byte and counted as a mismatch on
+/// any difference. Degraded responses (shed, deadline, fallback cuts)
+/// are valid by construction and exempt. Pass an empty `reference` to
+/// skip identity checking entirely.
+[[nodiscard]] LoadOutcome run_load(
+    serve::SolveService& service,
+    const std::vector<serve::SolveRequest>& requests,
+    const std::vector<std::vector<mec::Placement>>& reference,
+    const LoadOptions& options);
+
+}  // namespace mecoff::bench

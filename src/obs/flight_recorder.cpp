@@ -150,6 +150,28 @@ AnomalyKind FlightRecorder::record(SolveRecord record) {
   return anomaly;
 }
 
+Result<std::string> FlightRecorder::dump_now(const std::string& label) {
+  std::string dump_json;
+  std::string dump_path;
+  {
+    const MutexLock lock(mutex_);
+    if (dump_dir_.empty())
+      return Error("flight recorder: no dump_dir configured");
+    dump_json = render_json_locked(AnomalyKind::kNone);
+    dump_path =
+        dump_dir_ + "/flight_" + std::to_string(next_seq_) + '_' + label +
+        ".json";
+  }
+  // File IO outside the lock, like the anomaly path.
+  std::ofstream out(dump_path);
+  if (!out) return Error("flight recorder: cannot write " + dump_path);
+  out << dump_json << '\n';
+  const MutexLock lock(mutex_);
+  ++dumps_;
+  last_dump_path_ = dump_path;
+  return dump_path;
+}
+
 std::size_t FlightRecorder::size() const {
   const MutexLock lock(mutex_);
   return ring_.size();

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hpp"
 #include "common/thread_annotations.hpp"
 #include "obs/quantiles.hpp"
 
@@ -129,6 +130,14 @@ class FlightRecorder {
   /// endpoint serves exactly this).
   [[nodiscard]] std::string to_json(
       AnomalyKind trigger = AnomalyKind::kNone) const;
+
+  /// Explicit post-mortem: write the current ring (anomaly=null) to
+  /// `<dump_dir>/flight_<seq>_<label>.json` and return the path. This
+  /// is the graceful-drain hook — SIGTERM handlers call it exactly once
+  /// so a clean shutdown self-documents like an anomaly does. Errors
+  /// (no dump_dir configured, unwritable path) come back as a Result
+  /// error, never a throw; the dump counts toward dump_count().
+  Result<std::string> dump_now(const std::string& label);
 
   /// Drop all records and reset counters (capacity/config survive).
   void clear();

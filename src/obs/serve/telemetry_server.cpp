@@ -46,7 +46,10 @@ TelemetryServer::TelemetryServer() {
         ",\"anomalies\":" +
         std::to_string(FlightRecorder::global().anomaly_count()) +
         ",\"dumps\":" +
-        std::to_string(FlightRecorder::global().dump_count()) + "}}";
+        std::to_string(FlightRecorder::global().dump_count()) + "}";
+    for (const auto& [key, renderer] : varz_sections_)
+      response.body += ",\"" + key + "\":" + renderer();
+    response.body += '}';
     return response;
   });
   http_.handle("/healthz", [this](const HttpRequest&) {
@@ -74,6 +77,11 @@ void TelemetryServer::handle(std::string path, HttpServer::Handler handler) {
   http_.handle(std::move(path), std::move(handler));
 }
 
+void TelemetryServer::add_varz_section(std::string key,
+                                       std::function<std::string()> renderer) {
+  varz_sections_.emplace_back(std::move(key), std::move(renderer));
+}
+
 void TelemetryServer::set_io_timeout_ms(int ms) {
   http_.set_io_timeout_ms(ms);
 }
@@ -94,6 +102,11 @@ void TelemetryServer::set_health_callback(HealthCallback callback) {
 
 void TelemetryServer::handle(std::string path, HttpServer::Handler handler) {
   http_.handle(std::move(path), std::move(handler));
+}
+
+void TelemetryServer::add_varz_section(std::string key,
+                                       std::function<std::string()> renderer) {
+  varz_sections_.emplace_back(std::move(key), std::move(renderer));
 }
 
 void TelemetryServer::set_io_timeout_ms(int ms) { http_.set_io_timeout_ms(ms); }

@@ -25,6 +25,8 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/result.hpp"
 #include "obs/serve/http_server.hpp"
@@ -56,6 +58,17 @@ class TelemetryServer {
   /// /varz's "routes" list (404s stay plain).
   void handle(std::string path, HttpServer::Handler handler);
 
+  /// Splice an application section into the /varz document:
+  /// `"key": <renderer()>` next to the built-in routes/metrics/trace/
+  /// flight_recorder keys. The renderer must return a valid JSON value
+  /// and, like handlers, runs on the connection workers — snapshot
+  /// internally synchronized state, do not touch bare shared data.
+  /// Call before start(). This is how serve-solve publishes scheme-
+  /// cache health (entries, evictions, oldest age) without /metrics
+  /// parsing.
+  void add_varz_section(std::string key,
+                        std::function<std::string()> renderer);
+
   /// Passthrough to HttpServer::set_io_timeout_ms (pre-start only).
   void set_io_timeout_ms(int ms);
 
@@ -73,6 +86,10 @@ class TelemetryServer {
  private:
   HttpServer http_;
   HealthCallback health_;
+  /// Pre-start registered, read-only while serving (same discipline as
+  /// health_ and the route table).
+  std::vector<std::pair<std::string, std::function<std::string()>>>
+      varz_sections_;
 };
 
 }  // namespace mecoff::obs::serve

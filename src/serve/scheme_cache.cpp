@@ -1,5 +1,6 @@
 #include "serve/scheme_cache.hpp"
 
+#include <chrono>
 #include <limits>
 #include <utility>
 
@@ -10,7 +11,9 @@ namespace mecoff::serve {
 
 SchemeCache::SchemeCache(Options options) : options_(options) {}
 
-SchemeCache::Lookup SchemeCache::acquire(const Fingerprint& key) {
+SchemeCache::Lookup SchemeCache::acquire(const Fingerprint& key,
+                                         double max_wait_seconds) {
+  const Stopwatch waited;
   const MutexLock lock(mutex_);
   for (;;) {
     auto it = map_.find(key);
@@ -28,10 +31,32 @@ SchemeCache::Lookup SchemeCache::acquire(const Fingerprint& key) {
     // In-flight: ride the owner's solve. The entry cannot be erased
     // while waiters > 0 (publish keeps it, abandon only flips state,
     // eviction skips entries with waiters), so the reference stays
-    // valid across the wait.
+    // valid across the wait. A wait budget turns the park into a
+    // predicate loop over the REMAINING budget: cv_.wait_for does not
+    // report why it woke, so the state re-check plus the stopwatch are
+    // the whole protocol. Timing out is only decided while the entry
+    // is still kSolving — a publish that lands in the same instant
+    // wins and the rider coalesces normally.
     ++entry.waiters;
-    while (entry.state == State::kSolving) cv_.wait(mutex_);
+    bool timed_out = false;
+    while (entry.state == State::kSolving) {
+      if (max_wait_seconds < 0.0) {
+        cv_.wait(mutex_);
+        continue;
+      }
+      const double remaining = max_wait_seconds - waited.elapsed_seconds();
+      if (remaining <= 0.0) {
+        timed_out = true;
+        break;
+      }
+      cv_.wait_for(mutex_, std::chrono::duration<double>(remaining));
+    }
     --entry.waiters;
+    if (timed_out) {
+      ++timeouts_;
+      MECOFF_COUNTER_ADD("serve.cache.wait_timeouts", 1);
+      return Lookup{Outcome::kTimeout, {}};
+    }
     if (entry.state == State::kAbandoned) {
       // Owner bailed out; THIS rider takes over the solve. Remaining
       // riders observe kSolving again and keep waiting on the new
@@ -54,6 +79,7 @@ void SchemeCache::publish(const Fingerprint& key,
   entry.placement = std::move(placement);
   entry.state = State::kReady;
   entry.lru_tick = ++tick_;
+  entry.ready_since.reset();
   ++ready_count_;
   evict_locked();
   cv_.notify_all();
@@ -78,7 +104,14 @@ SchemeCache::Stats SchemeCache::stats() const {
   out.misses = misses_;
   out.coalesced = coalesced_;
   out.evictions = evictions_;
+  out.timeouts = timeouts_;
   out.entries = ready_count_;
+  for (const auto& [key, entry] : map_) {
+    if (entry.state != State::kReady) continue;
+    const double age = entry.ready_since.elapsed_seconds();
+    if (age > out.oldest_entry_age_seconds)
+      out.oldest_entry_age_seconds = age;
+  }
   return out;
 }
 

@@ -18,6 +18,14 @@
 // `identical_user_period` replica compression: N identical in-flight
 // requests cost one solve.
 //
+// Bounded rides: acquire() takes an optional wait budget. A rider
+// whose owner has not published within the budget comes back with
+// Outcome::kTimeout instead of waiting forever — the deadline-budget
+// hook the service's hedged-retry path builds on (the rider then runs
+// its own duplicate solve on another shard; it does NOT own the entry,
+// so it must neither publish nor abandon). A negative budget waits
+// unbounded, preserving the original semantics.
+//
 // Eviction: ready entries form an LRU list; once their count exceeds
 // `capacity`, least-recently-used entries are dropped. In-flight
 // (solving) entries and entries with still-waking riders are pinned —
@@ -33,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stopwatch.hpp"
 #include "common/thread_annotations.hpp"
 #include "mec/scheme.hpp"
 #include "serve/fingerprint.hpp"
@@ -50,6 +59,7 @@ class SchemeCache {
     kHit,        ///< ready entry served directly
     kMiss,       ///< caller owns the solve; publish() or abandon()
     kCoalesced,  ///< rode a concurrent owner's solve
+    kTimeout,    ///< wait budget ran out while the owner was solving
   };
 
   struct Lookup {
@@ -63,7 +73,11 @@ class SchemeCache {
     std::uint64_t misses = 0;
     std::uint64_t coalesced = 0;
     std::uint64_t evictions = 0;
-    std::size_t entries = 0;  ///< ready entries currently resident
+    std::uint64_t timeouts = 0;  ///< riders that gave up within budget
+    std::size_t entries = 0;     ///< ready entries currently resident
+    /// Age of the oldest resident ready entry; 0 when the cache is
+    /// empty. O(entries) scan — stats() is a diagnostics path.
+    double oldest_entry_age_seconds = 0.0;
   };
 
   SchemeCache() : SchemeCache(Options{}) {}
@@ -73,8 +87,15 @@ class SchemeCache {
 
   /// Look up `key`; see Outcome. kMiss makes the caller the owner of
   /// the in-flight solve: it MUST later call publish() or abandon()
-  /// with the same key, or riders wait forever.
-  [[nodiscard]] Lookup acquire(const Fingerprint& key) EXCLUDES(mutex_);
+  /// with the same key, or riders wait forever. `max_wait_seconds`
+  /// bounds how long a rider parks behind an in-flight owner: negative
+  /// waits unbounded, 0 refuses to wait at all (deterministic
+  /// kTimeout if the entry is in flight), positive gives up after that
+  /// long with Outcome::kTimeout. A timed-out rider holds NO ownership
+  /// — it must neither publish() nor abandon().
+  [[nodiscard]] Lookup acquire(const Fingerprint& key,
+                               double max_wait_seconds = -1.0)
+      EXCLUDES(mutex_);
 
   /// Owner completes: store the placement, wake riders, enter the LRU
   /// (possibly evicting older ready entries).
@@ -97,6 +118,8 @@ class SchemeCache {
     std::size_t waiters = 0;
     /// Position in lru_ (valid only when state == kReady).
     std::size_t lru_tick = 0;
+    /// Reset by publish(); drives Stats::oldest_entry_age_seconds.
+    Stopwatch ready_since;
   };
 
   void evict_locked() REQUIRES(mutex_);
@@ -117,6 +140,7 @@ class SchemeCache {
   std::uint64_t misses_ GUARDED_BY(mutex_) = 0;
   std::uint64_t coalesced_ GUARDED_BY(mutex_) = 0;
   std::uint64_t evictions_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t timeouts_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace mecoff::serve

@@ -19,12 +19,41 @@
 //   solve    PipelineOffloader on a single-user system, solver options
 //            fixed at service construction (and folded into the cache
 //            key as a seed fingerprint);
-//   shed     admission control: at most `max_in_flight` requests are
-//            admitted; beyond that the request is NOT dropped — it
-//            degrades to a valid all-local placement immediately
-//            (degrade-don't-die, same philosophy as the solver's
-//            spectral → KL → all-remote chain). The per-request solve
-//            deadline plugs into that chain unchanged.
+//   shed     admission control, two layers. The legacy hard cap: at
+//            most `max_in_flight` requests admitted. On top, optional
+//            BROWNOUT tiers: health-aware progressive shedding driven
+//            by in-flight hysteresis and the sliding p99, shedding a
+//            deterministic fraction (1/4, 1/2, all) instead of
+//            flipping binary. Either way a rejected request is NOT
+//            dropped — it degrades to a valid all-local placement
+//            immediately (degrade-don't-die, same philosophy as the
+//            solver's spectral → KL → all-remote chain).
+//
+// DEADLINE BUDGETS + HEDGED RETRY: a request may carry a wall-clock
+// budget that flows through every stage. A rider parks behind an
+// in-flight owner for at most `hedge_fraction` of its budget; past
+// that it HEDGES — runs its own duplicate solve on another shard
+// (counter serve.solve.hedged) rather than waiting out a stalled
+// owner. Cold solves get the REMAINING budget as their
+// PipelineOptions::deadline. A budget that is exhausted before any
+// solve can start degrades to the valid all-local scheme
+// (serve.solve.deadline_degraded) — never an error, never a hang.
+//
+// DRAIN: begin_drain() flips the service into shutdown mode — every
+// new request is answered immediately with the all-local degrade
+// (counter serve.solve.drained) while in-flight work runs to
+// completion; await_idle() lets the caller wait for the last in-flight
+// request to leave. SIGTERM handling (stop accepting → drain → dump
+// the flight recorder → exit 0) lives in the callers (mecoff_cli,
+// bench_soak); the service just guarantees no request is ever torn.
+//
+// FAULT INJECTION: an optional serve::FaultInjector perturbs the
+// service deterministically (see fault_injector.hpp): killed shards
+// are skipped at dispatch (serve.solve.shard_failovers) and degrade to
+// all-local when none survive; injected per-shard latency stalls cold
+// solves (bounded by the request's remaining budget); armed publish
+// failures turn a publish into an abandon (riders survive by
+// promotion).
 //
 // Degraded results (deadline expired or any fallback cut) are served
 // to their requester but never published to the cache: cached entries
@@ -40,9 +69,10 @@
 //
 // Metrics (all through the obs facade, compiled out with it):
 //   serve.solve.requests / cache_hits / cache_misses / coalesced /
-//   shed / degraded     counters
-//   serve.cache.evictions                            counter
-//   serve.solve.in_flight                            gauge
+//   shed / degraded / hedged / deadline_degraded / drained /
+//   brownout_shed / shard_failovers                  counters
+//   serve.cache.evictions / wait_timeouts / publish_failures  counters
+//   serve.solve.in_flight / brownout_tier            gauges
 //   serve.solve.latency                              quantiles
 //     (p50/p95/p99 on /metrics via the standard exposition)
 #pragma once
@@ -52,10 +82,13 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/thread_annotations.hpp"
 #include "mec/model.hpp"
 #include "mec/offloader.hpp"
 #include "mec/scheme.hpp"
+#include "obs/quantiles.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/fault_injector.hpp"
 #include "serve/fingerprint.hpp"
 #include "serve/scheme_cache.hpp"
 
@@ -67,6 +100,10 @@ namespace mecoff::serve {
 struct SolveRequest {
   mec::UserApp user;
   mec::SystemParams params;
+  /// Per-request wall-clock budget, seconds. Negative = use the
+  /// service's default_deadline_seconds. The budget is deliberately
+  /// NOT part of the cache key (it is a constraint, not an input).
+  double deadline_seconds = -1.0;
 };
 
 /// Where the placement came from.
@@ -75,6 +112,11 @@ enum class SolveSource : std::uint8_t {
   kCacheHit,   ///< served from a ready cache entry
   kCoalesced,  ///< rode a concurrent identical request's solve
   kShed,       ///< admission control: immediate all-local fallback
+               ///< (hard cap, brownout tier, or drain mode)
+  kHedged,     ///< owner blew the rider's wait budget; this request
+               ///< ran its own duplicate solve on another shard
+  kDeadlineDegraded,  ///< budget exhausted (or no shard alive) before
+                      ///< a solve could run: valid all-local scheme
 };
 
 struct SolveResponse {
@@ -89,6 +131,27 @@ struct SolveResponse {
   Fingerprint key;
 };
 
+/// Progressive health-aware shedding. Three tiers above "healthy",
+/// entered on rising in-flight occupancy (and bumped one tier when the
+/// sliding p99 exceeds `p99_bump_seconds`), exited with hysteresis so
+/// the controller does not flap at a threshold. Each tier sheds a
+/// deterministic fraction of arriving requests by admission counter —
+/// no RNG, so soak runs replay exactly.
+struct BrownoutOptions {
+  bool enabled = false;
+  /// Rising in-flight thresholds entering tiers 1/2/3. Tier shedding:
+  /// tier 1 sheds every 4th candidate, tier 2 every 2nd, tier 3 all.
+  std::size_t tier1_in_flight = 64;
+  std::size_t tier2_in_flight = 128;
+  std::size_t tier3_in_flight = 256;
+  /// A tier is left only once in-flight falls below its entry
+  /// threshold times this fraction (classic hysteresis band).
+  double exit_fraction = 0.5;
+  /// Sliding-window p99 latency (seconds) above which the computed
+  /// tier is bumped by one. 0 disables the latency term.
+  double p99_bump_seconds = 0.0;
+};
+
 struct SolveServiceOptions {
   /// Execution engine for cold solves (and their nested parallelism).
   /// null = solve on the calling thread.
@@ -97,12 +160,24 @@ struct SolveServiceOptions {
   /// fingerprint). At least 1.
   std::size_t shards = 4;
   SchemeCache::Options cache;
-  /// Admission limit: requests beyond this many concurrently in-flight
-  /// are shed. SIZE_MAX = unlimited; 0 sheds everything (drain mode).
+  /// Admission hard cap: requests beyond this many concurrently
+  /// in-flight are shed. SIZE_MAX = unlimited; 0 sheds everything.
   std::size_t max_in_flight = SIZE_MAX;
+  /// Health-aware progressive shedding below the hard cap.
+  BrownoutOptions brownout;
+  /// Default per-request budget when SolveRequest::deadline_seconds is
+  /// negative. Negative = unlimited (the seed behavior).
+  double default_deadline_seconds = -1.0;
+  /// Fraction of a request's budget a rider spends waiting on an
+  /// in-flight owner before hedging its own solve. In (0, 1].
+  double hedge_fraction = 0.5;
+  /// Optional deterministic fault injection; not owned. The injector
+  /// must outlive the service. null = no faults.
+  FaultInjector* injector = nullptr;
   /// Solver configuration, fixed for the service's lifetime and folded
   /// into every cache key. `pool` and `identical_user_period` are
-  /// overridden internally. The `deadline` applies per cold solve.
+  /// overridden internally; `deadline` is tightened per request to the
+  /// remaining budget.
   mec::PipelineOptions solver;
 };
 
@@ -113,8 +188,8 @@ class SolveService {
   SolveService& operator=(const SolveService&) = delete;
 
   /// Serve one request. Fails only on malformed input (shape mismatch,
-  /// invalid params); overload and solver degradation produce valid
-  /// degraded responses instead of errors.
+  /// invalid params); overload, faults and solver degradation produce
+  /// valid degraded responses instead of errors.
   [[nodiscard]] Result<SolveResponse> solve(const SolveRequest& request);
 
   /// Runtime admission knob (load shedding lever for operators):
@@ -123,13 +198,33 @@ class SolveService {
     admission_limit_.store(max_in_flight, std::memory_order_relaxed);
   }
 
+  /// Enter drain mode: every subsequent request degrades to all-local
+  /// immediately (source kShed, counted as drained); in-flight work
+  /// finishes normally. Irreversible by design — drain precedes exit.
+  void begin_drain() {
+    draining_.store(true, std::memory_order_release);
+  }
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Block until no request is in flight, polling; true on idle, false
+  /// if `timeout_seconds` elapsed first. Call after begin_drain().
+  [[nodiscard]] bool await_idle(double timeout_seconds) const;
+
   struct Stats {
     std::uint64_t requests = 0;
-    std::uint64_t solved = 0;     ///< cold solves executed
+    std::uint64_t solved = 0;  ///< cold solves executed (hedges incl.)
     std::uint64_t cache_hits = 0;
     std::uint64_t coalesced = 0;
-    std::uint64_t shed = 0;
+    std::uint64_t shed = 0;     ///< hard-cap sheds
     std::uint64_t degraded = 0;
+    std::uint64_t hedged = 0;   ///< duplicate solves after owner stall
+    std::uint64_t deadline_degraded = 0;
+    std::uint64_t drained = 0;  ///< requests answered in drain mode
+    std::uint64_t brownout_shed = 0;
+    std::uint64_t shard_failovers = 0;  ///< killed shard skipped
+    int brownout_tier = 0;      ///< current tier (0 = healthy)
     SchemeCache::Stats cache;
   };
   [[nodiscard]] Stats stats() const;
@@ -139,8 +234,26 @@ class SolveService {
   [[nodiscard]] Fingerprint config_seed() const { return config_seed_; }
 
  private:
+  /// Execute one cold solve (owner or hedge), honoring shard kills,
+  /// injected latency and the remaining budget. `shard_offset` rotates
+  /// the preferred shard (hedges use 1 to avoid the owner's shard).
   [[nodiscard]] std::vector<mec::Placement> run_cold_solve(
-      const SolveRequest& request, const Fingerprint& key, bool& degraded);
+      const SolveRequest& request, const Fingerprint& key,
+      double remaining_budget_seconds, std::size_t shard_offset,
+      bool& degraded, bool& no_shard_alive);
+
+  /// Brownout controller step at admission; true = shed this request.
+  [[nodiscard]] bool brownout_shed_decision(std::size_t in_flight_now)
+      EXCLUDES(brownout_mutex_);
+
+  /// Finish a response: in-flight decrement, latency record, p99
+  /// refresh for the brownout controller.
+  void finish(SolveResponse& response, double latency_seconds,
+              bool was_admitted);
+
+  [[nodiscard]] SolveResponse degrade_response(const SolveRequest& request,
+                                               const Fingerprint& key,
+                                               SolveSource source) const;
 
   SolveServiceOptions options_;
   Fingerprint config_seed_;
@@ -148,11 +261,27 @@ class SolveService {
   /// One task group per shard, minted from the pool at construction.
   std::vector<parallel::ThreadPool::TaskGroup> shard_groups_;
   std::atomic<std::size_t> admission_limit_;
+  std::atomic<bool> draining_{false};
   std::atomic<std::size_t> in_flight_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> solved_{0};
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> hedged_{0};
+  std::atomic<std::uint64_t> deadline_degraded_{0};
+  std::atomic<std::uint64_t> drained_{0};
+  std::atomic<std::uint64_t> brownout_shed_{0};
+  std::atomic<std::uint64_t> shard_failovers_{0};
+
+  /// Brownout controller state. The latency window is owned directly
+  /// (not via the registry) so brownout works with MECOFF_OBS=OFF too —
+  /// the Quantiles class stays compiled in, only the macros vanish.
+  mutable Mutex brownout_mutex_;
+  obs::Quantiles latency_window_ GUARDED_BY(brownout_mutex_);
+  std::uint64_t completions_ GUARDED_BY(brownout_mutex_) = 0;
+  double p99_seconds_ GUARDED_BY(brownout_mutex_) = 0.0;
+  int brownout_tier_ GUARDED_BY(brownout_mutex_) = 0;
+  std::uint64_t brownout_candidates_ GUARDED_BY(brownout_mutex_) = 0;
 };
 
 }  // namespace mecoff::serve

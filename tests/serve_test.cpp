@@ -1,7 +1,9 @@
 // Tests for the online solve service: canonical request fingerprints,
-// the single-flight scheme cache, and SolveService end-to-end (cache
-// hits bit-identical to cold solves, coalescing under concurrency,
-// admission-control shedding).
+// the single-flight scheme cache (bounded rides included), the
+// deterministic FaultInjector, and SolveService end-to-end (cache hits
+// bit-identical to cold solves, coalescing under concurrency,
+// admission-control shedding, deadline budgets with hedged retries,
+// brownout tiers with hysteresis, and graceful drain).
 //
 // Everything here observes behavior through return values and
 // SolveService::stats() (plain atomics), so the suite runs identically
@@ -13,6 +15,7 @@
 #include <chrono>
 #include <cstddef>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -21,9 +24,11 @@
 #include "mec/offloader.hpp"
 #include "mec/scheme.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/fault_injector.hpp"
 #include "serve/fingerprint.hpp"
 #include "serve/scheme_cache.hpp"
 #include "serve/solve_service.hpp"
+#include "sim/fault_script.hpp"
 
 namespace mecoff::serve {
 namespace {
@@ -402,6 +407,476 @@ TEST(SolveServiceTest, MalformedRequestIsAnErrorNotACrash) {
   EXPECT_FALSE(service.solve(bad_params).ok());
 
   EXPECT_EQ(service.stats().solved, 0u);
+}
+
+// ---- SchemeCache bounded rides --------------------------------------------
+
+TEST(SchemeCacheTest, ZeroWaitRiderTimesOutWithoutTakingOwnership) {
+  SchemeCache cache;
+  const Fingerprint key{7, 7};
+  ASSERT_EQ(cache.acquire(key).outcome, SchemeCache::Outcome::kMiss);
+
+  // max_wait 0 refuses to park: deterministic timeout, same thread, no
+  // deadlock — and NO ownership transfer (the rider must not publish
+  // or abandon).
+  const SchemeCache::Lookup timed = cache.acquire(key, 0.0);
+  EXPECT_EQ(timed.outcome, SchemeCache::Outcome::kTimeout);
+  EXPECT_TRUE(timed.placement.empty());
+  EXPECT_EQ(cache.stats().timeouts, 1u);
+
+  // The original owner's protocol is undisturbed by the timed-out
+  // rider: its publish lands and the entry becomes a normal hit.
+  cache.publish(key, placement_of(4, 2));
+  const SchemeCache::Lookup hit = cache.acquire(key);
+  EXPECT_EQ(hit.outcome, SchemeCache::Outcome::kHit);
+  EXPECT_EQ(hit.placement, placement_of(4, 2));
+}
+
+TEST(SchemeCacheTest, BoundedRiderGivesUpWhileUnboundedRiderRides) {
+  SchemeCache cache;
+  const Fingerprint key{8, 8};
+  ASSERT_EQ(cache.acquire(key).outcome, SchemeCache::Outcome::kMiss);
+
+  SchemeCache::Lookup bounded;
+  SchemeCache::Lookup unbounded;
+  std::thread impatient([&] { bounded = cache.acquire(key, 0.01); });
+  std::thread patient([&] { unbounded = cache.acquire(key); });
+  // Publish long after the bounded rider's 10 ms budget has lapsed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  cache.publish(key, placement_of(5, 3));
+  impatient.join();
+  patient.join();
+
+  EXPECT_EQ(bounded.outcome, SchemeCache::Outcome::kTimeout);
+  EXPECT_TRUE(bounded.placement.empty());
+  EXPECT_EQ(unbounded.outcome, SchemeCache::Outcome::kCoalesced);
+  EXPECT_EQ(unbounded.placement, placement_of(5, 3));
+
+  const SchemeCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.timeouts, 1u);
+  EXPECT_EQ(stats.coalesced, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(SchemeCacheTest, StatsTrackOldestReadyEntryAge) {
+  SchemeCache cache;
+  EXPECT_EQ(cache.stats().oldest_entry_age_seconds, 0.0);  // empty
+  const Fingerprint key{6, 6};
+  ASSERT_EQ(cache.acquire(key).outcome, SchemeCache::Outcome::kMiss);
+  EXPECT_EQ(cache.stats().oldest_entry_age_seconds, 0.0);  // not ready
+  cache.publish(key, placement_of(3, 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(cache.stats().oldest_entry_age_seconds, 0.01);
+}
+
+// ---- FaultInjector --------------------------------------------------------
+
+TEST(FaultInjectorTest, RequestSequenceScheduleFiresDeterministically) {
+  FaultInjector::Options opts;
+  opts.shards = 2;
+  opts.latency_scale_seconds = 0.1;
+  sim::FaultScript script;
+  script.crash_server(2, 0)
+      .degrade_link(3, 1, 0.5)
+      .disconnect_user(4, 0)
+      .recover_server(5, 0);
+
+  FaultInjector a(opts);
+  a.arm(script);
+  EXPECT_EQ(a.stats().events_pending, 4u);
+
+  EXPECT_EQ(a.begin_request(), 1u);
+  EXPECT_FALSE(a.shard_killed(0));
+  EXPECT_EQ(a.begin_request(), 2u);  // crash 0 fires exactly here
+  EXPECT_TRUE(a.shard_killed(0));
+  EXPECT_FALSE(a.all_shards_killed());
+  EXPECT_EQ(a.begin_request(), 3u);  // degrade 1 @ severity 0.5
+  EXPECT_DOUBLE_EQ(a.injected_latency_seconds(1), 0.05);
+  EXPECT_EQ(a.injected_latency_seconds(0), 0.0);
+  EXPECT_EQ(a.begin_request(), 4u);  // disconnect arms ONE publish steal
+  EXPECT_TRUE(a.steal_publish());
+  EXPECT_FALSE(a.steal_publish());  // one-shot
+  EXPECT_EQ(a.begin_request(), 5u);  // recover 0
+  EXPECT_FALSE(a.shard_killed(0));
+
+  const FaultInjector::Stats stats = a.stats();
+  EXPECT_EQ(stats.requests_seen, 5u);
+  EXPECT_EQ(stats.events_applied, 4u);
+  EXPECT_EQ(stats.events_pending, 0u);
+  EXPECT_EQ(stats.publish_failures, 1u);
+  EXPECT_EQ(stats.shards_killed, 0u);
+  EXPECT_EQ(a.trace().size(), 4u);
+
+  // Replay: the same (script, request stream) pair yields the exact
+  // same applied-event trace — the property the soak trajectory and
+  // the committed baselines rest on.
+  FaultInjector b(opts);
+  b.arm(script);
+  for (int i = 0; i < 5; ++i) (void)b.begin_request();
+  EXPECT_EQ(a.trace(), b.trace());
+}
+
+TEST(FaultInjectorTest, TargetsFoldModuloShards) {
+  FaultInjector::Options opts;
+  opts.shards = 2;
+  FaultInjector injector(opts);
+  sim::FaultScript script;
+  script.crash_server(1, 5);  // 5 % 2 == shard 1
+  injector.arm(script);
+  (void)injector.begin_request();
+  EXPECT_TRUE(injector.shard_killed(1));
+  EXPECT_TRUE(injector.shard_killed(3));  // queries fold too
+  EXPECT_FALSE(injector.shard_killed(0));
+}
+
+TEST(FaultInjectorTest, ArmResetsSequenceAndStandingFaults) {
+  FaultInjector::Options opts;
+  opts.shards = 2;
+  opts.latency_scale_seconds = 0.1;
+  FaultInjector injector(opts);
+  sim::FaultScript script;
+  script.crash_server(1, 0).degrade_link(1, 1, 0.5).disconnect_user(1, 0);
+  injector.arm(script);
+  (void)injector.begin_request();
+  ASSERT_TRUE(injector.shard_killed(0));
+  ASSERT_DOUBLE_EQ(injector.injected_latency_seconds(1), 0.05);
+
+  // Re-arming (here: with an empty script) clears every standing
+  // fault, the pending publish steal, the counters and the trace.
+  injector.arm(sim::FaultScript{});
+  const FaultInjector::Stats stats = injector.stats();
+  EXPECT_EQ(stats.requests_seen, 0u);
+  EXPECT_EQ(stats.events_applied, 0u);
+  EXPECT_EQ(stats.events_pending, 0u);
+  EXPECT_EQ(stats.publish_failures, 0u);
+  EXPECT_EQ(stats.shards_killed, 0u);
+  EXPECT_FALSE(injector.shard_killed(0));
+  EXPECT_EQ(injector.injected_latency_seconds(1), 0.0);
+  EXPECT_FALSE(injector.steal_publish());
+  EXPECT_TRUE(injector.trace().empty());
+  EXPECT_EQ(injector.begin_request(), 1u);  // sequence restarted
+}
+
+// ---- Deadline budgets, hedging, faults, brownout, drain -------------------
+
+TEST(SolveServiceTest, ZeroBudgetDegradesToValidAllLocalAndCachesNothing) {
+  SolveService service;  // no pool: inline solves
+  SolveRequest request{make_app(130.0, 4), mec::SystemParams{}};
+  request.deadline_seconds = 0.0;
+
+  const Result<SolveResponse> r = service.solve(request);
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r.value().source, SolveSource::kDeadlineDegraded);
+  EXPECT_TRUE(r.value().degraded);
+  ASSERT_EQ(r.value().placement.size(), request.user.graph.num_nodes());
+  for (const mec::Placement p : r.value().placement)
+    EXPECT_EQ(p, mec::Placement::kLocal);
+
+  // Budget exhaustion is never an error and never pollutes the cache.
+  const SolveService::Stats stats = service.stats();
+  EXPECT_EQ(stats.deadline_degraded, 1u);
+  EXPECT_EQ(stats.solved, 0u);
+  EXPECT_EQ(stats.cache.entries, 0u);
+
+  // The same request without a budget cold-solves at full quality.
+  SolveRequest unlimited = request;
+  unlimited.deadline_seconds = -1.0;
+  const Result<SolveResponse> full = service.solve(unlimited);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value().source, SolveSource::kSolved);
+  EXPECT_FALSE(full.value().degraded);
+
+  // The service default flows the same way when the request does not
+  // carry its own budget.
+  SolveServiceOptions strict;
+  strict.default_deadline_seconds = 0.0;
+  SolveService strict_service(strict);
+  SolveRequest plain{make_app(130.0, 4), mec::SystemParams{}};
+  const Result<SolveResponse> d = strict_service.solve(plain);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().source, SolveSource::kDeadlineDegraded);
+}
+
+TEST(SolveServiceTest, RiderHedgesPastStalledOwnerBitIdentical) {
+  parallel::ThreadPool pool(4);
+  FaultInjector::Options fopts;
+  fopts.shards = 2;
+  fopts.latency_scale_seconds = 0.5;
+  FaultInjector injector(fopts);
+  sim::FaultScript script;
+  // 0.4 s injected stall on BOTH shards from request 1 on: the owner's
+  // cold solve is pinned down long past the rider's wait budget.
+  script.degrade_link(1, 0, 0.8).degrade_link(1, 1, 0.8);
+  injector.arm(script);
+
+  SolveServiceOptions options;
+  options.pool = &pool;
+  options.shards = 2;
+  options.hedge_fraction = 0.25;
+  options.injector = &injector;
+  SolveService service(options);
+
+  const SolveRequest request{make_app(150.0, 5), mec::SystemParams{}};
+  mec::MecSystem system;
+  system.params = request.params;
+  system.users.push_back(request.user);
+  mec::PipelineOffloader reference;
+  const std::vector<mec::Placement> expected =
+      reference.solve(system).placement.front();
+
+  // Owner: unlimited budget, eats the full injected stall.
+  std::future<Result<SolveResponse>> owner = std::async(
+      std::launch::async, [&] { return service.solve(request); });
+  // Rider: budget 0.8 s, so it parks at most 0.2 s (hedge_fraction)
+  // behind the owner — far less than the 0.4 s stall — then hedges.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  SolveRequest rider_request = request;
+  rider_request.deadline_seconds = 0.8;
+  const Result<SolveResponse> rider = service.solve(rider_request);
+  const Result<SolveResponse> owner_response = owner.get();
+
+  ASSERT_TRUE(owner_response.ok()) << owner_response.error().message;
+  EXPECT_EQ(owner_response.value().source, SolveSource::kSolved);
+  EXPECT_FALSE(owner_response.value().degraded);
+  EXPECT_EQ(owner_response.value().placement, expected);
+
+  ASSERT_TRUE(rider.ok()) << rider.error().message;
+  EXPECT_EQ(rider.value().source, SolveSource::kHedged);
+  EXPECT_FALSE(rider.value().degraded);
+  // The hedge's duplicate solve is bit-identical to the reference.
+  EXPECT_EQ(rider.value().placement, expected);
+
+  const SolveService::Stats stats = service.stats();
+  EXPECT_EQ(stats.hedged, 1u);
+  EXPECT_EQ(stats.solved, 2u);  // owner + hedge both ran cold solves
+  EXPECT_EQ(stats.cache.timeouts, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+
+  // The owner's publish survived the hedge: next request is a hit.
+  const Result<SolveResponse> hot = service.solve(request);
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(hot.value().source, SolveSource::kCacheHit);
+  EXPECT_EQ(hot.value().placement, expected);
+}
+
+TEST(SolveServiceTest, StolenPublishServesRequesterButNeverCaches) {
+  FaultInjector injector;
+  sim::FaultScript script;
+  script.disconnect_user(1, 0);  // one publish failure, armed at req 1
+  injector.arm(script);
+  SolveServiceOptions options;
+  options.injector = &injector;
+  SolveService service(options);
+
+  const SolveRequest request{make_app(160.0, 5), mec::SystemParams{}};
+  mec::MecSystem system;
+  system.params = request.params;
+  system.users.push_back(request.user);
+  mec::PipelineOffloader reference;
+  const std::vector<mec::Placement> expected =
+      reference.solve(system).placement.front();
+
+  // The requester still gets its full-quality placement; only the
+  // cache misses out ("result lost on the way back").
+  const Result<SolveResponse> first = service.solve(request);
+  ASSERT_TRUE(first.ok()) << first.error().message;
+  EXPECT_EQ(first.value().source, SolveSource::kSolved);
+  EXPECT_FALSE(first.value().degraded);
+  EXPECT_EQ(first.value().placement, expected);
+  EXPECT_EQ(service.stats().cache.entries, 0u);
+  EXPECT_EQ(injector.stats().publish_failures, 1u);
+
+  // The steal was one-shot: the next cold solve publishes normally.
+  const Result<SolveResponse> second = service.solve(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().source, SolveSource::kSolved);
+  EXPECT_EQ(service.stats().cache.entries, 1u);
+
+  const Result<SolveResponse> third = service.solve(request);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.value().source, SolveSource::kCacheHit);
+  EXPECT_EQ(third.value().placement, expected);
+  EXPECT_EQ(service.stats().cache.misses, 2u);
+}
+
+TEST(SolveServiceTest, KilledShardFailsOverFullKillDegradesThenRecovers) {
+  const SolveRequest request{make_app(170.0, 4), mec::SystemParams{}};
+  mec::MecSystem system;
+  system.params = request.params;
+  system.users.push_back(request.user);
+  mec::PipelineOffloader reference;
+  const std::vector<mec::Placement> expected =
+      reference.solve(system).placement.front();
+
+  // Discover the request's preferred shard with a fault-free probe —
+  // shard choice is keyed by fingerprint, so this is deterministic.
+  SolveServiceOptions plain;
+  plain.shards = 2;
+  SolveService probe(plain);
+  const Result<SolveResponse> cold = probe.solve(request);
+  ASSERT_TRUE(cold.ok());
+  const std::size_t preferred =
+      static_cast<std::size_t>(cold.value().key.lo) % 2;
+
+  // Kill exactly the preferred shard: the solve fails over to the
+  // other one and the placement is still bit-identical.
+  FaultInjector::Options fopts;
+  fopts.shards = 2;
+  FaultInjector injector(fopts);
+  sim::FaultScript one_dead;
+  one_dead.crash_server(1, preferred);
+  injector.arm(one_dead);
+  SolveServiceOptions options;
+  options.shards = 2;
+  options.injector = &injector;
+  SolveService service(options);
+  const Result<SolveResponse> failover = service.solve(request);
+  ASSERT_TRUE(failover.ok()) << failover.error().message;
+  EXPECT_EQ(failover.value().source, SolveSource::kSolved);
+  EXPECT_FALSE(failover.value().degraded);
+  EXPECT_EQ(failover.value().placement, expected);
+  EXPECT_EQ(service.stats().shard_failovers, 1u);
+
+  // Every shard down: degrade to valid all-local — never error, never
+  // hang, never cache.
+  sim::FaultScript all_dead;
+  all_dead.crash_server(1, 0).crash_server(1, 1);
+  injector.arm(all_dead);
+  const SolveRequest other{make_app(175.0, 4), mec::SystemParams{}};
+  const Result<SolveResponse> dead = service.solve(other);
+  ASSERT_TRUE(dead.ok());
+  EXPECT_EQ(dead.value().source, SolveSource::kDeadlineDegraded);
+  EXPECT_TRUE(dead.value().degraded);
+  for (const mec::Placement p : dead.value().placement)
+    EXPECT_EQ(p, mec::Placement::kLocal);
+  EXPECT_EQ(service.stats().deadline_degraded, 1u);
+  EXPECT_EQ(service.stats().cache.entries, 1u);  // only the first app
+
+  // Recovery: a bare re-arm clears the kills; service is whole again.
+  injector.arm(sim::FaultScript{});
+  const Result<SolveResponse> revived = service.solve(other);
+  ASSERT_TRUE(revived.ok());
+  EXPECT_EQ(revived.value().source, SolveSource::kSolved);
+  EXPECT_FALSE(revived.value().degraded);
+}
+
+TEST(SolveServiceTest, BrownoutEntersOnP99ShedsDeterministicallyRecovers) {
+  // Single-threaded on purpose: occupancy is always 0 at admission, so
+  // tier entry is driven purely by the p99 bump — which makes the shed
+  // pattern exactly reproducible (no scheduling dependence).
+  FaultInjector::Options fopts;
+  fopts.shards = 2;
+  fopts.latency_scale_seconds = 0.01;
+  FaultInjector injector(fopts);
+  sim::FaultScript script;
+  script.degrade_link(1, 0, 0.5).degrade_link(1, 1, 0.5);  // 5 ms/solve
+  injector.arm(script);
+
+  SolveServiceOptions options;  // no pool: inline solves
+  options.shards = 2;
+  options.injector = &injector;
+  options.brownout.enabled = true;
+  options.brownout.tier1_in_flight = 8;  // unreachable single-threaded
+  options.brownout.tier2_in_flight = 16;
+  options.brownout.tier3_in_flight = 32;
+  options.brownout.p99_bump_seconds = 0.001;
+  SolveService service(options);
+
+  // 32 cold solves at >= 5 ms each: the controller refreshes its p99
+  // on the 32nd completion, after which it exceeds the 1 ms bump.
+  for (int i = 0; i < 32; ++i) {
+    SolveRequest request{make_app(100.0 + static_cast<double>(i)),
+                         mec::SystemParams{}};
+    const Result<SolveResponse> r = service.solve(request);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().source, SolveSource::kSolved);
+  }
+  EXPECT_EQ(service.stats().brownout_shed, 0u);
+
+  // Tier 1 sheds every 4th candidate by admission counter: among the
+  // next 8 requests exactly candidates 0 and 4 are shed — and a shed
+  // response is still a valid all-local placement.
+  const SolveRequest hot{make_app(100.0), mec::SystemParams{}};
+  std::size_t shed_seen = 0;
+  for (int i = 0; i < 8; ++i) {
+    const Result<SolveResponse> r = service.solve(hot);
+    ASSERT_TRUE(r.ok());
+    if (r.value().source == SolveSource::kShed) {
+      ++shed_seen;
+      EXPECT_TRUE(r.value().degraded);
+      ASSERT_EQ(r.value().placement.size(), hot.user.graph.num_nodes());
+      for (const mec::Placement p : r.value().placement)
+        EXPECT_EQ(p, mec::Placement::kLocal);
+    }
+  }
+  EXPECT_EQ(shed_seen, 2u);
+  EXPECT_EQ(service.stats().brownout_shed, 2u);
+  EXPECT_EQ(service.stats().brownout_tier, 1);
+
+  // Thousands of fast cache hits dilute the 32 slow samples out of the
+  // sliding p99; once the bump clears, hysteresis releases the tier
+  // (occupancy 0 is far below the tier-1 exit band) and shedding stops.
+  for (int i = 0; i < 4000; ++i) (void)service.solve(hot);
+  const std::uint64_t shed_before = service.stats().brownout_shed;
+  for (int i = 0; i < 8; ++i) {
+    const Result<SolveResponse> r = service.solve(hot);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r.value().source, SolveSource::kShed);
+  }
+  EXPECT_EQ(service.stats().brownout_shed, shed_before);
+  EXPECT_EQ(service.stats().brownout_tier, 0);
+}
+
+TEST(SolveServiceTest, DrainAnswersNewImmediatelyAndFinishesInFlight) {
+  parallel::ThreadPool pool(2);
+  FaultInjector::Options fopts;
+  fopts.shards = 2;
+  fopts.latency_scale_seconds = 0.2;
+  FaultInjector injector(fopts);
+  sim::FaultScript script;
+  script.degrade_link(1, 0, 0.5).degrade_link(1, 1, 0.5);  // 0.1 s stall
+  injector.arm(script);
+
+  SolveServiceOptions options;
+  options.pool = &pool;
+  options.shards = 2;
+  options.injector = &injector;
+  SolveService service(options);
+
+  const SolveRequest request{make_app(150.0, 5), mec::SystemParams{}};
+  mec::MecSystem system;
+  system.params = request.params;
+  system.users.push_back(request.user);
+  mec::PipelineOffloader reference;
+  const std::vector<mec::Placement> expected =
+      reference.solve(system).placement.front();
+
+  std::future<Result<SolveResponse>> in_flight = std::async(
+      std::launch::async, [&] { return service.solve(request); });
+  // Wait until the in-flight request OWNS the cache entry (the miss is
+  // counted after admission), so drain provably starts with work live.
+  while (service.stats().cache.misses == 0) std::this_thread::yield();
+  service.begin_drain();
+  EXPECT_TRUE(service.draining());
+
+  // New requests are answered immediately with the degrade — they do
+  // not queue behind the drain.
+  const Result<SolveResponse> late = service.solve(request);
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(late.value().source, SolveSource::kShed);
+  EXPECT_TRUE(late.value().degraded);
+  EXPECT_EQ(service.stats().drained, 1u);
+
+  // The admitted request runs to completion at full quality: drain
+  // never tears an in-flight response.
+  const Result<SolveResponse> finished = in_flight.get();
+  ASSERT_TRUE(finished.ok()) << finished.error().message;
+  EXPECT_EQ(finished.value().source, SolveSource::kSolved);
+  EXPECT_FALSE(finished.value().degraded);
+  EXPECT_EQ(finished.value().placement, expected);
+
+  EXPECT_TRUE(service.await_idle(10.0));
+  EXPECT_EQ(service.stats().solved, 1u);
 }
 
 TEST(SolveServiceTest, DifferentSolverConfigsUseDifferentKeys) {

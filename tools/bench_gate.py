@@ -1,24 +1,29 @@
 #!/usr/bin/env python3
-"""bench_gate.py — regression gate over a bench's `[metrics]` JSON line.
+"""bench_gate.py — regression gate over a bench's machine-readable line.
 
-The benches print one machine-readable line per run:
+The benches print one machine-readable line per run — either a metrics
+registry dump or (bench_soak) a chaos-soak trajectory:
 
     [metrics] {"counters":{...},"gauges":{...},"histograms":{...},...}
+    [trajectory] {"schema":"mecoff.soak_trajectory.v1","phases":[...],
+                  "totals":{...},"invariants_zero":[...]}
 
-This gate flattens that document into `kind.name[.field]` scalars and
-compares them against a committed baseline with per-metric tolerance
-bands, so structural drift (a counter that should be bit-stable across
-machines changing value, an instrument disappearing) fails CI while
-wall-clock noise does not.
+This gate flattens the document into dotted scalars (`kind.name[.field]`
+for metrics, `phases.<name>.<field>` / `totals.<field>` for a
+trajectory) and compares them against a committed baseline with
+per-metric tolerance bands, so structural drift (a counter that should
+be bit-stable across machines changing value, an instrument or phase
+disappearing) fails CI while wall-clock noise does not.
 
 Usage:
     bench_gate.py <bench-output-or-json> <baseline.json>
     bench_gate.py --update <bench-output-or-json> <baseline.json>
 
 The first positional argument is either a file containing raw bench
-stdout (the LAST `[metrics]` line wins) or a bare metrics JSON document
-(e.g. a `*.metrics.json` written via MECOFF_BENCH_CSV_DIR). `-` reads
-stdin.
+stdout (the LAST `[trajectory]` line wins when present, else the LAST
+`[metrics]` line) or a bare JSON document (a `*.metrics.json` written
+via MECOFF_BENCH_CSV_DIR, or a trajectory written via `out=`). `-`
+reads stdin.
 
 Baseline schema (mecoff.bench_gate.v1):
 
@@ -34,11 +39,20 @@ candidate always fail. Candidate metrics missing from the baseline are
 reported but pass (new instruments should not break old gates); commit
 a refreshed baseline to start tracking them.
 
+A trajectory document's `invariants_zero` list names flattened keys
+that must be EXACTLY zero in the candidate (unanswered requests,
+placement mismatches, wedged responses). They are enforced on every
+run, `--update` included — a broken soak can never become the baseline.
+
 `--update` rewrites the baseline from the candidate, assigning
 tolerances by the default policy: timing-like metrics (names containing
 "seconds", "latency", "rate", or any histogram/quantile `.sum`,
-quantile `.p*` / `.window`) are presence-only; everything else is
-exact. Exit codes: 0 pass, 1 gate failure, 2 usage/input error.
+quantile `.p*` / `.window`) are presence-only, as is every trajectory
+entry except the load-shape and invariant counts (requests, clients,
+errors, mismatches, wedged, unanswered — the soak's timing-dependent
+provenance splits may drift, its correctness counts may not);
+everything else is exact. Exit codes: 0 pass, 1 gate failure, 2
+usage/input error.
 """
 
 import json
@@ -46,6 +60,7 @@ import re
 import sys
 
 SCHEMA = "mecoff.bench_gate.v1"
+TRAJECTORY_SCHEMA = "mecoff.soak_trajectory.v1"
 EPS = 1e-12
 
 # Metrics whose VALUE is machine-dependent: compared for presence only.
@@ -55,25 +70,46 @@ _TIMING_PATTERN = re.compile(
     r"|(^quantiles\..*\.(p50|p95|p99|window)$)"
 )
 
+# Trajectory entries that are deterministic by construction (the load
+# shape) or invariants: compared exactly. The rest (hit/coalesced/hedge
+# splits, percentiles, wall clocks) are scheduling-dependent.
+_TRAJECTORY_EXACT = re.compile(
+    r"(^|\.)(requests|clients|errors|mismatches|wedged|unanswered)$"
+)
+
 
 def read_metrics(path):
-    """Load a metrics document from bench stdout or a bare JSON file."""
+    """Load a metrics/trajectory document from bench stdout or JSON."""
     text = sys.stdin.read() if path == "-" else open(path).read()
     stripped = text.lstrip()
     if stripped.startswith("{"):
         return json.loads(stripped)
     doc = None
-    for line in text.splitlines():
-        line = line.strip()
-        if line.startswith("[metrics] {"):
-            doc = line[len("[metrics] "):]
+    # A soak bench prints both lines; the trajectory is its contract.
+    for tag in ("[trajectory] {", "[metrics] {"):
+        for line in text.splitlines():
+            line = line.strip()
+            if line.startswith(tag):
+                doc = line[len(tag) - 1:]
+        if doc is not None:
+            break
     if doc is None:
-        raise ValueError(f"no [metrics] line found in {path}")
+        raise ValueError(f"no [metrics] or [trajectory] line in {path}")
     return json.loads(doc)
 
 
 def flatten(doc):
-    """Metrics JSON -> {'kind.name[.field]': scalar}."""
+    """Metrics or trajectory JSON -> {'dotted.key': scalar}."""
+    if doc.get("schema") == TRAJECTORY_SCHEMA:
+        flat = {}
+        for phase in doc.get("phases", []):
+            name = phase["name"]
+            for field, value in phase.items():
+                if field != "name":
+                    flat[f"phases.{name}.{field}"] = value
+        for field, value in doc.get("totals", {}).items():
+            flat[f"totals.{field}"] = value
+        return flat
     flat = {}
     for name, value in doc.get("counters", {}).items():
         flat[f"counters.{name}"] = value
@@ -94,7 +130,21 @@ def flatten(doc):
 
 def default_tolerance(key):
     """None (presence-only) for timing-like metrics, exact otherwise."""
+    if key.startswith("phases.") or key.startswith("totals."):
+        return 0.0 if _TRAJECTORY_EXACT.search(key) else None
     return None if _TIMING_PATTERN.search(key) else 0.0
+
+
+def check_invariants(doc, flat):
+    """Zero-invariant violations as failure strings (trajectory only)."""
+    failures = []
+    for key in doc.get("invariants_zero", []):
+        value = flat.get(key)
+        if value is None:
+            failures.append(f"{key}: invariant key missing from candidate")
+        elif value != 0:
+            failures.append(f"{key}: invariant violated ({value} != 0)")
+    return failures
 
 
 def update_baseline(flat, path):
@@ -113,8 +163,8 @@ def update_baseline(flat, path):
 def run_gate(flat, baseline_path):
     baseline = json.load(open(baseline_path))
     if baseline.get("schema") != SCHEMA:
-        print(f"bench_gate: {baseline_path} is not a {SCHEMA} document",
-              file=sys.stderr)
+        print(f"bench_gate: {baseline_path} is not a {SCHEMA} document; "
+              f"run with --update to recreate it", file=sys.stderr)
         return 2
     failures = []
     checked = skipped = 0
@@ -154,16 +204,28 @@ def main(argv):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     try:
-        flat = flatten(read_metrics(args[0]))
+        doc = read_metrics(args[0])
+        flat = flatten(doc)
     except (OSError, ValueError, KeyError) as err:
         print(f"bench_gate: cannot read candidate: {err}", file=sys.stderr)
         return 2
+    # Invariants gate every run, --update included: a soak run with
+    # unanswered/mismatched/wedged requests can never become a baseline.
+    violations = check_invariants(doc, flat)
+    if violations:
+        print(f"bench_gate: FAIL ({len(violations)} zero-invariant "
+              f"violations)")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
     if update:
         return update_baseline(flat, args[1])
     try:
         return run_gate(flat, args[1])
     except (OSError, ValueError, KeyError) as err:
-        print(f"bench_gate: cannot read baseline: {err}", file=sys.stderr)
+        print(f"bench_gate: cannot read baseline: {err}; run with "
+              f"--update to create it from this candidate",
+              file=sys.stderr)
         return 2
 
 

@@ -28,18 +28,34 @@
 //   mecoff_cli serve-solve <app.dsl> [port=P threads=T shards=S
 //                                     cache=N max_inflight=M clients=C
 //                                     selfcheck=K duration=secs
-//                                     ...solve params]
+//                                     deadline_budget=secs hedge=F
+//                                     brownout=N brownout_p99=secs
+//                                     faults=script latency_scale=secs
+//                                     dump_dir=DIR ...solve params]
 //       online solve service (SolveService): POST /solve takes an app
 //       DSL body (empty body = the positional app) and answers with
 //       the placement plus its cache provenance (hit/miss/coalesced/
-//       shed); the four telemetry routes are mounted alongside.
+//       shed/hedged/deadline); the four telemetry routes are mounted
+//       alongside, /varz gaining a scheme_cache health section.
 //       Requests are sharded over a T-worker pool and coalesced
 //       through the content-addressed scheme cache (capacity N);
 //       max_inflight=M arms admission control. selfcheck=K skips the
 //       wait loop: C in-process client threads issue K requests,
 //       verify bit-identity against a cold solve, and exit — the
 //       self-contained smoke mode CI and ctest drive. duration=secs
-//       (0 = until SIGINT) bounds the serving window otherwise.
+//       (0 = until a signal) bounds the serving window otherwise.
+//       deadline_budget= sets the default per-request budget (riders
+//       hedge a duplicate solve after hedge=F of it; an exhausted
+//       budget degrades to all-local). brownout=N arms progressive
+//       shedding at in-flight tiers N/2N/4N (brownout_p99= adds a
+//       latency bump to the controller). faults= arms a fault script
+//       whose times are REQUEST numbers on a serve::FaultInjector
+//       (shard kills, injected solve latency, stolen cache publishes);
+//       latency_scale= scales injected stalls. Numeric options are
+//       parsed strictly — a malformed value is a usage error, not a
+//       silent default. SIGTERM drains gracefully: new requests
+//       degrade instantly, in-flight ones finish, the flight recorder
+//       dumps once (dump_dir= arms it), exit 0; SIGINT stops hard.
 //
 // `solve` accepts out=<file> to save the scheme; `simulate` accepts
 // scheme=<file> to replay a saved scheme instead of re-solving.
@@ -75,6 +91,7 @@
 #include "appmodel/trace_import.hpp"
 #include "common/config.hpp"
 #include "common/stopwatch.hpp"
+#include "common/strings.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/metrics.hpp"
@@ -95,8 +112,10 @@
 #include "obs/serve/telemetry_server.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/fault_injector.hpp"
 #include "serve/solve_service.hpp"
 #include "sim/dag_executor.hpp"
+#include "support/load_harness.hpp"
 #include "sim/executor.hpp"
 #include "sim/fault_script.hpp"
 #include "spectral/bipartitioner.hpp"
@@ -454,6 +473,11 @@ int cmd_solve(const std::string& path, const Config& cfg, bool simulate,
 volatile std::sig_atomic_t g_stop = 0;
 void handle_stop_signal(int) { g_stop = 1; }
 
+/// SIGTERM on the serving commands means DRAIN, not die: degrade new
+/// requests, finish in-flight ones, dump the flight recorder, exit 0.
+volatile std::sig_atomic_t g_drain = 0;
+void handle_drain_signal(int) { g_drain = 1; }
+
 int cmd_serve(const std::string& path, const Config& cfg) {
   const Result<appmodel::Application> parsed = load_app(path);
   if (!parsed.ok()) {
@@ -655,8 +679,36 @@ const char* source_name(serve::SolveSource source) {
     case serve::SolveSource::kCacheHit: return "hit";
     case serve::SolveSource::kCoalesced: return "coalesced";
     case serve::SolveSource::kShed: return "shed";
+    case serve::SolveSource::kHedged: return "hedged";
+    case serve::SolveSource::kDeadlineDegraded: return "deadline";
   }
   return "unknown";
+}
+
+/// Strict numeric option parsing for the serving commands: a PRESENT
+/// but malformed value is a usage error (exit 2), never a silent
+/// fallback — a typo'd duration= must not turn a bounded smoke run
+/// into a forever-server.
+bool strict_int(const Config& cfg, const char* key, long long fallback,
+                long long& out) {
+  out = fallback;
+  if (!cfg.has(key)) return true;
+  const std::string text = cfg.get_string(key, "");
+  if (parse_int(text, out)) return true;
+  std::fprintf(stderr, "usage error: %s= expects an integer, got '%s'\n",
+               key, text.c_str());
+  return false;
+}
+
+bool strict_double(const Config& cfg, const char* key, double fallback,
+                   double& out) {
+  out = fallback;
+  if (!cfg.has(key)) return true;
+  const std::string text = cfg.get_string(key, "");
+  if (parse_double(text, out)) return true;
+  std::fprintf(stderr, "usage error: %s= expects a number, got '%s'\n",
+               key, text.c_str());
+  return false;
 }
 
 int cmd_serve_solve(const std::string& path, const Config& cfg) {
@@ -669,19 +721,91 @@ int cmd_serve_solve(const std::string& path, const Config& cfg) {
   const mec::UserApp base_user = user_from_app(app);
   const mec::SystemParams params = params_from(cfg);
 
-  const std::size_t threads = static_cast<std::size_t>(
-      std::max<long long>(1, cfg.get_int("threads", 4)));
+  long long threads_arg = 0;
+  long long shards_arg = 0;
+  long long cache_arg = 0;
+  long long max_inflight = 0;
+  long long selfcheck = 0;
+  long long clients_arg = 0;
+  long long port_arg = 0;
+  long long brownout_arg = 0;
+  double duration = 0.0;
+  double deadline_budget = -1.0;
+  double hedge = 0.5;
+  double brownout_p99 = 0.0;
+  double latency_scale = 0.05;
+  if (!strict_int(cfg, "threads", 4, threads_arg) ||
+      !strict_int(cfg, "shards", 4, shards_arg) ||
+      !strict_int(cfg, "cache", 1024, cache_arg) ||
+      !strict_int(cfg, "max_inflight", -1, max_inflight) ||
+      !strict_int(cfg, "selfcheck", 0, selfcheck) ||
+      !strict_int(cfg, "clients", 2, clients_arg) ||
+      !strict_int(cfg, "port", 0, port_arg) ||
+      !strict_int(cfg, "brownout", 0, brownout_arg) ||
+      !strict_double(cfg, "duration", 0.0, duration) ||
+      !strict_double(cfg, "deadline_budget", -1.0, deadline_budget) ||
+      !strict_double(cfg, "hedge", 0.5, hedge) ||
+      !strict_double(cfg, "brownout_p99", 0.0, brownout_p99) ||
+      !strict_double(cfg, "latency_scale", 0.05, latency_scale))
+    return 2;
+  if (port_arg < 0 || port_arg > 65535) {
+    std::fprintf(stderr, "usage error: port must be in [0, 65535]\n");
+    return 2;
+  }
+
+  const std::size_t threads =
+      static_cast<std::size_t>(std::max<long long>(1, threads_arg));
   parallel::ThreadPool pool(threads);
+
+  const std::size_t shards =
+      static_cast<std::size_t>(std::max<long long>(1, shards_arg));
+  serve::FaultInjector::Options fault_options;
+  fault_options.shards = shards;
+  fault_options.latency_scale_seconds = latency_scale;
+  serve::FaultInjector injector(fault_options);
+  const std::string faults_path = cfg.get_string("faults", "");
+  if (!faults_path.empty()) {
+    const Result<std::string> text = read_file(faults_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "error: %s\n", text.error().message.c_str());
+      return 1;
+    }
+    const Result<sim::FaultScript> script =
+        sim::FaultScript::parse(text.value());
+    if (!script.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", faults_path.c_str(),
+                   script.error().message.c_str());
+      return 1;
+    }
+    injector.arm(script.value());
+    std::printf("armed %zu fault events from %s "
+                "(event times = request numbers)\n",
+                script.value().size(), faults_path.c_str());
+  }
+
+  const std::string dump_dir = cfg.get_string("dump_dir", "");
+  if (!dump_dir.empty())
+    obs::FlightRecorder::global().set_dump_dir(dump_dir);
 
   serve::SolveServiceOptions sopts;
   sopts.pool = &pool;
-  sopts.shards = static_cast<std::size_t>(
-      std::max<long long>(1, cfg.get_int("shards", 4)));
-  sopts.cache.capacity = static_cast<std::size_t>(
-      std::max<long long>(1, cfg.get_int("cache", 1024)));
-  const long long max_inflight = cfg.get_int("max_inflight", -1);
+  sopts.shards = shards;
+  sopts.cache.capacity =
+      static_cast<std::size_t>(std::max<long long>(1, cache_arg));
   if (max_inflight >= 0)
     sopts.max_in_flight = static_cast<std::size_t>(max_inflight);
+  sopts.default_deadline_seconds = deadline_budget;
+  sopts.hedge_fraction = hedge;  // the service clamps out-of-range
+  if (brownout_arg > 0) {
+    sopts.brownout.enabled = true;
+    sopts.brownout.tier1_in_flight = static_cast<std::size_t>(brownout_arg);
+    sopts.brownout.tier2_in_flight =
+        static_cast<std::size_t>(2 * brownout_arg);
+    sopts.brownout.tier3_in_flight =
+        static_cast<std::size_t>(4 * brownout_arg);
+    sopts.brownout.p99_bump_seconds = brownout_p99;
+  }
+  if (!faults_path.empty()) sopts.injector = &injector;
   sopts.solver.propagation.coupling_threshold =
       cfg.get_double("threshold", 10.0);
   const std::string algo = cfg.get_string("algo", "spectral");
@@ -691,6 +815,17 @@ int cmd_serve_solve(const std::string& path, const Config& cfg) {
   serve::SolveService service(sopts);
 
   obs::serve::TelemetryServer server;
+  // /varz gains the cache-health section operators watch during chaos:
+  // occupancy, eviction pressure, rider timeouts, and how stale the
+  // oldest ready entry is.
+  server.add_varz_section("scheme_cache", [&service] {
+    const serve::SolveService::Stats st = service.stats();
+    return "{\"entries\":" + std::to_string(st.cache.entries) +
+           ",\"evictions\":" + std::to_string(st.cache.evictions) +
+           ",\"wait_timeouts\":" + std::to_string(st.cache.timeouts) +
+           ",\"oldest_entry_age_seconds\":" +
+           format_general(st.cache.oldest_entry_age_seconds, 6) + "}";
+  });
   // POST /solve: body = app DSL (empty = the positional app); the
   // handler runs on the HTTP connection workers — external threads to
   // the pool, exactly what SolveService's threading contract wants.
@@ -737,11 +872,11 @@ int cmd_serve_solve(const std::string& path, const Config& cfg) {
     return resp;
   });
 
-  const auto port_arg = cfg.get_int("port", 0);
-  if (port_arg < 0 || port_arg > 65535) {
-    std::fprintf(stderr, "error: port must be in [0, 65535]\n");
-    return 2;
-  }
+  // Handlers BEFORE the banner: once "serving solves" is visible a
+  // supervisor may signal immediately (the drain ctest does).
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_drain_signal);
+
   const Result<std::uint16_t> bound =
       server.start(static_cast<std::uint16_t>(port_arg));
   if (!bound.ok()) {
@@ -753,57 +888,61 @@ int cmd_serve_solve(const std::string& path, const Config& cfg) {
               static_cast<unsigned>(bound.value()));
   std::fflush(stdout);
 
-  std::signal(SIGINT, handle_stop_signal);
-  std::signal(SIGTERM, handle_stop_signal);
-
-  const long long selfcheck = cfg.get_int("selfcheck", 0);
   if (selfcheck > 0) {
-    // Self-contained closed loop: no HTTP client needed, so plain-sh
-    // ctest can smoke the whole ingest → shard → cache → solve path.
-    // The reference placement comes from a cold solve with the same
-    // solver configuration; every served placement must match it bit
-    // for bit (cache hits are REUSE, not approximation).
+    // Self-contained closed loop on the shared load harness — the same
+    // machinery bench_serve and bench_soak drive, so plain-sh ctest
+    // smokes the whole ingest → shard → cache → solve path. The
+    // reference placement comes from a cold solve with the same solver
+    // configuration; every full-quality served placement must match it
+    // bit for bit (cache hits are REUSE, not approximation).
     mec::PipelineOptions ref_options = sopts.solver;
     ref_options.pool = &pool;
     mec::PipelineOffloader reference(ref_options);
     mec::MecSystem ref_system{params, {base_user}};
     const mec::OffloadingScheme ref_scheme = reference.solve(ref_system);
 
-    const std::size_t clients = static_cast<std::size_t>(
-        std::max<long long>(1, cfg.get_int("clients", 2)));
+    const std::size_t clients =
+        static_cast<std::size_t>(std::max<long long>(1, clients_arg));
     const auto total = static_cast<std::size_t>(selfcheck);
-    std::atomic<std::size_t> mismatches{0};
-    std::atomic<std::size_t> errors{0};
-    std::vector<std::thread> client_threads;
-    client_threads.reserve(clients);
-    for (std::size_t c = 0; c < clients; ++c) {
-      const std::size_t share = total / clients + (c < total % clients);
-      client_threads.emplace_back([&, share] {
-        for (std::size_t i = 0; i < share; ++i) {
-          const Result<serve::SolveResponse> r =
-              service.solve(serve::SolveRequest{base_user, params});
-          if (!r.ok()) {
-            errors.fetch_add(1, std::memory_order_relaxed);
-            continue;
-          }
-          if (r.value().source != serve::SolveSource::kShed &&
-              r.value().placement != ref_scheme.placement[0])
-            mismatches.fetch_add(1, std::memory_order_relaxed);
-        }
-      });
-    }
-    for (std::thread& t : client_threads) t.join();
+    bench::LoadOptions load;
+    load.clients = clients;
+    load.total_requests = total;
+    load.deadline_seconds = deadline_budget;
+    const bench::LoadOutcome outcome = bench::run_load(
+        service, {serve::SolveRequest{base_user, params}},
+        {ref_scheme.placement[0]}, load);
     std::printf("selfcheck: %zu requests from %zu clients, "
                 "%zu mismatches, %zu errors\n",
-                total, clients, mismatches.load(), errors.load());
+                total, clients, outcome.mismatches, outcome.errors);
   } else {
-    const double duration = cfg.get_double("duration", 0.0);
     const Stopwatch up;
-    while (g_stop == 0 &&
+    while (g_stop == 0 && g_drain == 0 &&
            (duration <= 0.0 || up.elapsed_seconds() < duration))
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
-  server.stop();
+
+  if (g_drain != 0) {
+    // Graceful drain: new requests degrade to all-local instantly,
+    // in-flight ones run to completion, the flight recorder dumps its
+    // post-mortem EXACTLY once, and we exit 0 — SIGTERM is a handoff,
+    // not a failure.
+    std::printf("drain: SIGTERM received, degrading new requests\n");
+    service.begin_drain();
+    const bool idle = service.await_idle(/*timeout_seconds=*/10.0);
+    server.stop();
+    std::printf("drain: in-flight %s\n",
+                idle ? "work complete" : "work NOT idle after 10 s");
+    const Result<std::string> dumped =
+        obs::FlightRecorder::global().dump_now("drain");
+    if (dumped.ok())
+      std::printf("drain: flight recorder dumped to %s\n",
+                  dumped.value().c_str());
+    else
+      std::printf("drain: flight recorder dump skipped (%s)\n",
+                  dumped.error().message.c_str());
+  } else {
+    server.stop();
+  }
 
   const serve::SolveService::Stats st = service.stats();
   std::printf("serve-solve: %llu requests, %llu cold solves, "
@@ -814,12 +953,24 @@ int cmd_serve_solve(const std::string& path, const Config& cfg) {
               static_cast<unsigned long long>(st.coalesced),
               static_cast<unsigned long long>(st.shed),
               static_cast<unsigned long long>(st.degraded));
-  std::printf("scheme cache: %zu entries, %llu evictions\n",
+  std::printf("resilience: %llu hedged, %llu deadline-degraded, "
+              "%llu drained, %llu brownout-shed, %llu shard failovers\n",
+              static_cast<unsigned long long>(st.hedged),
+              static_cast<unsigned long long>(st.deadline_degraded),
+              static_cast<unsigned long long>(st.drained),
+              static_cast<unsigned long long>(st.brownout_shed),
+              static_cast<unsigned long long>(st.shard_failovers));
+  std::printf("scheme cache: %zu entries, %llu evictions, "
+              "%llu wait timeouts, oldest ready %s s\n",
               st.cache.entries,
-              static_cast<unsigned long long>(st.cache.evictions));
+              static_cast<unsigned long long>(st.cache.evictions),
+              static_cast<unsigned long long>(st.cache.timeouts),
+              format_general(st.cache.oldest_entry_age_seconds, 3).c_str());
   std::printf("served %llu http requests%s\n",
               static_cast<unsigned long long>(server.requests_served()),
-              g_stop != 0 ? " (interrupted)" : "");
+              g_drain != 0   ? " (drained)"
+              : g_stop != 0 ? " (interrupted)"
+                            : "");
   print_obs_summary();
   return 0;
 }
