@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
@@ -10,12 +11,12 @@
 
 namespace mecoff::linalg {
 
-LinearOperator make_operator(const SparseMatrix& matrix) {
+LinearOperator make_operator(const SparseMatrix& matrix, SpmvKernel kernel) {
   MECOFF_EXPECTS(matrix.rows() == matrix.cols());
   return LinearOperator{
       matrix.rows(),
-      [&matrix](std::span<const double> x, std::span<double> y) {
-        matrix.multiply_into(x, y);
+      [&matrix, kernel](std::span<const double> x, std::span<double> y) {
+        matrix.multiply_into(x, y, kernel);
       }};
 }
 
@@ -157,7 +158,28 @@ LanczosResult lanczos_smallest(const LinearOperator& op,
   }
 
   Rng rng(options.seed);
-  const Vec start = random_start(n, options.deflate, rng);
+  // Warm start: validated caller-supplied first Krylov vector, else the
+  // seeded random draw. A wrong-dimension warm vector is a typed error
+  // (never read out of bounds); one inside the deflation span falls
+  // back to the random start — the solve degrades to cold, it never
+  // fails.
+  Vec start;
+  if (!options.initial_vector.empty()) {
+    if (options.initial_vector.size() != n)
+      throw PreconditionError(
+          "Lanczos warm-start vector has dimension " +
+          std::to_string(options.initial_vector.size()) +
+          " but the operator has dimension " + std::to_string(n));
+    start = options.initial_vector;
+    project_out(start, options.deflate);
+    const double norm = norm2(start);
+    if (norm > 1e-10 * std::sqrt(static_cast<double>(n)))
+      scale(start, 1.0 / norm);
+    else
+      start = random_start(n, options.deflate, rng);
+  } else {
+    start = random_start(n, options.deflate, rng);
+  }
 
   // Operator norm scale for the relative tolerance: estimate from one
   // matvec on the start vector (cheap, adequate for a threshold).

@@ -41,10 +41,17 @@ std::unique_ptr<graph::Bipartitioner> PipelineOffloader::make_cutter() const {
 }
 
 OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
+  return solve(system, nullptr);
+}
+
+OffloadingScheme PipelineOffloader::solve(const MecSystem& system,
+                                          const WarmStart* warm) {
   MECOFF_EXPECTS(system.valid());
   MECOFF_TRACE_SPAN_ARG("mec.solve", system.num_users());
   MECOFF_COUNTER_ADD("mec.solve.count", 1);
   stats_ = SolveStats{};
+  stats_.warm_start_used = warm != nullptr;
+  artifacts_ = SolveArtifacts{};
   Stopwatch total_timer;
 
   // Degrade-don't-die budget, shared read-only by every task (steady
@@ -66,6 +73,10 @@ OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
     std::size_t spectral_nonconverged = 0;
     std::size_t fallback_kl_cuts = 0;
     std::size_t fallback_all_remote = 0;
+    /// One slot per compressed component (only when collecting).
+    std::vector<linalg::Vec> fiedler_vectors;
+    std::size_t warm_seeded = 0;
+    std::size_t warm_rejected = 0;
   };
 
   // Parts for one user, computed from scratch. Each invocation builds
@@ -123,6 +134,8 @@ OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
             ? static_cast<spectral::SpectralBipartitioner*>(cutter.get())
             : nullptr;
     std::unique_ptr<kl::KernighanLinBipartitioner> kl_fallback;
+    if (options_.collect_fiedler_vectors)
+      out.fiedler_vectors.resize(pipeline.components.size());
 
     for (std::size_t c = 0; c < pipeline.components.size(); ++c) {
       MECOFF_TRACE_SPAN_ARG("mec.cut.component", c);
@@ -131,8 +144,26 @@ OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
         push_all_remote(c);
         continue;
       }
+      // Warm hint for this component: the previous solve's Fiedler
+      // vector, usable only while compression kept the same shape (a
+      // perturbation can merge or split supernodes — then the dimension
+      // differs and the component simply solves cold).
+      if (spectral_cutter != nullptr && warm != nullptr &&
+          u < warm->fiedler_vectors.size() &&
+          c < warm->fiedler_vectors[u].size() &&
+          !warm->fiedler_vectors[u][c].empty()) {
+        const linalg::Vec& hint = warm->fiedler_vectors[u][c];
+        if (hint.size() == comp.compression.compressed.num_nodes()) {
+          spectral_cutter->set_warm_start(&hint);
+          ++out.warm_seeded;
+        } else {
+          ++out.warm_rejected;
+        }
+      }
       graph::Bipartition cut =
           cutter->bipartition(comp.compression.compressed);
+      if (spectral_cutter != nullptr && options_.collect_fiedler_vectors)
+        out.fiedler_vectors[c] = spectral_cutter->last_fiedler_vector();
       if (spectral_cutter != nullptr && !spectral_cutter->last_converged()) {
         // Fallback chain: a below-tolerance Fiedler vector is a guess,
         // not a cut — recut combinatorially (KL) while budget remains,
@@ -263,21 +294,62 @@ OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
       all_parts.push_back(std::move(part));
     }
   }
-  for (const UserSolve& s : solved) {
+  for (UserSolve& s : solved) {
     stats_.compress_seconds += s.compress_seconds;
     stats_.cut_seconds += s.cut_seconds;
     stats_.spectral_nonconverged += s.spectral_nonconverged;
     stats_.fallback_kl_cuts += s.fallback_kl_cuts;
     stats_.fallback_all_remote += s.fallback_all_remote;
+    stats_.warm_fiedler_seeded += s.warm_seeded;
+    stats_.warm_fiedler_rejected += s.warm_rejected;
   }
   stats_.deadline_expired = deadline_expired();
+  if (options_.collect_fiedler_vectors) {
+    artifacts_.fiedler_vectors.resize(distinct);
+    for (std::size_t u = 0; u < distinct; ++u)
+      artifacts_.fiedler_vectors[u] = std::move(solved[u].fiedler_vectors);
+  }
 
   stats_.num_parts = all_parts.size();
   Stopwatch greedy_timer;
-  const GreedyResult greedy = [&] {
+  GreedyResult greedy = [&] {
     MECOFF_TRACE_SPAN_ARG("mec.greedy", all_parts.size());
     return generate_scheme(system, all_parts, options_.greedy);
   }();
+  // Warm greedy: ALSO start from the previous placement's projection
+  // onto the new parts (a part starts local iff every one of its nodes
+  // was local last time) and keep whichever start reaches the lower
+  // final objective. Strict '<' so ties go to the cold result — an
+  // unperturbed re-solve is byte-identical to a cold solve. Both runs
+  // are complete greedy descents, so warm final objective ≤ cold final
+  // objective holds by construction of the min.
+  if (warm != nullptr && warm->scheme.valid_for(system)) {
+    std::vector<Part> warm_parts = all_parts;
+    bool differs = false;
+    for (Part& part : warm_parts) {
+      if (part.frozen) continue;
+      bool all_local = !part.nodes.empty();
+      for (const graph::NodeId v : part.nodes) {
+        if (warm->scheme.placement[part.user][v] != Placement::kLocal) {
+          all_local = false;
+          break;
+        }
+      }
+      if (part.initially_local != all_local) differs = true;
+      part.initially_local = all_local;
+    }
+    if (differs) {
+      GreedyResult warm_greedy = [&] {
+        MECOFF_TRACE_SPAN_ARG("mec.greedy.warm", warm_parts.size());
+        return generate_scheme(system, warm_parts, options_.greedy);
+      }();
+      if (warm_greedy.objective_history.back() <
+          greedy.objective_history.back()) {
+        greedy = std::move(warm_greedy);
+        stats_.warm_greedy_won = true;
+      }
+    }
+  }
   stats_.greedy_seconds = greedy_timer.elapsed_seconds();
   stats_.greedy_moves = greedy.moves;
   stats_.final_objective = greedy.objective_history.back();
@@ -304,6 +376,18 @@ OffloadingScheme PipelineOffloader::solve(const MecSystem& system) {
   MECOFF_COUNTER_ADD("mec.fallback.all_remote", stats_.fallback_all_remote);
   MECOFF_COUNTER_ADD("mec.solve.deadline_expired",
                      stats_.deadline_expired ? 1 : 0);
+  // Warm-solve counters register only on warm calls: cold-only runs
+  // (every existing bench and golden fixture) keep a bit-identical
+  // metric key set, which the bench-gate baselines compare exactly.
+  if (warm != nullptr) {
+    MECOFF_COUNTER_ADD("mec.solve.warm_starts", 1);
+    MECOFF_COUNTER_ADD("mec.solve.warm_fiedler_seeded",
+                       stats_.warm_fiedler_seeded);
+    MECOFF_COUNTER_ADD("mec.solve.warm_fiedler_rejected",
+                       stats_.warm_fiedler_rejected);
+    MECOFF_COUNTER_ADD("mec.solve.warm_greedy_won",
+                       stats_.warm_greedy_won ? 1 : 0);
+  }
   // Live serving feeds, same doubles as SolveStats (the gauge==stats
   // contract extends to the quantile window and the flight recorder):
   // the sliding-window latency summary /metrics exposes...

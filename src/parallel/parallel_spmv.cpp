@@ -5,14 +5,17 @@
 namespace mecoff::parallel {
 
 linalg::LinearOperator make_parallel_operator(
-    const linalg::SparseMatrix& matrix, ThreadPool& pool) {
+    const linalg::SparseMatrix& matrix, ThreadPool& pool,
+    linalg::SpmvKernel kernel) {
   MECOFF_EXPECTS(matrix.rows() == matrix.cols());
   return linalg::LinearOperator{
       matrix.rows(),
-      [&matrix, &pool](std::span<const double> x, std::span<double> y) {
+      [&matrix, &pool, kernel](std::span<const double> x,
+                               std::span<double> y) {
         pool.parallel_for_chunks(
-            0, matrix.rows(), [&matrix, x, y](std::size_t lo, std::size_t hi) {
-              matrix.multiply_rows(x, y, lo, hi);
+            0, matrix.rows(),
+            [&matrix, x, y, kernel](std::size_t lo, std::size_t hi) {
+              matrix.multiply_rows(x, y, lo, hi, kernel);
             });
       }};
 }

@@ -12,8 +12,12 @@
 namespace mecoff::parallel {
 
 /// Operator computing y = A·x with row blocks on `pool`. `matrix` and
-/// `pool` must outlive the returned operator.
+/// `pool` must outlive the returned operator. `kernel` selects the
+/// per-row summation order (linalg::SpmvKernel); because rows are
+/// independent, the pooled result is bit-identical to the serial
+/// result of the same kernel no matter how the pool chunks the range.
 [[nodiscard]] linalg::LinearOperator make_parallel_operator(
-    const linalg::SparseMatrix& matrix, ThreadPool& pool);
+    const linalg::SparseMatrix& matrix, ThreadPool& pool,
+    linalg::SpmvKernel kernel = linalg::SpmvKernel::kNaive);
 
 }  // namespace mecoff::parallel

@@ -43,11 +43,28 @@ class SpectralBipartitioner final : public graph::Bipartitioner {
     return nonconverged_count_;
   }
 
+  /// Arm the NEXT bipartition() with a warm-start Fiedler vector (the
+  /// incremental re-solve path). Consumed by exactly one call — the
+  /// call after it is cold again, so a stale vector can never leak
+  /// into an unrelated graph. `v` is not owned and must stay alive
+  /// until that call; nullptr disarms. Degenerate/disconnected inputs
+  /// skip the eigensolve and simply drop the hint.
+  void set_warm_start(const linalg::Vec* v) { warm_start_ = v; }
+
+  /// Fiedler vector from the last bipartition() that ran an eigensolve
+  /// (unit norm); empty when the last input was degenerate or
+  /// disconnected. This is what a caller stores to warm the next solve.
+  [[nodiscard]] const linalg::Vec& last_fiedler_vector() const {
+    return last_fiedler_vector_;
+  }
+
  private:
   SpectralOptions options_;
   double last_fiedler_value_ = 0.0;
   bool last_converged_ = true;
   std::size_t nonconverged_count_ = 0;
+  const linalg::Vec* warm_start_ = nullptr;
+  linalg::Vec last_fiedler_vector_;
 };
 
 }  // namespace mecoff::spectral

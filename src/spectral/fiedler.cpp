@@ -1,5 +1,8 @@
 #include "spectral/fiedler.hpp"
 
+#include <algorithm>
+#include <string>
+
 #include "common/contracts.hpp"
 #include "graph/components.hpp"
 #include "linalg/laplacian.hpp"
@@ -18,8 +21,9 @@ FiedlerResult fiedler_pair(const graph::WeightedGraph& g,
   const linalg::SparseMatrix lap = linalg::laplacian(g);
   const linalg::LinearOperator op =
       options.pool != nullptr
-          ? parallel::make_parallel_operator(lap, *options.pool)
-          : linalg::make_operator(lap);
+          ? parallel::make_parallel_operator(lap, *options.pool,
+                                             options.spmv_kernel)
+          : linalg::make_operator(lap, options.spmv_kernel);
 
   FiedlerResult out;
   if (options.backend == EigenBackend::kDensePowerNaive) {
@@ -61,6 +65,19 @@ FiedlerResult fiedler_pair(const graph::WeightedGraph& g,
     lopt.max_subspace = options.max_subspace;
     lopt.deflate = {linalg::constant_unit(g.num_nodes())};
     lopt.seed = options.seed;
+    if (options.warm_start != nullptr) {
+      if (options.warm_start->size() != g.num_nodes())
+        throw PreconditionError(
+            "Fiedler warm-start vector has dimension " +
+            std::to_string(options.warm_start->size()) +
+            " but the graph has " + std::to_string(g.num_nodes()) +
+            " nodes");
+      lopt.initial_vector = *options.warm_start;
+      lopt.initial_subspace =
+          std::min(std::max<std::size_t>(options.warm_subspace, 2),
+                   g.num_nodes());
+      MECOFF_COUNTER_ADD("spectral.eigensolve.warm_starts", 1);
+    }
     const linalg::LanczosResult res = linalg::lanczos_smallest(op, lopt);
     MECOFF_ENSURES(!res.pairs.empty());
     out.value = res.pairs.front().value;

@@ -39,6 +39,10 @@ struct FiedlerOptions {
   double tolerance = 1e-8;
   /// Execution engine for the SpMV kernel; null = serial.
   parallel::ThreadPool* pool = nullptr;
+  /// SpMV summation order (linalg::SpmvKernel). kNaive replays the
+  /// seed's bits exactly; kBlocked is the tiled 4-wide hot-path kernel
+  /// whose low-order bits differ (see sparse_matrix.hpp).
+  linalg::SpmvKernel spmv_kernel = linalg::SpmvKernel::kNaive;
   std::uint64_t seed = 0x5eed;
   /// Work bounds: every backend terminates within these no matter how
   /// ill-conditioned the graph is — the solve may come back with
@@ -46,6 +50,16 @@ struct FiedlerOptions {
   /// degrade-don't-die chain relies on that).
   std::size_t max_subspace = 400;      ///< Lanczos restart ceiling
   std::size_t max_iterations = 20000;  ///< power-iteration ceiling
+  /// Warm start (Lanczos backend only): an approximate Fiedler vector
+  /// of a nearby Laplacian — e.g. the previous solve's vector after a
+  /// small edge-weight or channel perturbation. Not owned; must
+  /// outlive the call; must have size == g.num_nodes()
+  /// (PreconditionError otherwise). The Krylov subspace starts at
+  /// `warm_subspace` instead of the cold default, so a good seed
+  /// converges in a fraction of the cold matvec budget; a bad seed
+  /// merely restarts like a cold solve. Power backends ignore it.
+  const linalg::Vec* warm_start = nullptr;
+  std::size_t warm_subspace = 10;
 };
 
 struct FiedlerResult {
