@@ -1,7 +1,7 @@
 // Closed-loop chaos soak for the solve service: the whole robustness
 // surface exercised in one run, with a machine-readable trajectory.
 //
-// Seven phases drive >= 10k requests through a SolveService while a
+// Eight phases drive >= 10k requests through a SolveService while a
 // serve::FaultInjector replays seeded fault scripts against it (shard
 // kills with failover, injected solve latency that forces hedged
 // retries, a stolen cache publish, exhausted deadline budgets,
@@ -11,6 +11,9 @@
 //                  fills the cache, records the reference placements;
 //   steady         warm-cache closed loop: the healthy baseline the
 //                  chaos phases are compared against;
+//   open_loop      warm-cache open loop: each client paces requests at
+//                  a fixed arrival rate (the open_loop_rate_hz knob)
+//                  instead of closing the loop on responses;
 //   chaos_kill     fresh app set under a script that kills shards
 //                  while their cold solves are being dispatched, then
 //                  kills ALL shards, then recovers — plus one stolen
@@ -44,7 +47,10 @@
 // mecoff.soak_trajectory.v1) that tools/bench_gate.py diffs against
 // bench/BENCH_soak_baseline.json — deterministic counts exactly,
 // timing-dependent ones presence-only. `out=<path>` also writes the
-// trajectory document to a file.
+// trajectory document to a file. A second "[timeline] {...}" line
+// (schema mecoff.timeline.v1) carries the soak-wide metrics curve,
+// sampled only at quiescent harness barriers with the deterministic
+// key filter — replaying the soak reprints it byte-for-byte.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -58,6 +64,7 @@
 #include "common/stopwatch.hpp"
 #include "common/strings.hpp"
 #include "mec/scheme.hpp"
+#include "obs/timeline.hpp"
 #include "parallel/thread_pool.hpp"
 #include "serve/fault_injector.hpp"
 #include "serve/solve_service.hpp"
@@ -78,6 +85,10 @@ constexpr std::size_t kSteadyApps = 12;
 constexpr std::size_t kChaosApps = 8;
 constexpr std::size_t kClients = 4;
 constexpr double kWedgeSeconds = 5.0;
+// Every load phase is split into this many barrier-delimited segments,
+// so each phase contributes >= 3 cumulative samples to its curve and
+// the shared timeline.
+constexpr std::size_t kSegments = 3;
 
 struct PhaseRecord {
   std::string name;
@@ -133,6 +144,25 @@ std::string phase_json(const PhaseRecord& record) {
   json += ",\"p50_seconds\":" + format_general(o.percentile(0.50), 6);
   json += ",\"p95_seconds\":" + format_general(o.percentile(0.95), 6);
   json += ",\"p99_seconds\":" + format_general(o.percentile(0.99), 6);
+  if (!o.samples.empty()) {
+    json += ",\"samples\":[";
+    for (std::size_t i = 0; i < o.samples.size(); ++i) {
+      const SegmentSample& s = o.samples[i];
+      if (i > 0) json += ',';
+      json += "{\"segment\":" + std::to_string(s.segment);
+      json += ",\"requests\":" + std::to_string(s.requests);
+      json += ",\"solved\":" + std::to_string(s.solved);
+      json += ",\"hits\":" + std::to_string(s.hits);
+      json += ",\"coalesced\":" + std::to_string(s.coalesced);
+      json += ",\"shed\":" + std::to_string(s.shed);
+      json += ",\"hedged\":" + std::to_string(s.hedged);
+      json += ",\"deadline_degraded\":" + std::to_string(s.deadline_degraded);
+      json += ",\"degraded\":" + std::to_string(s.degraded);
+      json += ",\"wall_seconds\":" + format_general(s.wall_seconds, 6);
+      json += '}';
+    }
+    json += ']';
+  }
   json += '}';
   return json;
 }
@@ -157,8 +187,29 @@ int run(const std::string& out_path) {
   const std::vector<serve::SolveRequest> budget_apps =
       make_apps(kChaosApps, /*seed_base=*/990);
 
+  // One timeline spans the whole soak, sampled only at harness barriers
+  // (and the cold loop's manual checkpoints) with a globally monotonic
+  // tick — the cumulative request count across phases. The key filter
+  // keeps exactly the counters that are deterministic at quiescent
+  // barriers, which is what makes the [timeline] line byte-identical
+  // across replays (manual mode emits no wall-clock fields).
+  obs::Timeline::Options timeline_options;
+  timeline_options.capacity = 64;
+  timeline_options.mode = obs::Timeline::Mode::kManual;
+  timeline_options.keys = {"serve.solve.requests", "serve.solve.drained"};
+  obs::Timeline timeline(timeline_options);
+
   std::vector<PhaseRecord> phases;
   std::size_t issued = 0;
+  // Segment every load phase and sample the timeline at each boundary.
+  // `base` is the soak-wide request count when the phase starts, so
+  // ticks stay monotonic across phases.
+  const auto curve = [&timeline](LoadOptions& load, std::size_t base) {
+    load.segments = kSegments;
+    load.on_segment = [&timeline, base](const SegmentSample& sample) {
+      timeline.sample_now(base + sample.requests);
+    };
+  };
   // arm() resets the injector's counters with the rest of its state, so
   // fold them into running totals before every re-arm.
   std::uint64_t fault_events_applied = 0;
@@ -189,6 +240,17 @@ int run(const std::string& out_path) {
       record.outcome.latencies.push_back(r.value().latency_seconds);
       ++record.outcome.solved;
       steady_reference[a] = std::move(r.value().placement);
+      // Manual checkpoints: the sequential cold loop has no harness
+      // barriers, so fold a cumulative sample every third of the way.
+      if ((a + 1) % (kSteadyApps / kSegments) == 0) {
+        SegmentSample sample;
+        sample.segment = record.outcome.samples.size() + 1;
+        sample.requests = record.outcome.requests;
+        sample.solved = record.outcome.solved;
+        sample.wall_seconds = timer.elapsed_seconds();
+        timeline.sample_now(sample.requests);  // cold starts at tick 0
+        record.outcome.samples.push_back(sample);
+      }
     }
     record.outcome.wall_seconds = timer.elapsed_seconds();
     issued += kSteadyApps;
@@ -201,9 +263,31 @@ int run(const std::string& out_path) {
     load.clients = kClients;
     load.total_requests = 3000;
     load.wedge_seconds = kWedgeSeconds;
+    curve(load, issued);
     issued += load.total_requests;
     phases.push_back(
         {"steady", kClients,
+         run_load(service, steady_apps, steady_reference, load)});
+  }
+
+  // -- open_loop: fixed arrival rate against the warm cache -----------
+  {
+    // The dormant knob, exercised: each of the 4 clients paces its own
+    // 150-request share at 150 req/s (request i due at i/rate on the
+    // client's clock) instead of closing the loop on the previous
+    // response. Warm cache + no faults keeps the service comfortably
+    // ahead of the arrival schedule, so the curve shows a rate-shaped
+    // request ramp rather than a contention artefact — and every
+    // response still checks byte-identical against the reference.
+    LoadOptions load;
+    load.clients = kClients;
+    load.total_requests = 600;
+    load.open_loop_rate_hz = 150.0;
+    load.wedge_seconds = kWedgeSeconds;
+    curve(load, issued);
+    issued += load.total_requests;
+    phases.push_back(
+        {"open_loop", kClients,
          run_load(service, steady_apps, steady_reference, load)});
   }
 
@@ -235,6 +319,7 @@ int run(const std::string& out_path) {
     load.clients = kClients;
     load.total_requests = 2500;
     load.wedge_seconds = kWedgeSeconds;
+    curve(load, issued);
     issued += load.total_requests;
     phases.push_back({"chaos_kill", kClients,
                       run_load(service, kill_apps, kill_reference, load)});
@@ -320,9 +405,11 @@ int run(const std::string& out_path) {
     load.total_requests = 2500;
     load.deadline_seconds = 0.08;
     load.wedge_seconds = kWedgeSeconds;
+    curve(load, issued);
     issued += load.total_requests;
     const LoadOutcome storm =
         run_load(service, latency_apps, latency_reference, load);
+    record.outcome.samples = storm.samples;
     record.outcome.requests += storm.requests;
     record.outcome.errors += storm.errors;
     record.outcome.mismatches += storm.mismatches;
@@ -352,6 +439,7 @@ int run(const std::string& out_path) {
     load.total_requests = 600;
     load.deadline_seconds = 0.0;
     load.wedge_seconds = kWedgeSeconds;
+    curve(load, issued);
     issued += load.total_requests;
     // Never-seen apps + a zero budget: the budget is spent before any
     // solve can start, so every response is the all-local degrade.
@@ -373,6 +461,7 @@ int run(const std::string& out_path) {
     load.clients = 8;
     load.total_requests = 1200;
     load.wedge_seconds = kWedgeSeconds;
+    curve(load, issued);
     issued += load.total_requests;
     phases.push_back(
         {"brownout", 8,
@@ -387,6 +476,7 @@ int run(const std::string& out_path) {
     load.clients = kClients;
     load.total_requests = 400;
     load.wedge_seconds = kWedgeSeconds;
+    curve(load, issued);
     issued += load.total_requests;
     PhaseRecord record{"drain", kClients,
                        run_load(service, steady_apps, {}, load)};
@@ -456,6 +546,11 @@ int run(const std::string& out_path) {
                     stats.hedged > 0);
   print_shape_check("drain answered everything and went idle",
                     drained_clean);
+  bool curves_complete = true;
+  for (const PhaseRecord& record : phases)
+    if (record.outcome.samples.size() < kSegments) curves_complete = false;
+  print_shape_check("every phase sampled a >= 3 point curve",
+                    curves_complete);
 
   // The trajectory document. bench_gate.py compares the deterministic
   // counts exactly, treats timing-dependent entries presence-only, and
@@ -483,6 +578,10 @@ int run(const std::string& out_path) {
   doc += "},\"invariants_zero\":[\"totals.errors\",\"totals.mismatches\","
          "\"totals.wedged\",\"totals.unanswered\"]}";
   std::printf("[trajectory] %s\n", doc.c_str());
+  // The soak-wide mecoff.timeline.v1 document: manual mode, barrier
+  // ticks, deterministic key filter — a replayed run prints this line
+  // byte-identically (CI diffs two runs).
+  std::printf("[timeline] %s\n", timeline.to_json().c_str());
   if (!out_path.empty()) {
     std::ofstream out(out_path);
     if (out) out << doc << '\n';
@@ -493,7 +592,7 @@ int run(const std::string& out_path) {
       unanswered == 0 && totals.errors == 0 && totals.mismatches == 0 &&
       totals.wedged == 0 && totals.requests >= 10000 &&
       budget_zero.outcome.deadline_degraded == budget_zero.outcome.requests &&
-      drained_clean;
+      drained_clean && curves_complete;
   return ok ? 0 : 1;
 }
 

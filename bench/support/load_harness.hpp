@@ -23,12 +23,31 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "mec/scheme.hpp"
+#include "obs/timeline.hpp"
 #include "serve/solve_service.hpp"
 
 namespace mecoff::bench {
+
+/// Cumulative tallies at one quiescent segment boundary (see
+/// LoadOptions::segments). All counts are since the start of this
+/// run_load call, not per-segment deltas — curve consumers difference
+/// them if they want rates.
+struct SegmentSample {
+  std::size_t segment = 0;  ///< 1-based boundary index
+  std::size_t requests = 0;
+  std::size_t solved = 0;
+  std::size_t hits = 0;
+  std::size_t coalesced = 0;
+  std::size_t shed = 0;
+  std::size_t hedged = 0;
+  std::size_t deadline_degraded = 0;
+  std::size_t degraded = 0;
+  double wall_seconds = 0.0;  ///< since run_load start (timing only)
+};
 
 struct LoadOptions {
   /// Concurrent client threads.
@@ -44,6 +63,24 @@ struct LoadOptions {
   double deadline_seconds = -1.0;
   /// A response slower than this counts as wedged; <= 0 disables.
   double wedge_seconds = 0.0;
+  /// Split every client's share into this many chunks with a full
+  /// cross-client barrier after each: at a boundary ALL clients are
+  /// quiescent, so cumulative tallies (and registry counters fed only
+  /// by this load) are deterministic there — the sampling points that
+  /// make a soak phase a reproducible curve, not one point. 1 (the
+  /// default) keeps the seed behavior: no barriers, one final sample.
+  /// The per-client request pattern is unchanged — clients merely
+  /// pause at boundaries.
+  std::size_t segments = 1;
+  /// Called at each segment boundary (the final one included) by
+  /// exactly one thread while all clients are parked. Cheap work only:
+  /// every client waits on it.
+  std::function<void(const SegmentSample&)> on_segment;
+  /// Timeline sampled at each boundary with tick = cumulative requests
+  /// (Timeline::sample_now). Deterministic for registry keys fed only
+  /// by this load — the harness half of the tick-mode /timez
+  /// determinism contract. May be null.
+  obs::Timeline* timeline = nullptr;
 };
 
 struct LoadOutcome {
@@ -63,6 +100,9 @@ struct LoadOutcome {
   double wall_seconds = 0.0;
   /// All response latencies, sorted ascending.
   std::vector<double> latencies;
+  /// One cumulative sample per segment boundary (empty when
+  /// LoadOptions::segments == 1 and no on_segment/timeline is wired).
+  std::vector<SegmentSample> samples;
 
   /// Latency percentile over `latencies` (nearest-rank at
   /// q * (n - 1), the same definition bench_serve always printed).

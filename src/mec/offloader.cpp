@@ -10,6 +10,7 @@
 #include "common/stopwatch.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
+#include "obs/request_id.hpp"
 
 namespace mecoff::mec {
 
@@ -391,13 +392,15 @@ OffloadingScheme PipelineOffloader::solve(const MecSystem& system,
   // Live serving feeds, same doubles as SolveStats (the gauge==stats
   // contract extends to the quantile window and the flight recorder):
   // the sliding-window latency summary /metrics exposes...
-  MECOFF_QUANTILES_RECORD("mec.solve.latency", stats_.total_seconds);
+  MECOFF_QUANTILES_RECORD_ID("mec.solve.latency", stats_.total_seconds,
+                             obs::current_request_id());
 #ifndef MECOFF_OBS_DISABLED
   // ...and one flight-recorder record per solve. Strictly observational
   // — nothing reads the recorder back into a solve — so placements stay
   // bit-identical with the recorder armed, dumping, or compiled out.
   {
     obs::SolveRecord record;
+    record.request_id = obs::current_request_id();
     record.users = num_users;
     record.distinct_users = distinct;
     record.parts = stats_.num_parts;

@@ -31,6 +31,7 @@ namespace {
 void append_record_json(std::ostringstream& out, const SolveRecord& r) {
   out << "{\"seq\":" << r.seq
       << ",\"wall_time_us\":" << format_double(r.wall_time_us)
+      << ",\"request_id\":" << r.request_id
       << ",\"users\":" << r.users
       << ",\"distinct_users\":" << r.distinct_users
       << ",\"parts\":" << r.parts

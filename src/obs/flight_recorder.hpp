@@ -44,6 +44,9 @@ namespace mecoff::obs {
 struct SolveRecord {
   std::uint64_t seq = 0;     ///< assigned by the recorder, monotone
   double wall_time_us = 0.0; ///< since recorder epoch (steady clock)
+  /// Serving-path correlation id (obs::current_request_id() at feed
+  /// time); 0 = solve ran outside a request scope.
+  std::uint64_t request_id = 0;
   std::size_t users = 0;
   std::size_t distinct_users = 0;
   std::size_t parts = 0;

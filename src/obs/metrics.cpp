@@ -142,6 +142,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
           q.p50 = values[0];
           q.p95 = values[1];
           q.p99 = values[2];
+          const Quantiles::Exemplar ex = entry.quantiles->max_exemplar();
+          q.max_value = ex.value;
+          q.max_request_id = ex.request_id;
         }
         snap.quantiles[name] = q;
         break;
@@ -230,7 +233,9 @@ std::string MetricsRegistry::to_json() const {
         << ",\"window\":" << q.window_size
         << ",\"p50\":" << format_double(q.p50)
         << ",\"p95\":" << format_double(q.p95)
-        << ",\"p99\":" << format_double(q.p99) << '}';
+        << ",\"p99\":" << format_double(q.p99)
+        << ",\"max\":" << format_double(q.max_value)
+        << ",\"max_request_id\":" << q.max_request_id << '}';
   }
   out << "}}";
   return out.str();

@@ -108,6 +108,10 @@ struct MetricsSnapshot {
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    /// Window-maximum exemplar: the worst sample still in the window
+    /// and the request id that produced it (0 = untagged).
+    double max_value = 0.0;
+    std::uint64_t max_request_id = 0;
   };
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;

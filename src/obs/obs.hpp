@@ -79,6 +79,17 @@
     mecoff_obs_quant.record(static_cast<double>(value));              \
   } while (0)
 
+/// Same, but tags the sample with the request id that produced it so
+/// the window-maximum exemplar (/timez, /flightz) can name the request
+/// behind a p99 bump. Pass 0 for "no id".
+#define MECOFF_QUANTILES_RECORD_ID(name, value, id)                   \
+  do {                                                                \
+    static ::mecoff::obs::Quantiles& mecoff_obs_quant =               \
+        ::mecoff::obs::MetricsRegistry::global().quantiles(name);     \
+    mecoff_obs_quant.record(static_cast<double>(value),               \
+                            static_cast<std::uint64_t>(id));          \
+  } while (0)
+
 #else  // MECOFF_OBS_DISABLED
 
 // sizeof in an unevaluated context keeps the operands "used" (no
@@ -96,5 +107,7 @@
   ((void)sizeof(name), (void)sizeof(value))
 #define MECOFF_QUANTILES_RECORD(name, value) \
   ((void)sizeof(name), (void)sizeof(value))
+#define MECOFF_QUANTILES_RECORD_ID(name, value, id) \
+  ((void)sizeof(name), (void)sizeof(value), (void)sizeof(id))
 
 #endif  // MECOFF_OBS_DISABLED

@@ -23,18 +23,44 @@ Quantiles::Quantiles(std::size_t window_capacity)
     : capacity_(window_capacity) {
   MECOFF_EXPECTS(window_capacity > 0);
   ring_.reserve(std::min<std::size_t>(window_capacity, 1024));
+  ids_.reserve(std::min<std::size_t>(window_capacity, 1024));
 }
 
-void Quantiles::record(double sample) {
+void Quantiles::record(double sample) { record(sample, 0); }
+
+void Quantiles::record(double sample, std::uint64_t request_id) {
   const MutexLock lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(sample);
+    ids_.push_back(request_id);
   } else {
     ring_[head_] = sample;
+    ids_[head_] = request_id;
     head_ = (head_ + 1) % capacity_;
   }
   ++total_count_;
   total_sum_ += sample;
+}
+
+Quantiles::Exemplar Quantiles::max_exemplar() const {
+  const MutexLock lock(mutex_);
+  Exemplar best;
+  if (ring_.empty()) return best;
+  // Scan oldest -> newest so a tie at the maximum resolves to the
+  // newest sample. Before the ring wraps, insertion order IS oldest ->
+  // newest; after, the oldest slot is head_.
+  const std::size_t n = ring_.size();
+  const std::size_t start = (n < capacity_) ? 0 : head_;
+  bool have = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t slot = (start + i) % n;
+    if (!have || ring_[slot] >= best.value) {
+      best.value = ring_[slot];
+      best.request_id = ids_[slot];
+      have = true;
+    }
+  }
+  return best;
 }
 
 std::vector<double> Quantiles::snapshot_window() const {
@@ -87,6 +113,7 @@ std::size_t Quantiles::window_size() const {
 void Quantiles::reset() {
   const MutexLock lock(mutex_);
   ring_.clear();
+  ids_.clear();
   head_ = 0;
   total_count_ = 0;
   total_sum_ = 0.0;

@@ -36,8 +36,26 @@ class Quantiles {
 
   explicit Quantiles(std::size_t window_capacity = kDefaultWindow);
 
+  /// (value, request id) pair for the current window maximum — the
+  /// exemplar that lets /flightz and /timez name the request behind a
+  /// p99 bump. request_id 0 means the sample carried no id.
+  struct Exemplar {
+    double value = 0.0;
+    std::uint64_t request_id = 0;
+  };
+
   /// Append one sample, evicting the oldest once the window is full.
   void record(double sample);
+
+  /// Append one sample tagged with the request id that produced it.
+  /// The id rides the same ring as the value and is evicted with it.
+  void record(double sample, std::uint64_t request_id);
+
+  /// Exemplar for the current window maximum. Ties resolve to the
+  /// newest sample (the most recent request at the max is the one an
+  /// operator wants to chase). Returns a zero Exemplar on an empty
+  /// window.
+  [[nodiscard]] Exemplar max_exemplar() const;
 
   /// Quantile q in [0, 1] over the current window, by linear
   /// interpolation between order statistics (the same definition as
@@ -72,6 +90,8 @@ class Quantiles {
   mutable Mutex mutex_;
   /// size() grows to capacity_, then wraps
   std::vector<double> ring_ GUARDED_BY(mutex_);
+  /// request id per ring_ slot (0 = untagged); same indices, same wrap
+  std::vector<std::uint64_t> ids_ GUARDED_BY(mutex_);
   /// next write position once full
   std::size_t head_ GUARDED_BY(mutex_) = 0;
   std::uint64_t total_count_ GUARDED_BY(mutex_) = 0;

@@ -1,0 +1,19 @@
+#include "obs/request_id.hpp"
+
+namespace mecoff::obs {
+namespace {
+
+thread_local std::uint64_t t_current_request_id = 0;
+
+}  // namespace
+
+std::uint64_t current_request_id() { return t_current_request_id; }
+
+RequestIdScope::RequestIdScope(std::uint64_t id)
+    : prev_(t_current_request_id) {
+  t_current_request_id = id;
+}
+
+RequestIdScope::~RequestIdScope() { t_current_request_id = prev_; }
+
+}  // namespace mecoff::obs

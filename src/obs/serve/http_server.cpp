@@ -70,10 +70,11 @@ void send_all(int fd, const std::string& data) {
 void send_response(int fd, const HttpResponse& response) {
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + ' ' +
                     status_text(response.status) +
-                    "\r\nContent-Type: " + response.content_type +
-                    "\r\nContent-Length: " +
-                    std::to_string(response.body.size()) +
-                    "\r\nConnection: close\r\n\r\n" + response.body;
+                    "\r\nContent-Type: " + response.content_type;
+  for (const auto& [name, value] : response.extra_headers)
+    out += "\r\n" + name + ": " + value;
+  out += "\r\nContent-Length: " + std::to_string(response.body.size()) +
+         "\r\nConnection: close\r\n\r\n" + response.body;
   send_all(fd, out);
 }
 
@@ -120,6 +121,32 @@ bool parse_content_length(const std::string& buffer, std::size_t start,
     start = eol + 2;
   }
   return false;
+}
+
+/// Parse the raw header block `[start, end)` into name -> value with
+/// lowercased names (header names are case-insensitive; values keep
+/// their case). Malformed lines (no colon) are skipped, repeated names
+/// keep the last occurrence — tolerant parsing for a diagnostics port.
+void parse_headers(const std::string& buffer, std::size_t start,
+                   std::size_t end,
+                   std::map<std::string, std::string>& out) {
+  while (start < end) {
+    std::size_t eol = buffer.find("\r\n", start);
+    if (eol == std::string::npos || eol > end) eol = end;
+    const std::size_t colon = buffer.find(':', start);
+    if (colon != std::string::npos && colon < eol) {
+      std::string name = buffer.substr(start, colon - start);
+      std::transform(name.begin(), name.end(), name.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      std::size_t value_start = colon + 1;
+      while (value_start < eol && buffer[value_start] == ' ') ++value_start;
+      std::size_t value_end = eol;
+      while (value_end > value_start && buffer[value_end - 1] == ' ')
+        --value_end;
+      out[std::move(name)] = buffer.substr(value_start, value_end - value_start);
+    }
+    start = eol + 2;
+  }
 }
 
 }  // namespace
@@ -338,6 +365,7 @@ void HttpServer::serve_connection(int fd) {
     target.resize(query_start);
   }
   request.path = std::move(target);
+  parse_headers(buffer, line_end + 2, header_end, request.headers);
 
   requests_.fetch_add(1, std::memory_order_relaxed);
 

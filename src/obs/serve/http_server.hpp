@@ -47,6 +47,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.hpp"
@@ -68,12 +69,19 @@ struct HttpRequest {
   std::string path;    ///< "/metrics" (query string stripped)
   std::string query;   ///< "a=1&b=2" (no leading '?'), may be empty
   std::string body;    ///< POST payload (empty for GET/HEAD)
+  /// Request headers, names lowercased (HTTP header names are
+  /// case-insensitive); last occurrence of a repeated name wins.
+  std::map<std::string, std::string> headers;
 };
 
 struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  /// Extra response headers appended verbatim after Content-Type
+  /// (e.g. {"X-Mecoff-Request-Id", "17"}). Names must be valid HTTP
+  /// header tokens; values must not contain CR/LF.
+  std::vector<std::pair<std::string, std::string>> extra_headers;
 };
 
 #ifndef MECOFF_OBS_DISABLED

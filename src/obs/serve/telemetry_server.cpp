@@ -67,6 +67,17 @@ TelemetryServer::TelemetryServer() {
     response.body = FlightRecorder::global().to_json();
     return response;
   });
+  http_.handle("/timez", [this](const HttpRequest&) {
+    HttpResponse response;
+    if (timeline_ == nullptr) {
+      response.status = 503;
+      response.body = "no timeline configured\n";
+      return response;
+    }
+    response.content_type = "application/json";
+    response.body = timeline_->to_json();
+    return response;
+  });
 }
 
 void TelemetryServer::set_health_callback(HealthCallback callback) {

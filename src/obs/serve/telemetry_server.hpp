@@ -12,6 +12,8 @@
 //             fallback...). No callback registered = always ok.
 //   /flightz  the flight recorder's current ring as JSON (the same
 //             document an anomaly dump writes, anomaly=null)
+//   /timez    the attached obs::Timeline's `mecoff.timeline.v1`
+//             document (503 until set_timeline() wires one up)
 //
 // Serving OBSERVES: every route renders from snapshots of internally
 // synchronized state, so a scrape can never perturb a running solve —
@@ -30,6 +32,7 @@
 
 #include "common/result.hpp"
 #include "obs/serve/http_server.hpp"
+#include "obs/timeline.hpp"
 
 namespace mecoff::obs::serve {
 
@@ -69,6 +72,12 @@ class TelemetryServer {
   void add_varz_section(std::string key,
                         std::function<std::string()> renderer);
 
+  /// Attach the timeline /timez serves. Call before start(); the
+  /// Timeline must outlive the server (it is internally synchronized,
+  /// so connection workers render it safely). nullptr (the default)
+  /// leaves /timez answering 503 "no timeline configured".
+  void set_timeline(const Timeline* timeline) { timeline_ = timeline; }
+
   /// Passthrough to HttpServer::set_io_timeout_ms (pre-start only).
   void set_io_timeout_ms(int ms);
 
@@ -86,6 +95,8 @@ class TelemetryServer {
  private:
   HttpServer http_;
   HealthCallback health_;
+  /// Pre-start registered; the pointee is internally synchronized.
+  const Timeline* timeline_ = nullptr;
   /// Pre-start registered, read-only while serving (same discipline as
   /// health_ and the route table).
   std::vector<std::pair<std::string, std::function<std::string()>>>

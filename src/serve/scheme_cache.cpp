@@ -19,13 +19,16 @@ SchemeCache::Lookup SchemeCache::acquire(const Fingerprint& key,
 SchemeCache::Lookup SchemeCache::acquire(const Fingerprint& key,
                                          double max_wait_seconds,
                                          const Fingerprint& topo_key,
-                                         WarmHint* warm_out) {
+                                         WarmHint* warm_out,
+                                         std::uint64_t request_id) {
   const Stopwatch waited;
   const MutexLock lock(mutex_);
   for (;;) {
     auto it = map_.find(key);
     if (it == map_.end()) {
-      map_.emplace(key, Entry{});  // kSolving: this caller owns it
+      Entry owned;  // kSolving: this caller owns it
+      owned.owner_request_id = request_id;
+      map_.emplace(key, std::move(owned));
       ++misses_;
       // Near-miss probe: a ready same-topology donor seeds the owner's
       // warm re-solve. Only the fresh owner probes — riders and hits
@@ -49,7 +52,7 @@ SchemeCache::Lookup SchemeCache::acquire(const Fingerprint& key,
     if (entry.state == State::kReady) {
       entry.lru_tick = ++tick_;
       ++hits_;
-      return Lookup{Outcome::kHit, entry.placement};
+      return Lookup{Outcome::kHit, entry.placement, entry.owner_request_id};
     }
     // In-flight: ride the owner's solve. The entry cannot be erased
     // while waiters > 0 (publish keeps it, abandon only flips state,
@@ -85,11 +88,13 @@ SchemeCache::Lookup SchemeCache::acquire(const Fingerprint& key,
       // riders observe kSolving again and keep waiting on the new
       // owner.
       entry.state = State::kSolving;
+      entry.owner_request_id = request_id;
       ++misses_;
       return Lookup{Outcome::kMiss, {}};
     }
     ++coalesced_;
-    return Lookup{Outcome::kCoalesced, entry.placement};
+    return Lookup{Outcome::kCoalesced, entry.placement,
+                  entry.owner_request_id};
   }
 }
 

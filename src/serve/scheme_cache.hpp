@@ -67,6 +67,10 @@ class SchemeCache {
     Outcome outcome = Outcome::kMiss;
     /// Valid for kHit/kCoalesced; empty for kMiss.
     std::vector<mec::Placement> placement;
+    /// For kHit/kCoalesced: the request id of the owner that solved
+    /// (or is credited with) this entry — the correlation answer to
+    /// "whose solve am I being served?". 0 = owner carried no id.
+    std::uint64_t owner_request_id = 0;
   };
 
   /// Near-miss reuse payload: a READY entry whose request hashed to a
@@ -115,10 +119,16 @@ class SchemeCache {
   /// copy — detectable as a non-empty warm_out->placement. Hit/
   /// coalesced/timeout outcomes never fill the hint (there is nothing
   /// to re-solve). `warm_out` may be null (plain acquire).
+  /// `request_id` is the acquiring request's correlation id: recorded
+  /// on the entry when this caller becomes the owner (kMiss, including
+  /// abandon-promotion), and echoed back to later hits/riders as
+  /// Lookup::owner_request_id.
   [[nodiscard]] Lookup acquire(const Fingerprint& key,
                                double max_wait_seconds,
                                const Fingerprint& topo_key,
-                               WarmHint* warm_out) EXCLUDES(mutex_);
+                               WarmHint* warm_out,
+                               std::uint64_t request_id = 0)
+      EXCLUDES(mutex_);
 
   /// Owner completes: store the placement, wake riders, enter the LRU
   /// (possibly evicting older ready entries).
@@ -146,6 +156,8 @@ class SchemeCache {
     State state = State::kSolving;
     std::vector<mec::Placement> placement;
     std::size_t waiters = 0;
+    /// Correlation id of the request that owns (or solved) this entry.
+    std::uint64_t owner_request_id = 0;
     /// Position in lru_ (valid only when state == kReady).
     std::size_t lru_tick = 0;
     /// Reset by publish(); drives Stats::oldest_entry_age_seconds.

@@ -8,6 +8,7 @@
 
 #include "common/stopwatch.hpp"
 #include "obs/obs.hpp"
+#include "obs/request_id.hpp"
 
 namespace mecoff::serve {
 
@@ -104,8 +105,16 @@ Result<SolveResponse> SolveService::solve(const SolveRequest& request) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   MECOFF_COUNTER_ADD("serve.solve.requests", 1);
   // The injector's clock is the request sequence: every request that
-  // reaches admission ticks it, shed and drained ones included.
-  if (options_.injector != nullptr) options_.injector->begin_request();
+  // reaches admission ticks it, shed and drained ones included. Its
+  // sequence number doubles as the assigned correlation id, so ids
+  // match the injector's "req <seq>" trace lines and replay exactly.
+  std::uint64_t request_id = request.request_id;
+  if (options_.injector != nullptr) {
+    const std::uint64_t seq = options_.injector->begin_request();
+    if (request_id == 0) request_id = seq;
+  }
+  if (request_id == 0)
+    request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
 
   FingerprintBuilder keyed(config_seed_);
   // Continue the config digest with the request content: same app +
@@ -126,7 +135,8 @@ Result<SolveResponse> SolveService::solve(const SolveRequest& request) {
     drained_.fetch_add(1, std::memory_order_relaxed);
     MECOFF_COUNTER_ADD("serve.solve.drained", 1);
     SolveResponse response = degrade_response(request, key, SolveSource::kShed);
-    finish(response, timer.elapsed_seconds(), /*was_admitted=*/false);
+    finish(response, request_id, timer.elapsed_seconds(),
+           /*was_admitted=*/false);
     return response;
   }
 
@@ -139,7 +149,8 @@ Result<SolveResponse> SolveService::solve(const SolveRequest& request) {
     brownout_shed_.fetch_add(1, std::memory_order_relaxed);
     MECOFF_COUNTER_ADD("serve.solve.brownout_shed", 1);
     SolveResponse response = degrade_response(request, key, SolveSource::kShed);
-    finish(response, timer.elapsed_seconds(), /*was_admitted=*/false);
+    finish(response, request_id, timer.elapsed_seconds(),
+           /*was_admitted=*/false);
     return response;
   }
   const std::size_t admitted =
@@ -149,7 +160,8 @@ Result<SolveResponse> SolveService::solve(const SolveRequest& request) {
     shed_.fetch_add(1, std::memory_order_relaxed);
     MECOFF_COUNTER_ADD("serve.solve.shed", 1);
     SolveResponse response = degrade_response(request, key, SolveSource::kShed);
-    finish(response, timer.elapsed_seconds(), /*was_admitted=*/false);
+    finish(response, request_id, timer.elapsed_seconds(),
+           /*was_admitted=*/false);
     return response;
   }
 
@@ -170,17 +182,20 @@ Result<SolveResponse> SolveService::solve(const SolveRequest& request) {
   if (options_.warm_resolve) topo_key = fingerprint_topology(request.user);
   SchemeCache::Lookup lookup =
       options_.warm_resolve
-          ? cache_.acquire(key, wait_budget, topo_key, &hint)
-          : cache_.acquire(key, wait_budget);
+          ? cache_.acquire(key, wait_budget, topo_key, &hint, request_id)
+          : cache_.acquire(key, wait_budget, Fingerprint{}, nullptr,
+                           request_id);
   switch (lookup.outcome) {
     case SchemeCache::Outcome::kHit:
       response.placement = std::move(lookup.placement);
       response.source = SolveSource::kCacheHit;
+      response.served_by_request_id = lookup.owner_request_id;
       MECOFF_COUNTER_ADD("serve.solve.cache_hits", 1);
       break;
     case SchemeCache::Outcome::kCoalesced:
       response.placement = std::move(lookup.placement);
       response.source = SolveSource::kCoalesced;
+      response.served_by_request_id = lookup.owner_request_id;
       MECOFF_COUNTER_ADD("serve.solve.coalesced", 1);
       break;
     case SchemeCache::Outcome::kTimeout: {
@@ -199,8 +214,8 @@ Result<SolveResponse> SolveService::solve(const SolveRequest& request) {
       bool degraded = false;
       bool no_shard_alive = false;
       response.placement = run_cold_solve(request, key, remaining,
-                                          /*shard_offset=*/1, degraded,
-                                          no_shard_alive);
+                                          /*shard_offset=*/1, request_id,
+                                          degraded, no_shard_alive);
       if (no_shard_alive) {
         deadline_degraded_.fetch_add(1, std::memory_order_relaxed);
         MECOFF_COUNTER_ADD("serve.solve.deadline_degraded", 1);
@@ -240,7 +255,7 @@ Result<SolveResponse> SolveService::solve(const SolveRequest& request) {
       try {
         response.placement = run_cold_solve(
             request, key, remaining,
-            /*shard_offset=*/0, degraded, no_shard_alive,
+            /*shard_offset=*/0, request_id, degraded, no_shard_alive,
             warm_armed ? &hint : nullptr,
             options_.warm_resolve ? &artifacts : nullptr, &warm_rejects);
       } catch (...) {
@@ -300,14 +315,16 @@ Result<SolveResponse> SolveService::solve(const SolveRequest& request) {
     }
   }
 
-  finish(response, timer.elapsed_seconds(), /*was_admitted=*/true);
+  finish(response, request_id, timer.elapsed_seconds(),
+         /*was_admitted=*/true);
   return response;
 }
 
 std::vector<mec::Placement> SolveService::run_cold_solve(
     const SolveRequest& request, const Fingerprint& key,
-    double remaining_budget_seconds, std::size_t shard_offset, bool& degraded,
-    bool& no_shard_alive, const SchemeCache::WarmHint* warm_hint,
+    double remaining_budget_seconds, std::size_t shard_offset,
+    std::uint64_t request_id, bool& degraded, bool& no_shard_alive,
+    const SchemeCache::WarmHint* warm_hint,
     std::vector<linalg::Vec>* artifacts_out,
     std::size_t* warm_rejects_out) {
   // Shard selection honors injected kills: start from the fingerprint
@@ -341,7 +358,13 @@ std::vector<mec::Placement> SolveService::run_cold_solve(
     injected = std::min(injected, remaining_budget_seconds);
 
   auto solve_now = [this, &request, &degraded, remaining_budget_seconds,
-                    injected, warm_hint, artifacts_out, warm_rejects_out] {
+                    injected, request_id, warm_hint, artifacts_out,
+                    warm_rejects_out] {
+    // The scope rides whichever thread executes the solve (pool worker
+    // or caller), so the flight recorder and the mec.solve.latency
+    // exemplar see this request's id. The injected stall stays inside
+    // it: the slowed request is the one the exemplar should name.
+    const obs::RequestIdScope id_scope(request_id);
     if (injected > 0.0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(injected));
     }
@@ -438,15 +461,23 @@ bool SolveService::brownout_shed_decision(std::size_t in_flight_now) {
   return candidate % period == 0;
 }
 
-void SolveService::finish(SolveResponse& response, double latency_seconds,
-                          bool was_admitted) {
+void SolveService::finish(SolveResponse& response, std::uint64_t request_id,
+                          double latency_seconds, bool was_admitted) {
+  response.request_id = request_id;
+  // Hit/coalesced responses already carry the owner's id; every other
+  // source (solved, hedged, the degrade fallbacks) was produced by this
+  // very request.
+  if (response.source != SolveSource::kCacheHit &&
+      response.source != SolveSource::kCoalesced)
+    response.served_by_request_id = request_id;
   if (was_admitted) {
     const std::size_t remaining =
         in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
     MECOFF_GAUGE_SET("serve.solve.in_flight", static_cast<double>(remaining));
   }
   response.latency_seconds = latency_seconds;
-  MECOFF_QUANTILES_RECORD("serve.solve.latency", latency_seconds);
+  MECOFF_QUANTILES_RECORD_ID("serve.solve.latency", latency_seconds,
+                             request_id);
   {
     // Feed the brownout controller's own window (registry-independent,
     // works obs-off) and refresh the cached p99 every 32 completions —

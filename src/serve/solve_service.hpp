@@ -104,6 +104,13 @@ struct SolveRequest {
   /// service's default_deadline_seconds. The budget is deliberately
   /// NOT part of the cache key (it is a constraint, not an input).
   double deadline_seconds = -1.0;
+  /// Correlation id. 0 (the default) = the service assigns one: the
+  /// fault injector's request sequence number when an injector is
+  /// wired (so ids line up with "req <seq>" trace lines and replays
+  /// are deterministic), else a service-local counter. Caller-supplied
+  /// ids (e.g. from an X-Mecoff-Request-Id header) pass through
+  /// untouched. NOT part of the cache key.
+  std::uint64_t request_id = 0;
 };
 
 /// Where the placement came from.
@@ -129,6 +136,14 @@ struct SolveResponse {
   bool degraded = false;
   double latency_seconds = 0.0;
   Fingerprint key;
+  /// This request's correlation id (echoed from SolveRequest, or
+  /// service-assigned — see SolveRequest::request_id). Never 0.
+  std::uint64_t request_id = 0;
+  /// Id of the request whose solve produced this placement: equals
+  /// request_id for kSolved/kHedged (and the degrade sources); the
+  /// cache owner's id for kCacheHit/kCoalesced (0 if the owner carried
+  /// none — pre-id cache entries).
+  std::uint64_t served_by_request_id = 0;
 };
 
 /// Progressive health-aware shedding. Three tiers above "healthy",
@@ -258,10 +273,13 @@ class SolveService {
   /// `artifacts_out` (may be null) receives the solve's per-component
   /// Fiedler vectors for publication; `warm_rejects_out` (may be null)
   /// receives the count of dimension-rejected warm vectors.
+  /// `request_id` is held in an obs::RequestIdScope around the solve
+  /// (on whichever thread runs it) so the flight recorder and latency
+  /// exemplar attribute the solve to this request.
   [[nodiscard]] std::vector<mec::Placement> run_cold_solve(
       const SolveRequest& request, const Fingerprint& key,
       double remaining_budget_seconds, std::size_t shard_offset,
-      bool& degraded, bool& no_shard_alive,
+      std::uint64_t request_id, bool& degraded, bool& no_shard_alive,
       const SchemeCache::WarmHint* warm_hint = nullptr,
       std::vector<linalg::Vec>* artifacts_out = nullptr,
       std::size_t* warm_rejects_out = nullptr);
@@ -270,10 +288,11 @@ class SolveService {
   [[nodiscard]] bool brownout_shed_decision(std::size_t in_flight_now)
       EXCLUDES(brownout_mutex_);
 
-  /// Finish a response: in-flight decrement, latency record, p99
-  /// refresh for the brownout controller.
-  void finish(SolveResponse& response, double latency_seconds,
-              bool was_admitted);
+  /// Finish a response: correlation-id stamping, in-flight decrement,
+  /// latency record (id-tagged for the p99 exemplar), p99 refresh for
+  /// the brownout controller.
+  void finish(SolveResponse& response, std::uint64_t request_id,
+              double latency_seconds, bool was_admitted);
 
   [[nodiscard]] SolveResponse degrade_response(const SolveRequest& request,
                                                const Fingerprint& key,
@@ -288,6 +307,9 @@ class SolveService {
   std::atomic<bool> draining_{false};
   std::atomic<std::size_t> in_flight_{0};
   std::atomic<std::uint64_t> requests_{0};
+  /// Fallback id source when no injector is wired and the caller did
+  /// not supply one (ids are 1-based; 0 means "unassigned").
+  std::atomic<std::uint64_t> next_request_id_{0};
   std::atomic<std::uint64_t> solved_{0};
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> degraded_{0};

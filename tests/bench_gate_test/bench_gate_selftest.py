@@ -26,14 +26,21 @@ METRICS_STDOUT = """some human table
 "gauges":{"mec.solve.total_seconds":0.25}}
 """
 
-def trajectory_stdout(requests=100, mismatches=0, wall=0.5, hits=90):
+def trajectory_stdout(requests=100, mismatches=0, wall=0.5, hits=90,
+                      sample_requests=50):
     doc = {
         "schema": "mecoff.soak_trajectory.v1",
         "title": "bench_soak",
         "phases": [
             {"name": "steady", "clients": 4, "requests": requests,
              "errors": 0, "mismatches": mismatches, "wedged": 0,
-             "hits": hits, "wall_seconds": wall, "p99_seconds": 0.001},
+             "hits": hits, "wall_seconds": wall, "p99_seconds": 0.001,
+             "samples": [
+                 {"segment": 1, "requests": sample_requests,
+                  "hits": hits // 2, "wall_seconds": wall / 2},
+                 {"segment": 2, "requests": requests, "hits": hits,
+                  "wall_seconds": wall},
+             ]},
         ],
         "totals": {"requests": requests, "errors": 0,
                    "mismatches": mismatches, "wedged": 0,
@@ -114,6 +121,16 @@ def main():
             spec["metrics"]["totals.requests"]["tol"] == 0.0 and
             spec["metrics"]["phases.steady.hits"]["tol"] is None and
             spec["metrics"]["totals.wall_seconds"]["tol"] is None)
+        failures += not check(
+            "curve samples flatten: .requests exact, rest presence-only",
+            spec["metrics"]["phases.steady.samples.0.requests"]["tol"]
+            == 0.0 and
+            spec["metrics"]["phases.steady.samples.1.requests"]["tol"]
+            == 0.0 and
+            spec["metrics"]["phases.steady.samples.0.hits"]["tol"] is None
+            and
+            spec["metrics"]["phases.steady.samples.0.wall_seconds"]["tol"]
+            is None)
         p = run_gate([soak, soak_base])
         failures += not check("trajectory gate passes against itself",
                               p.returncode == 0, p.stdout + p.stderr)
@@ -128,6 +145,11 @@ def main():
         p = run_gate([drift_bad, soak_base])
         failures += not check("load-shape drift fails", p.returncode == 1,
                               p.stdout)
+        curve_bad = write("soak_curve.out",
+                          trajectory_stdout(sample_requests=49))
+        p = run_gate([curve_bad, soak_base])
+        failures += not check("curve sample-position drift fails",
+                              p.returncode == 1, p.stdout)
 
         # Zero-invariant violations fail, even under --update.
         broken_soak = write("soak_broken.out",

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Self-test for tools/plot_trajectory.py.
+
+Builds a fake bench/ directory with two dated trajectory documents, one
+bench_gate baseline (which the tool must skip, since both share the
+BENCH_ filename prefix) and one unparseable file, then checks: the
+merged text report orders runs by date and carries every phase, the
+segment curve renders when present, --phase filters, --svg writes a
+well-formed polyline plot, and the usage/empty-input paths exit 2.
+Registered as the `plot_trajectory_selftest` ctest (label: lint);
+stdlib only, all fixtures built in a temp dir.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+TOOL = os.path.join(ROOT, "tools", "plot_trajectory.py")
+
+
+def trajectory_doc(p99, with_curve):
+    phase = {"name": "steady", "clients": 4, "requests": 3000,
+             "errors": 0, "mismatches": 0, "wedged": 0, "hits": 3000,
+             "wall_seconds": 0.05, "p99_seconds": p99}
+    if with_curve:
+        phase["samples"] = [
+            {"segment": 1, "requests": 1000, "wall_seconds": 0.02},
+            {"segment": 2, "requests": 2000, "wall_seconds": 0.03},
+            {"segment": 3, "requests": 3000, "wall_seconds": 0.05},
+        ]
+    drain = {"name": "drain", "clients": 4, "requests": 400,
+             "errors": 0, "mismatches": 0, "wedged": 0, "shed": 400,
+             "wall_seconds": 0.01, "p99_seconds": p99 / 2}
+    return {"schema": "mecoff.soak_trajectory.v1", "title": "bench_soak",
+            "phases": [phase, drain],
+            "totals": {"requests": 3400, "errors": 0, "mismatches": 0,
+                       "wedged": 0, "unanswered": 0,
+                       "wall_seconds": 0.06},
+            "invariants_zero": ["totals.errors"]}
+
+
+def run_tool(args):
+    return subprocess.run([sys.executable, TOOL] + args,
+                          capture_output=True, text=True, check=False)
+
+
+def check(name, ok, detail=""):
+    status = "ok" if ok else "FAIL"
+    print(f"  [{status}] {name}" + (f": {detail}" if detail and not ok
+                                    else ""))
+    return ok
+
+
+def main():
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        def write(rel, text):
+            path = os.path.join(tmp, rel)
+            with open(path, "w") as out:
+                out.write(text)
+            return path
+
+        old = write("BENCH_2026-08-01.json",
+                    json.dumps(trajectory_doc(0.002, with_curve=False)))
+        new = write("BENCH_2026-08-09.json",
+                    json.dumps(trajectory_doc(0.001, with_curve=True)))
+        baseline = write("BENCH_soak_baseline.json",
+                         json.dumps({"schema": "mecoff.bench_gate.v1",
+                                     "metrics": {}}))
+        broken = write("BENCH_broken.json", "{not json")
+
+        # Passed newest-first on purpose: the report must reorder by the
+        # filename date.
+        p = run_tool([new, broken, baseline, old])
+        failures += not check("mixed input exits 0", p.returncode == 0,
+                              p.stderr)
+        failures += not check("baseline skipped with a note",
+                              "BENCH_soak_baseline.json" in p.stdout and
+                              "skipping" in p.stdout, p.stdout)
+        failures += not check("unparseable input skipped",
+                              "BENCH_broken.json" in p.stderr, p.stderr)
+        failures += not check("both phases reported",
+                              "== steady ==" in p.stdout and
+                              "== drain ==" in p.stdout, p.stdout)
+        failures += not check(
+            "runs ordered by date",
+            p.stdout.find("2026-08-01") < p.stdout.find("2026-08-09"),
+            p.stdout)
+        failures += not check("segment curve rendered",
+                              "1000 2000 3000" in p.stdout, p.stdout)
+        failures += not check("totals row present",
+                              "== totals ==" in p.stdout and
+                              "3400" in p.stdout, p.stdout)
+
+        p = run_tool(["--phase", "drain", old, new])
+        failures += not check("--phase filters the report",
+                              p.returncode == 0 and
+                              "== drain ==" in p.stdout and
+                              "== steady ==" not in p.stdout, p.stdout)
+
+        svg = os.path.join(tmp, "out.svg")
+        p = run_tool(["--svg", svg, old, new])
+        failures += not check("--svg exits 0", p.returncode == 0,
+                              p.stderr)
+        svg_text = open(svg).read() if os.path.exists(svg) else ""
+        failures += not check("svg holds a polyline per phase",
+                              svg_text.startswith("<svg") and
+                              svg_text.count("<polyline") == 2, svg_text)
+
+        p = run_tool([])
+        failures += not check("no arguments exits 2", p.returncode == 2)
+        p = run_tool([baseline])
+        failures += not check("only non-trajectory inputs exits 2",
+                              p.returncode == 2, p.stdout + p.stderr)
+        p = run_tool(["--bogus", old])
+        failures += not check("unknown option exits 2",
+                              p.returncode == 2 and
+                              "--bogus" in p.stderr, p.stderr)
+
+    if failures:
+        print(f"plot_trajectory_selftest: {failures} checks FAILED")
+        return 1
+    print("plot_trajectory_selftest: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

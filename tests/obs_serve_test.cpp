@@ -39,6 +39,7 @@
 #include "obs/quantiles.hpp"
 #include "obs/serve/exposition.hpp"
 #include "obs/serve/telemetry_server.hpp"
+#include "obs/timeline.hpp"
 
 #ifndef MECOFF_OBS_DISABLED
 #include <arpa/inet.h>
@@ -499,7 +500,7 @@ std::string http_post(std::uint16_t port, const std::string& path,
 TEST(HttpRobustness, StalledClientDoesNotBlockOtherRequests) {
   obs::serve::HttpServer server;
   server.handle("/ping", [](const obs::serve::HttpRequest&) {
-    return obs::serve::HttpResponse{200, "text/plain", "pong\n"};
+    return obs::serve::HttpResponse{200, "text/plain", "pong\n", {}};
   });
   const Result<std::uint16_t> port = server.start(0);
   ASSERT_TRUE(port.ok()) << port.error().message;
@@ -526,7 +527,7 @@ TEST(HttpRobustness, SilentPeerIsTimedOutWithin408) {
   obs::serve::HttpServer server;
   server.set_io_timeout_ms(200);  // keep the test fast
   server.handle("/ping", [](const obs::serve::HttpRequest&) {
-    return obs::serve::HttpResponse{200, "text/plain", "pong\n"};
+    return obs::serve::HttpResponse{200, "text/plain", "pong\n", {}};
   });
   const Result<std::uint16_t> port = server.start(0);
   ASSERT_TRUE(port.ok()) << port.error().message;
@@ -560,7 +561,7 @@ TEST(HttpRobustness, StopJoinsPromptlyWhileConnectionMidRecv) {
   // fd shutdown path works, not that a timeout expired.
   server.set_io_timeout_ms(30000);
   server.handle("/ping", [](const obs::serve::HttpRequest&) {
-    return obs::serve::HttpResponse{200, "text/plain", "pong\n"};
+    return obs::serve::HttpResponse{200, "text/plain", "pong\n", {}};
   });
   const Result<std::uint16_t> port = server.start(0);
   ASSERT_TRUE(port.ok()) << port.error().message;
@@ -586,7 +587,8 @@ TEST(HttpRobustness, PostBodyRoundTripsAndOversizeIsRejected) {
   obs::serve::HttpServer server;
   server.handle("/echo", [](const obs::serve::HttpRequest& request) {
     return obs::serve::HttpResponse{200, "text/plain",
-                                    request.method + ":" + request.body};
+                                    request.method + ":" + request.body,
+                                    {}};
   });
   const Result<std::uint16_t> port = server.start(0);
   ASSERT_TRUE(port.ok()) << port.error().message;
@@ -630,6 +632,106 @@ TEST(HttpRobustness, NotFoundIsPlainAndRoutesLiveOnVarz) {
   EXPECT_NE(varz.find("\"routes\":["), std::string::npos);
   EXPECT_NE(varz.find("\"/metrics\""), std::string::npos);
   EXPECT_NE(varz.find("\"/healthz\""), std::string::npos);
+  server.stop();
+}
+
+// ---- /timez: the timeline over live HTTP ----------------------------------
+
+TEST(TelemetryServerTest, TimezAnswers503UntilATimelineIsAttached) {
+  obs::serve::TelemetryServer server;
+  const Result<std::uint16_t> port = server.start(0);
+  ASSERT_TRUE(port.ok()) << port.error().message;
+  const std::string timez = http_get(port.value(), "/timez");
+  EXPECT_NE(timez.find("HTTP/1.1 503"), std::string::npos);
+  EXPECT_NE(timez.find("no timeline configured"), std::string::npos);
+  server.stop();
+}
+
+/// Tick-mode documents promise byte-stability: a private registry with
+/// fixed instrument content, sampled at deterministic request ticks,
+/// must render exactly the committed golden fixture — locally via
+/// to_json() AND as the /timez response body over a live socket.
+TEST(TelemetryServerTest, TimezMatchesGoldenTickDocumentByteForByte) {
+  obs::MetricsRegistry registry;
+  obs::Timeline::Options options;
+  options.capacity = 4;
+  options.mode = obs::Timeline::Mode::kTick;
+  options.tick_period = 2;
+  options.registry = &registry;
+  obs::Timeline timeline(options);
+
+  obs::Counter& requests = registry.counter("serve.solve.requests");
+  obs::Gauge& entries = registry.gauge("serve.cache.entries");
+  obs::Quantiles& latency = registry.quantiles("serve.solve.latency");
+
+  requests.add(3);
+  entries.set(1.0);
+  latency.record(0.25, 101);
+  timeline.note_request();
+  timeline.note_request();  // sample at tick 2
+  requests.add(5);
+  entries.set(2.0);
+  latency.record(0.75, 102);
+  latency.record(0.5, 103);
+  timeline.note_request();
+  timeline.note_request();  // sample at tick 4
+
+  const std::string rendered = timeline.to_json();
+  // The determinism contract in print: no wall-clock field anywhere.
+  EXPECT_EQ(rendered.find("wall"), std::string::npos);
+
+  const std::string path =
+      std::string(MECOFF_GOLDEN_DIR) + "/timez_tick.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden fixture " << path;
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(rendered, expected.str());
+
+  obs::serve::TelemetryServer server;
+  server.set_timeline(&timeline);
+  const Result<std::uint16_t> port = server.start(0);
+  ASSERT_TRUE(port.ok()) << port.error().message;
+  const std::string timez = http_get(port.value(), "/timez");
+  EXPECT_NE(timez.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(timez.find("application/json"), std::string::npos);
+  const std::size_t body_at = timez.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  // /timez serves the document verbatim — same bytes as the golden.
+  EXPECT_EQ(timez.substr(body_at + 4), expected.str());
+  server.stop();
+}
+
+/// The p99 postmortem loop: a deliberately slow request's correlation
+/// id must be recoverable from the window-max exemplar — in the sample
+/// the timeline retained and in the /timez document a scrape sees.
+TEST(TelemetryServerTest, SlowRequestIdIsRecoverableFromTimezExemplar) {
+  obs::MetricsRegistry registry;
+  obs::Timeline::Options options;
+  options.mode = obs::Timeline::Mode::kManual;
+  options.registry = &registry;
+  obs::Timeline timeline(options);
+
+  obs::Quantiles& latency = registry.quantiles("serve.solve.latency");
+  for (std::uint64_t i = 1; i <= 20; ++i)
+    latency.record(0.001 * static_cast<double>(i), 1000 + i);
+  latency.record(0.9, 777);  // the slowed request
+  latency.record(0.002, 2000);
+  timeline.sample_now(22);
+
+  const std::vector<obs::Timeline::Sample> samples = timeline.samples();
+  ASSERT_EQ(samples.size(), 1u);
+  const obs::Timeline::QuantPoint& point =
+      samples.front().quantiles.at("serve.solve.latency");
+  EXPECT_DOUBLE_EQ(point.max_value, 0.9);
+  EXPECT_EQ(point.max_request_id, 777u);
+
+  obs::serve::TelemetryServer server;
+  server.set_timeline(&timeline);
+  const Result<std::uint16_t> port = server.start(0);
+  ASSERT_TRUE(port.ok()) << port.error().message;
+  const std::string timez = http_get(port.value(), "/timez");
+  EXPECT_NE(timez.find("\"max_request_id\":777"), std::string::npos);
   server.stop();
 }
 

@@ -24,6 +24,9 @@
 #include "mec/offloader.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/quantiles.hpp"
+#include "obs/request_id.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -123,6 +126,212 @@ TEST(Metrics, MacroFacadeTouchesTheGlobalRegistry) {
 #else
   EXPECT_EQ(MetricsRegistry::global().counter("obs_test.macro").value(), 7u);
 #endif
+}
+
+// ---- quantile exemplars ---------------------------------------------------
+
+// The exemplar API is a class method, not a macro, so these hold in
+// both build configs.
+TEST(QuantilesExemplar, TracksWindowMaximumAndEvictsWithIt) {
+  obs::Quantiles q(/*window_capacity=*/3);
+  EXPECT_EQ(q.max_exemplar().request_id, 0u);  // empty window
+  q.record(0.5, 101);
+  q.record(2.0, 102);
+  q.record(0.7, 103);
+  EXPECT_DOUBLE_EQ(q.max_exemplar().value, 2.0);
+  EXPECT_EQ(q.max_exemplar().request_id, 102u);
+  // Two more samples push 102's 2.0 out of the 3-slot window; the
+  // exemplar must follow the eviction, not remember the all-time max.
+  q.record(0.6, 104);
+  q.record(0.8, 105);
+  EXPECT_DOUBLE_EQ(q.max_exemplar().value, 0.8);
+  EXPECT_EQ(q.max_exemplar().request_id, 105u);
+}
+
+TEST(QuantilesExemplar, TiesResolveToTheNewestSample) {
+  obs::Quantiles q(/*window_capacity=*/4);
+  q.record(1.0, 7);
+  q.record(1.0, 8);
+  q.record(0.2, 9);
+  EXPECT_EQ(q.max_exemplar().request_id, 8u);
+}
+
+TEST(QuantilesExemplar, UntaggedRecordKeepsIdZero) {
+  obs::Quantiles q(/*window_capacity=*/4);
+  q.record(3.0);
+  q.record(1.0, 42);
+  EXPECT_DOUBLE_EQ(q.max_exemplar().value, 3.0);
+  EXPECT_EQ(q.max_exemplar().request_id, 0u);
+}
+
+TEST(RequestId, ScopeSetsAndRestoresThreadLocally) {
+  EXPECT_EQ(obs::current_request_id(), 0u);
+  {
+    const obs::RequestIdScope outer(11);
+    EXPECT_EQ(obs::current_request_id(), 11u);
+    {
+      const obs::RequestIdScope inner(22);
+      EXPECT_EQ(obs::current_request_id(), 22u);
+    }
+    EXPECT_EQ(obs::current_request_id(), 11u);
+    // Thread-local: another thread sees no id.
+    std::uint64_t other = 99;
+    std::thread probe([&other] { other = obs::current_request_id(); });
+    probe.join();
+    EXPECT_EQ(other, 0u);
+  }
+  EXPECT_EQ(obs::current_request_id(), 0u);
+}
+
+#ifndef MECOFF_OBS_DISABLED
+TEST(QuantilesExemplar, SnapshotAndJsonCarryTheMaxExemplar) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  obs::Quantiles& q = reg.quantiles("obs_test.exemplar");
+  q.reset();
+  MECOFF_QUANTILES_RECORD_ID("obs_test.exemplar", 0.25, 5);
+  MECOFF_QUANTILES_RECORD_ID("obs_test.exemplar", 0.75, 6);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const auto& value = snap.quantiles.at("obs_test.exemplar");
+  EXPECT_DOUBLE_EQ(value.max_value, 0.75);
+  EXPECT_EQ(value.max_request_id, 6u);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"max\":0.75,\"max_request_id\":6"),
+            std::string::npos);
+}
+#endif
+
+// ---- timeline -------------------------------------------------------------
+
+// Timeline tests run against a PRIVATE registry (Options::registry), so
+// nothing else recorded by this binary can perturb the oracle — and the
+// class-level API holds in both build configs.
+
+TEST(Timeline, DeltaAndRateMathMatchesHandOracle) {
+  obs::MetricsRegistry registry;
+  obs::Timeline::Options options;
+  options.registry = &registry;
+  obs::Timeline timeline(options);
+
+  registry.counter("t.requests").add(10);
+  timeline.sample_now(/*tick=*/5);
+  registry.counter("t.requests").add(30);
+  registry.gauge("t.depth").set(2.5);
+  timeline.sample_now(/*tick=*/15);
+
+  const std::vector<obs::Timeline::Sample> samples = timeline.samples();
+  ASSERT_EQ(samples.size(), 2u);
+  // First sample: delta from the zero origin over 5 ticks.
+  const obs::Timeline::CounterPoint& first =
+      samples[0].counters.at("t.requests");
+  EXPECT_EQ(first.value, 10u);
+  EXPECT_EQ(first.delta, 10);
+  EXPECT_DOUBLE_EQ(first.rate, 10.0 / 5.0);
+  // Second: delta vs the previous sample over 10 ticks.
+  const obs::Timeline::CounterPoint& second =
+      samples[1].counters.at("t.requests");
+  EXPECT_EQ(second.value, 40u);
+  EXPECT_EQ(second.delta, 30);
+  EXPECT_DOUBLE_EQ(second.rate, 30.0 / 10.0);
+  EXPECT_DOUBLE_EQ(samples[1].gauges.at("t.depth"), 2.5);
+}
+
+TEST(Timeline, RingWrapsAndDeltasSurviveEviction) {
+  obs::MetricsRegistry registry;
+  obs::Timeline::Options options;
+  options.registry = &registry;
+  options.capacity = 2;
+  obs::Timeline timeline(options);
+
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    registry.counter("t.c").add(i);  // cumulative: 1, 3, 6, 10
+    timeline.sample_now(i);
+  }
+  EXPECT_EQ(timeline.size(), 2u);
+  EXPECT_EQ(timeline.samples_taken(), 4u);
+  EXPECT_EQ(timeline.dropped(), 2u);
+  const std::vector<obs::Timeline::Sample> samples = timeline.samples();
+  ASSERT_EQ(samples.size(), 2u);
+  // Oldest retained is sample 3 — its delta is against the EVICTED
+  // sample 2 (value 3), proving the delta base outlives the ring.
+  EXPECT_EQ(samples[0].tick, 3u);
+  EXPECT_EQ(samples[0].counters.at("t.c").value, 6u);
+  EXPECT_EQ(samples[0].counters.at("t.c").delta, 3);
+  EXPECT_EQ(samples[1].tick, 4u);
+  EXPECT_EQ(samples[1].counters.at("t.c").value, 10u);
+  EXPECT_EQ(samples[1].counters.at("t.c").delta, 4);
+}
+
+TEST(Timeline, KeyFilterRestrictsEveryInstrumentKind) {
+  obs::MetricsRegistry registry;
+  registry.counter("keep.c").add(1);
+  registry.counter("drop.c").add(1);
+  registry.gauge("drop.g").set(1.0);
+  registry.quantiles("drop.q").record(1.0);
+  obs::Timeline::Options options;
+  options.registry = &registry;
+  options.keys = {"keep.c"};
+  obs::Timeline timeline(options);
+  timeline.sample_now(1);
+  const std::vector<obs::Timeline::Sample> samples = timeline.samples();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].counters.size(), 1u);
+  EXPECT_TRUE(samples[0].counters.contains("keep.c"));
+  EXPECT_TRUE(samples[0].gauges.empty());
+  EXPECT_TRUE(samples[0].quantiles.empty());
+}
+
+TEST(Timeline, TickModeSamplesOnPeriodAndJsonIsByteStable) {
+  obs::MetricsRegistry registry;
+  obs::Timeline::Options options;
+  options.registry = &registry;
+  options.mode = obs::Timeline::Mode::kTick;
+  options.tick_period = 2;
+  obs::Timeline timeline(options);
+  for (int i = 0; i < 5; ++i) {
+    registry.counter("t.c").add(1);
+    timeline.note_request();
+  }
+  EXPECT_EQ(timeline.samples_taken(), 2u);  // at requests 2 and 4
+  const std::vector<obs::Timeline::Sample> samples = timeline.samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].tick, 2u);
+  EXPECT_EQ(samples[1].tick, 4u);
+  const std::string json = timeline.to_json();
+  // The determinism contract: tick-mode documents carry no wall-clock
+  // fields and re-render byte-identically.
+  EXPECT_EQ(json.find("wall_seconds"), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"mecoff.timeline.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"mode\":\"tick\""), std::string::npos);
+  EXPECT_EQ(json, timeline.to_json());
+}
+
+TEST(Timeline, WallModeEmitsWallSecondsAndThrottlesByInterval) {
+  obs::MetricsRegistry registry;
+  obs::Timeline::Options options;
+  options.registry = &registry;
+  options.mode = obs::Timeline::Mode::kWall;
+  options.interval_seconds = 3600.0;  // effectively once
+  obs::Timeline timeline(options);
+  timeline.poll_wall();  // first poll always samples
+  timeline.poll_wall();  // an hour has not elapsed
+  timeline.poll_wall();
+  EXPECT_EQ(timeline.samples_taken(), 1u);
+  EXPECT_NE(timeline.to_json().find("wall_seconds"), std::string::npos);
+}
+
+TEST(Timeline, ManualModeIgnoresNoteAndPoll) {
+  obs::MetricsRegistry registry;
+  obs::Timeline::Options options;
+  options.registry = &registry;
+  obs::Timeline timeline(options);
+  for (int i = 0; i < 10; ++i) timeline.note_request();
+  timeline.poll_wall();
+  EXPECT_EQ(timeline.samples_taken(), 0u);
+  timeline.sample_now(10);
+  EXPECT_EQ(timeline.samples_taken(), 1u);
+  EXPECT_NE(timeline.to_json().find("\"mode\":\"manual\""),
+            std::string::npos);
 }
 
 // ---- trace collector ------------------------------------------------------

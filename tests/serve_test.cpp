@@ -14,7 +14,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <future>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +25,8 @@
 #include "mec/model.hpp"
 #include "mec/offloader.hpp"
 #include "mec/scheme.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "serve/fault_injector.hpp"
 #include "serve/fingerprint.hpp"
@@ -894,6 +898,128 @@ TEST(SolveServiceTest, DifferentSolverConfigsUseDifferentKeys) {
   ASSERT_TRUE(rb.ok());
   EXPECT_NE(ra.value().key, rb.value().key);
 }
+
+// ---- Request-id correlation -----------------------------------------------
+
+TEST(RequestIdPropagation, ServiceAssignsNonZeroIdsAndHitsNameTheirOwner) {
+  SolveService service;  // no pool: inline solves
+  SolveRequest request{make_app(130.0, 4), mec::SystemParams{}};
+
+  const Result<SolveResponse> cold = service.solve(request);
+  ASSERT_TRUE(cold.ok()) << cold.error().message;
+  EXPECT_EQ(cold.value().source, SolveSource::kSolved);
+  EXPECT_NE(cold.value().request_id, 0u);
+  // A cold solve serves itself.
+  EXPECT_EQ(cold.value().served_by_request_id, cold.value().request_id);
+
+  const Result<SolveResponse> hot = service.solve(request);
+  ASSERT_TRUE(hot.ok()) << hot.error().message;
+  EXPECT_EQ(hot.value().source, SolveSource::kCacheHit);
+  EXPECT_NE(hot.value().request_id, cold.value().request_id);
+  // The hit names the request whose solve actually produced the bytes.
+  EXPECT_EQ(hot.value().served_by_request_id, cold.value().request_id);
+}
+
+TEST(RequestIdPropagation, CallerSuppliedIdsPassThroughUntouched) {
+  SolveService service;
+  SolveRequest request{make_app(140.0, 4), mec::SystemParams{}};
+  request.request_id = 4242;
+  const Result<SolveResponse> cold = service.solve(request);
+  ASSERT_TRUE(cold.ok()) << cold.error().message;
+  EXPECT_EQ(cold.value().request_id, 4242u);
+  EXPECT_EQ(cold.value().served_by_request_id, 4242u);
+
+  request.request_id = 9001;
+  const Result<SolveResponse> hot = service.solve(request);
+  ASSERT_TRUE(hot.ok()) << hot.error().message;
+  EXPECT_EQ(hot.value().source, SolveSource::kCacheHit);
+  EXPECT_EQ(hot.value().request_id, 9001u);
+  // The cached entry still remembers who solved it.
+  EXPECT_EQ(hot.value().served_by_request_id, 4242u);
+}
+
+TEST(RequestIdPropagation, ConcurrentStreamGetsUniqueNonZeroIds) {
+  parallel::ThreadPool pool(4);
+  SolveServiceOptions options;
+  options.pool = &pool;
+  options.shards = 2;
+  SolveService service(options);
+
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kPerClient = 8;
+  std::vector<SolveRequest> requests;
+  for (std::size_t a = 0; a < 3; ++a) {
+    requests.push_back(
+        {make_app(110.0 + 10.0 * static_cast<double>(a), 3 + a),
+         mec::SystemParams{}});
+  }
+
+  std::vector<std::vector<std::uint64_t>> ids(kClients);
+  std::atomic<std::size_t> failures{0};
+  std::atomic<std::size_t> zero_served_by{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        const Result<SolveResponse> r =
+            service.solve(requests[(c + i) % requests.size()]);
+        if (!r.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // Every response names its producer: the owner's id for
+        // hits/coalesced, the request's own id otherwise.
+        if (r.value().served_by_request_id == 0)
+          zero_served_by.fetch_add(1, std::memory_order_relaxed);
+        ids[c].push_back(r.value().request_id);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(zero_served_by.load(), 0u);
+  std::set<std::uint64_t> unique;
+  for (const std::vector<std::uint64_t>& client_ids : ids) {
+    for (const std::uint64_t id : client_ids) {
+      EXPECT_NE(id, 0u);
+      unique.insert(id);
+    }
+  }
+  // Service-assigned ids are unique across concurrent clients — even
+  // coalesced riders keep their own id (only served_by aliases).
+  EXPECT_EQ(unique.size(), kClients * kPerClient);
+}
+
+#ifndef MECOFF_OBS_DISABLED
+// The correlation id survives the whole observability chain: a
+// caller-supplied id shows up on the flight-recorder record written by
+// the solve it triggered, and the latency quantile window carries a
+// non-zero exemplar id. (The exact exemplar == slowed-request check
+// lives in obs_serve_test.cpp where the injector controls latency.)
+TEST(RequestIdPropagation, CallerIdLandsInFlightRecorderRecord) {
+  SolveService service;
+  SolveRequest request{make_app(170.0, 5), mec::SystemParams{}};
+  request.request_id = 987654321;
+  const Result<SolveResponse> r = service.solve(request);
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  ASSERT_EQ(r.value().source, SolveSource::kSolved);
+
+  bool found = false;
+  for (const obs::SolveRecord& record :
+       obs::FlightRecorder::global().snapshot()) {
+    if (record.request_id == 987654321u) found = true;
+  }
+  EXPECT_TRUE(found);
+
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  const auto it = snap.quantiles.find("serve.solve.latency");
+  ASSERT_NE(it, snap.quantiles.end());
+  EXPECT_GE(it->second.count, 1u);
+  EXPECT_NE(it->second.max_request_id, 0u);
+}
+#endif  // MECOFF_OBS_DISABLED
 
 }  // namespace
 }  // namespace mecoff::serve

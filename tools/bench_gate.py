@@ -10,7 +10,8 @@ registry dump or (bench_soak) a chaos-soak trajectory:
 
 This gate flattens the document into dotted scalars (`kind.name[.field]`
 for metrics, `phases.<name>.<field>` / `totals.<field>` for a
-trajectory) and compares them against a committed baseline with
+trajectory, `phases.<name>.samples.<i>.<field>` for a phase's
+segment-curve samples) and compares them against a committed baseline with
 per-metric tolerance bands, so structural drift (a counter that should
 be bit-stable across machines changing value, an instrument or phase
 disappearing) fails CI while wall-clock noise does not.
@@ -105,8 +106,20 @@ def flatten(doc):
         for phase in doc.get("phases", []):
             name = phase["name"]
             for field, value in phase.items():
-                if field != "name":
-                    flat[f"phases.{name}.{field}"] = value
+                if field == "name":
+                    continue
+                if isinstance(value, list):
+                    # Per-phase curves (e.g. "samples": [{...}, ...]):
+                    # one dotted scalar per sample field. The curve's
+                    # shape keys (.requests: the barrier positions) gate
+                    # exactly; its timing/provenance values are
+                    # presence-only like everything else.
+                    for i, point in enumerate(value):
+                        for sub, subvalue in point.items():
+                            flat[f"phases.{name}.{field}.{i}.{sub}"] = \
+                                subvalue
+                    continue
+                flat[f"phases.{name}.{field}"] = value
         for field, value in doc.get("totals", {}).items():
             flat[f"totals.{field}"] = value
         return flat

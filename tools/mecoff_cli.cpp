@@ -31,6 +31,8 @@
 //                                     deadline_budget=secs hedge=F
 //                                     brownout=N brownout_p99=secs
 //                                     faults=script latency_scale=secs
+//                                     timeline=N timeline_interval=secs
+//                                     request_id_header=NAME
 //                                     dump_dir=DIR ...solve params]
 //       online solve service (SolveService): POST /solve takes an app
 //       DSL body (empty body = the positional app) and answers with
@@ -51,7 +53,14 @@
 //       latency bump to the controller). faults= arms a fault script
 //       whose times are REQUEST numbers on a serve::FaultInjector
 //       (shard kills, injected solve latency, stolen cache publishes);
-//       latency_scale= scales injected stalls. Numeric options are
+//       latency_scale= scales injected stalls. timeline=N mounts
+//       GET /timez, sampled every N /solve requests (tick mode:
+//       replayable, no wall-clock fields); timeline_interval=S samples
+//       every S seconds instead (wall mode); the two are mutually
+//       exclusive. Every response carries its correlation id on the
+//       X-Mecoff-Request-Id header (request_id_header= renames it) and
+//       the body's "cache:" line; a caller may supply its own id on the
+//       same request header. Numeric options are
 //       parsed strictly — a malformed value is a usage error, not a
 //       silent default. SIGTERM drains gracefully: new requests
 //       degrade instantly, in-flight ones finish, the flight recorder
@@ -76,6 +85,7 @@
 // All options are key=value tokens after the positional arguments.
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -110,6 +120,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/serve/telemetry_server.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "serve/fault_injector.hpp"
@@ -729,11 +740,13 @@ int cmd_serve_solve(const std::string& path, const Config& cfg) {
   long long clients_arg = 0;
   long long port_arg = 0;
   long long brownout_arg = 0;
+  long long timeline_period = 0;
   double duration = 0.0;
   double deadline_budget = -1.0;
   double hedge = 0.5;
   double brownout_p99 = 0.0;
   double latency_scale = 0.05;
+  double timeline_interval = 0.0;
   if (!strict_int(cfg, "threads", 4, threads_arg) ||
       !strict_int(cfg, "shards", 4, shards_arg) ||
       !strict_int(cfg, "cache", 1024, cache_arg) ||
@@ -742,16 +755,53 @@ int cmd_serve_solve(const std::string& path, const Config& cfg) {
       !strict_int(cfg, "clients", 2, clients_arg) ||
       !strict_int(cfg, "port", 0, port_arg) ||
       !strict_int(cfg, "brownout", 0, brownout_arg) ||
+      !strict_int(cfg, "timeline", 0, timeline_period) ||
       !strict_double(cfg, "duration", 0.0, duration) ||
       !strict_double(cfg, "deadline_budget", -1.0, deadline_budget) ||
       !strict_double(cfg, "hedge", 0.5, hedge) ||
       !strict_double(cfg, "brownout_p99", 0.0, brownout_p99) ||
-      !strict_double(cfg, "latency_scale", 0.05, latency_scale))
+      !strict_double(cfg, "latency_scale", 0.05, latency_scale) ||
+      !strict_double(cfg, "timeline_interval", 0.0, timeline_interval))
     return 2;
   if (port_arg < 0 || port_arg > 65535) {
     std::fprintf(stderr, "usage error: port must be in [0, 65535]\n");
     return 2;
   }
+  if (timeline_period < 0) {
+    std::fprintf(stderr,
+                 "usage error: timeline= expects a positive request "
+                 "period\n");
+    return 2;
+  }
+  if (timeline_interval < 0.0) {
+    std::fprintf(stderr,
+                 "usage error: timeline_interval= expects a positive "
+                 "number of seconds\n");
+    return 2;
+  }
+  if (timeline_period > 0 && timeline_interval > 0.0) {
+    std::fprintf(stderr,
+                 "usage error: timeline= (tick mode) and "
+                 "timeline_interval= (wall mode) are mutually "
+                 "exclusive\n");
+    return 2;
+  }
+  // The correlation-id header is caller-facing surface: a name with
+  // spaces or ':' would corrupt the response head, so it is a usage
+  // error, same contract as the numeric knobs.
+  const std::string rid_header =
+      cfg.get_string("request_id_header", "X-Mecoff-Request-Id");
+  if (rid_header.empty() ||
+      rid_header.find(' ') != std::string::npos ||
+      rid_header.find(':') != std::string::npos) {
+    std::fprintf(stderr,
+                 "usage error: request_id_header= expects a header name "
+                 "without spaces or ':', got '%s'\n", rid_header.c_str());
+    return 2;
+  }
+  std::string rid_header_lower = rid_header;
+  for (char& ch : rid_header_lower)
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
 
   const std::size_t threads =
       static_cast<std::size_t>(std::max<long long>(1, threads_arg));
@@ -814,7 +864,25 @@ int cmd_serve_solve(const std::string& path, const Config& cfg) {
   sopts.solver.deadline.seconds = cfg.get_double("deadline", -1.0);
   serve::SolveService service(sopts);
 
+  // GET /timez: the metrics timeline. timeline=N samples every N
+  // /solve requests (tick mode — deterministic, replayable);
+  // timeline_interval=S samples every S seconds from the idle loop
+  // (wall mode). Neither knob -> 503 from the route.
+  obs::Timeline::Options timeline_options;
+  if (timeline_period > 0) {
+    timeline_options.mode = obs::Timeline::Mode::kTick;
+    timeline_options.tick_period =
+        static_cast<std::uint64_t>(timeline_period);
+  } else if (timeline_interval > 0.0) {
+    timeline_options.mode = obs::Timeline::Mode::kWall;
+    timeline_options.interval_seconds = timeline_interval;
+  }
+  obs::Timeline timeline(timeline_options);
+  const bool timeline_enabled =
+      timeline_period > 0 || timeline_interval > 0.0;
+
   obs::serve::TelemetryServer server;
+  if (timeline_enabled) server.set_timeline(&timeline);
   // /varz gains the cache-health section operators watch during chaos:
   // occupancy, eviction pressure, rider timeouts, and how stale the
   // oldest ready entry is.
@@ -829,11 +897,27 @@ int cmd_serve_solve(const std::string& path, const Config& cfg) {
   // POST /solve: body = app DSL (empty = the positional app); the
   // handler runs on the HTTP connection workers — external threads to
   // the pool, exactly what SolveService's threading contract wants.
-  server.handle("/solve", [&service, &app, &base_user,
-                           &params](const obs::serve::HttpRequest& req) {
+  server.handle("/solve", [&service, &app, &base_user, &params, &timeline,
+                           &rid_header, &rid_header_lower](
+                              const obs::serve::HttpRequest& req) {
     obs::serve::HttpResponse resp;
+    timeline.note_request();  // tick-mode driver; counts in any mode
     serve::SolveRequest sr;
     sr.params = params;
+    // Caller-supplied correlation id: the request header (parser
+    // lowercases names) must be a positive integer; the service
+    // assigns one otherwise. Echoed on the response header and the
+    // body's cache line either way.
+    const auto rid_it = req.headers.find(rid_header_lower);
+    if (rid_it != req.headers.end()) {
+      long long caller_id = 0;
+      if (!parse_int(rid_it->second, caller_id) || caller_id <= 0) {
+        resp.status = 400;
+        resp.body = "bad request id: '" + rid_it->second + "'\n";
+        return resp;
+      }
+      sr.request_id = static_cast<std::uint64_t>(caller_id);
+    }
     std::vector<std::string> names;
     if (req.body.empty()) {
       sr.user = base_user;
@@ -860,7 +944,10 @@ int cmd_serve_solve(const std::string& path, const Config& cfg) {
       return resp;
     }
     const serve::SolveResponse& r = solved.value();
-    resp.body = std::string("cache: ") + source_name(r.source);
+    resp.extra_headers.push_back(
+        {rid_header, std::to_string(r.request_id)});
+    resp.body = std::string("cache: ") + source_name(r.source) + " id=" +
+                std::to_string(r.request_id);
     if (r.degraded && r.source != serve::SolveSource::kShed)
       resp.body += " degraded";
     resp.body += '\n';
@@ -884,8 +971,9 @@ int cmd_serve_solve(const std::string& path, const Config& cfg) {
     return 1;
   }
   std::printf("serving solves on 127.0.0.1:%u "
-              "(/solve /metrics /varz /healthz /flightz)\n",
-              static_cast<unsigned>(bound.value()));
+              "(/solve /metrics /varz /healthz /flightz%s)\n",
+              static_cast<unsigned>(bound.value()),
+              timeline_enabled ? " /timez" : "");
   std::fflush(stdout);
 
   if (selfcheck > 0) {
@@ -917,8 +1005,12 @@ int cmd_serve_solve(const std::string& path, const Config& cfg) {
   } else {
     const Stopwatch up;
     while (g_stop == 0 && g_drain == 0 &&
-           (duration <= 0.0 || up.elapsed_seconds() < duration))
+           (duration <= 0.0 || up.elapsed_seconds() < duration)) {
+      // Wall-mode timeline driver: no extra thread, the idle loop IS
+      // the timer (cheap no-op in tick/manual mode).
+      timeline.poll_wall();
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
   }
 
   if (g_drain != 0) {

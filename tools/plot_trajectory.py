@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""plot_trajectory.py — cross-PR performance trajectory report.
+
+Every PR that touches the serving path regenerates the soak trajectory
+and commits it as `bench/BENCH_<date>.json` (schema
+mecoff.soak_trajectory.v1). This tool merges any number of those
+documents into one report: how each soak phase's request count, p99 and
+wall time moved across PRs, plus each run's per-phase segment curves
+when present — the question "did that refactor move the needle" answered
+from files already in the tree, no rerun needed.
+
+Usage:
+    plot_trajectory.py [--svg <out.svg>] [--phase <name>] <file.json>...
+
+Inputs that are not trajectory documents (bench_gate baselines share
+the BENCH_ prefix) are skipped with a note, so `bench/BENCH_*.json` is
+a valid argument list. Runs are labelled by the date in the filename
+(`BENCH_2026-08-09.json` -> `2026-08-09`, the basename otherwise) and
+ordered by label, which for ISO dates is chronological order.
+
+`--phase` restricts the report to one phase (repeatable). `--svg`
+additionally writes a hand-rolled SVG: one polyline per phase, p99
+milliseconds (log10) against run index.
+
+Stdlib only. Exit codes: 0 report written, 2 usage error or no
+trajectory document among the inputs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+import sys
+
+TRAJECTORY_SCHEMA = "mecoff.soak_trajectory.v1"
+_DATE_NAME = re.compile(r"BENCH_(\d{4}-\d{2}-\d{2})\.json$")
+
+
+def run_label(path):
+    match = _DATE_NAME.search(os.path.basename(path))
+    return match.group(1) if match else os.path.basename(path)
+
+
+def load_runs(paths):
+    """[(label, doc)] for trajectory documents; notes skipped inputs."""
+    runs = []
+    for path in paths:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as err:
+            print(f"plot_trajectory: skipping {path}: {err}",
+                  file=sys.stderr)
+            continue
+        if not isinstance(doc, dict) or \
+                doc.get("schema") != TRAJECTORY_SCHEMA:
+            print(f"plot_trajectory: skipping {path}: "
+                  f"not a {TRAJECTORY_SCHEMA} document")
+            continue
+        runs.append((run_label(path), doc))
+    runs.sort(key=lambda run: run[0])
+    return runs
+
+
+def phase_order(runs, wanted):
+    """Phase names in first-seen order across runs, filtered to
+    `wanted` when given."""
+    order = []
+    for _, doc in runs:
+        for phase in doc.get("phases", []):
+            name = phase.get("name")
+            if name and name not in order:
+                order.append(name)
+    if wanted:
+        missing = [name for name in wanted if name not in order]
+        for name in missing:
+            print(f"plot_trajectory: phase '{name}' not in any run",
+                  file=sys.stderr)
+        order = [name for name in order if name in wanted]
+    return order
+
+
+def phase_by_name(doc, name):
+    for phase in doc.get("phases", []):
+        if phase.get("name") == name:
+            return phase
+    return None
+
+
+def fmt_ms(seconds):
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def text_report(runs, phases):
+    """Per-phase table: one row per run, requests / p99 / wall, plus
+    the run's segment curve when the document carries one."""
+    lines = []
+    header = f"perf trajectory across {len(runs)} run(s): " + \
+        ", ".join(label for label, _ in runs)
+    lines.append(header)
+    for name in phases:
+        lines.append("")
+        lines.append(f"== {name} ==")
+        rows = [("run", "requests", "p99", "wall", "curve(requests)")]
+        for label, doc in runs:
+            phase = phase_by_name(doc, name)
+            if phase is None:
+                rows.append((label, "-", "-", "-", "-"))
+                continue
+            curve = phase.get("samples") or []
+            curve_text = " ".join(
+                str(point.get("requests", "?")) for point in curve) or "-"
+            rows.append((label, str(phase.get("requests", 0)),
+                         fmt_ms(phase.get("p99_seconds", 0.0)),
+                         f"{phase.get('wall_seconds', 0.0):.3f}s",
+                         curve_text))
+        widths = [max(len(row[col]) for row in rows)
+                  for col in range(len(rows[0]))]
+        for row in rows:
+            lines.append("  " + " | ".join(
+                cell.ljust(width) for cell, width in zip(row, widths)))
+    lines.append("")
+    rows = [("run", "requests", "errors", "wall")]
+    for label, doc in runs:
+        totals = doc.get("totals", {})
+        rows.append((label, str(totals.get("requests", 0)),
+                     str(totals.get("errors", 0)),
+                     f"{totals.get('wall_seconds', 0.0):.3f}s"))
+    lines.append("== totals ==")
+    widths = [max(len(row[col]) for row in rows)
+              for col in range(len(rows[0]))]
+    for row in rows:
+        lines.append("  " + " | ".join(
+            cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def svg_report(runs, phases):
+    """One polyline per phase: log10(p99 ms) against run index. Hand
+    rolled — the report must not need a plotting dependency."""
+    width, height, margin = 640, 360, 48
+    plot_w, plot_h = width - 2 * margin, height - 2 * margin
+    points_ms = {}
+    for name in phases:
+        series = []
+        for _, doc in runs:
+            phase = phase_by_name(doc, name)
+            p99 = phase.get("p99_seconds", 0.0) if phase else 0.0
+            series.append(max(p99 * 1e3, 1e-6))
+        points_ms[name] = series
+    all_values = [value for series in points_ms.values()
+                  for value in series]
+    lo = math.log10(min(all_values))
+    hi = math.log10(max(all_values))
+    if hi - lo < 1e-9:
+        hi = lo + 1.0
+    denominator = max(len(runs) - 1, 1)
+
+    def x(i):
+        return margin + plot_w * i / denominator
+
+    def y(value_ms):
+        frac = (math.log10(value_ms) - lo) / (hi - lo)
+        return margin + plot_h * (1.0 - frac)
+
+    palette = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+               "#8c564b", "#e377c2", "#17becf"]
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{margin}" y="20" font-size="13">soak p99 per phase '
+        f'(ms, log scale) across {len(runs)} run(s)</text>',
+    ]
+    for i, (label, _) in enumerate(runs):
+        parts.append(
+            f'<text x="{x(i):.1f}" y="{height - 8}" font-size="10" '
+            f'text-anchor="middle">{label}</text>')
+    for index, name in enumerate(phases):
+        color = palette[index % len(palette)]
+        coords = " ".join(
+            f"{x(i):.1f},{y(value):.1f}"
+            for i, value in enumerate(points_ms[name]))
+        parts.append(f'<polyline points="{coords}" fill="none" '
+                     f'stroke="{color}" stroke-width="1.5"/>')
+        parts.append(
+            f'<text x="{width - margin + 4}" '
+            f'y="{y(points_ms[name][-1]):.1f}" font-size="10" '
+            f'fill="{color}">{name}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def main(argv):
+    svg_path = None
+    wanted = []
+    paths = []
+    args = argv[1:]
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg == "--svg":
+            if index + 1 >= len(args):
+                print("plot_trajectory: --svg needs a path",
+                      file=sys.stderr)
+                return 2
+            svg_path = args[index + 1]
+            index += 2
+        elif arg == "--phase":
+            if index + 1 >= len(args):
+                print("plot_trajectory: --phase needs a name",
+                      file=sys.stderr)
+                return 2
+            wanted.append(args[index + 1])
+            index += 2
+        elif arg in ("-h", "--help"):
+            print(__doc__.strip())
+            return 0
+        elif arg.startswith("-"):
+            print(f"plot_trajectory: unknown option {arg}",
+                  file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+            index += 1
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    runs = load_runs(paths)
+    if not runs:
+        print("plot_trajectory: no trajectory documents among the inputs",
+              file=sys.stderr)
+        return 2
+    phases = phase_order(runs, wanted)
+    if not phases:
+        print("plot_trajectory: no phases to report", file=sys.stderr)
+        return 2
+    print(text_report(runs, phases))
+    if svg_path:
+        try:
+            with open(svg_path, "w") as out:
+                out.write(svg_report(runs, phases))
+        except OSError as err:
+            print(f"plot_trajectory: cannot write {svg_path}: {err}",
+                  file=sys.stderr)
+            return 2
+        print(f"plot_trajectory: wrote {svg_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
