@@ -67,11 +67,12 @@ int run() {
                "all-remote start", "all-remote + group moves"},
               rows);
   std::printf(
-      "KL-vs-spectral spread: %.1f with the plain all-remote start, "
-      "%.1f once whole-component retreats are allowed — the paper's\n"
+      "KL-vs-spectral spread: %s with the plain all-remote start, "
+      "%s once whole-component retreats are allowed — the paper's\n"
       "between-algorithm differences largely live in the greedy's "
       "single-move myopia.\n",
-      spread_plain, spread_group);
+      format_fixed(spread_plain, 1).c_str(),
+      format_fixed(spread_group, 1).c_str());
   print_shape_check(
       "group moves shrink the KL-vs-spectral spread of the plain start",
       spread_group <= spread_plain + 1e-9);

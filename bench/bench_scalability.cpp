@@ -65,7 +65,9 @@ int run_users_sweep() {
                             static_cast<double>(counts.front());
   const double time_ratio =
       totals.back() / std::max(totals.front(), 1e-6);
-  std::printf("users x%.0f -> time x%.1f\n", user_ratio, time_ratio);
+  std::printf("users x%s -> time x%s\n",
+              format_fixed(user_ratio, 0).c_str(),
+              format_fixed(time_ratio, 1).c_str());
   print_shape_check("solve time grows sub-quadratically in users",
                     time_ratio < user_ratio * user_ratio / 4.0);
   return 0;
@@ -131,8 +133,8 @@ int run_thread_sweep() {
 
   print_shape_check("pooled schemes bit-identical to serial", identical);
   const unsigned cores = std::thread::hardware_concurrency();
-  std::printf("hardware threads: %u, speedup at 8 threads: %.2fx\n", cores,
-              speedup_at_8);
+  std::printf("hardware threads: %u, speedup at 8 threads: %sx\n", cores,
+              format_fixed(speedup_at_8, 2).c_str());
   // The parallel efficiency claim needs hardware to back it; on smaller
   // hosts the identity check above is the binding assertion.
   if (cores >= 8) {

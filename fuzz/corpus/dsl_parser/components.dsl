@@ -1,0 +1,9 @@
+# two declared components and an anonymous reset
+app media
+component decode
+function demux compute=1
+function decode compute=30
+component -
+function render compute=5 unoffloadable
+call demux decode data=12
+call decode render data=20

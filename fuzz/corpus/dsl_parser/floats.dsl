@@ -1,0 +1,4 @@
+app f
+function a compute=0.000125
+function b compute=1e6
+call a b data=3.14159

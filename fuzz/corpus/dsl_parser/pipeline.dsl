@@ -1,0 +1,6 @@
+app nav
+function capture compute=2 unoffloadable
+function detect compute=40
+function plan compute=12
+call capture detect data=8.5
+call detect plan data=1.25

@@ -1,0 +1,2 @@
+app x
+function a compute=inf

@@ -1,0 +1,1 @@
+function only compute=0

@@ -1,0 +1,66 @@
+// Fuzz harness: /solve application-DSL parser (appmodel/dsl_parser).
+//
+// The DSL is the service's untrusted wire format — every /solve POST
+// body goes through parse_app_dsl before anything else. Contracts:
+//
+//   1. Totality: parse_app_dsl never crashes, throws, or trips a
+//      sanitizer on ANY byte string; malformed input yields an error
+//      Result.
+//   2. Canonical fixed point: if parsing succeeds, serializing with
+//      to_app_dsl and reparsing must succeed, and re-serializing must
+//      reproduce the SAME bytes. (First-serialization output may
+//      legally differ from the raw input — comments, token spacing and
+//      float formatting are normalized — but the canonical form must
+//      be stable, or the scheme cache would miss on its own output.)
+//   3. Model sanity: accepted applications contain only finite,
+//      non-negative compute/data values and in-range exchange
+//      endpoints — the invariants the fingerprint and solver layers
+//      assume without rechecking.
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "appmodel/application.hpp"
+#include "appmodel/dsl_parser.hpp"
+#include "support/fuzz_input.hpp"
+
+using mecoff::appmodel::Application;
+using mecoff::appmodel::parse_app_dsl;
+using mecoff::appmodel::to_app_dsl;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+
+  mecoff::Result<Application> parsed = parse_app_dsl(input);
+  if (!parsed.ok()) return 0;  // rejection is a valid outcome
+  const Application& app = parsed.value();
+
+  FUZZ_ASSERT(app.num_functions() > 0,
+              "parser accepted an application with no functions");
+  for (const mecoff::appmodel::FunctionInfo& f : app.functions()) {
+    FUZZ_ASSERT(std::isfinite(f.computation) && f.computation >= 0,
+                "accepted non-finite or negative compute cost");
+    FUZZ_ASSERT(!f.name.empty(), "accepted an unnamed function");
+  }
+  for (const mecoff::appmodel::DataExchange& x : app.exchanges()) {
+    FUZZ_ASSERT(std::isfinite(x.amount) && x.amount >= 0,
+                "accepted non-finite or negative data amount");
+    FUZZ_ASSERT(x.from < app.num_functions() && x.to < app.num_functions(),
+                "exchange endpoint out of range");
+    FUZZ_ASSERT(x.from != x.to, "accepted a self-call exchange");
+  }
+
+  const std::string canonical = to_app_dsl(app);
+  mecoff::Result<Application> reparsed = parse_app_dsl(canonical);
+  FUZZ_ASSERT(reparsed.ok(),
+              ("canonical form failed to reparse: " +
+               (reparsed.ok() ? std::string() : reparsed.error().message) +
+               "\n--- canonical ---\n" + canonical)
+                  .c_str());
+  FUZZ_ASSERT(to_app_dsl(reparsed.value()) == canonical,
+              ("canonical form is not a fixed point:\n--- first ---\n" +
+               canonical + "--- second ---\n" + to_app_dsl(reparsed.value()))
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fuzz harness: sim::FaultScript text round-trip (sim/fault_script).
+//
+// Fault scripts are replay artifacts: a failure run is reproduced by
+// feeding the exact to_text() output back through parse(). Contracts:
+//
+//   1. Totality: parse never crashes or throws on any byte string —
+//      garbage yields an error Result (the add() preconditions that
+//      throw for programmatic misuse must never be reachable from
+//      text).
+//   2. Round trip: if parse succeeds, to_text() must reparse, and the
+//      second to_text() must be byte-identical — otherwise a replay
+//      log drifts every time it is saved and reloaded.
+//   3. Event sanity: accepted events have finite non-negative times,
+//      and degrade severities inside (0, 1); to_text() is in replay
+//      order (times non-decreasing).
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/fault_script.hpp"
+#include "support/fuzz_input.hpp"
+
+using mecoff::sim::FaultEvent;
+using mecoff::sim::FaultKind;
+using mecoff::sim::FaultScript;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+
+  mecoff::Result<FaultScript> parsed = FaultScript::parse(input);
+  if (!parsed.ok()) return 0;
+  const FaultScript& script = parsed.value();
+
+  const std::vector<FaultEvent> ordered = script.ordered();
+  double last_time = 0.0;
+  for (const FaultEvent& event : ordered) {
+    FUZZ_ASSERT(std::isfinite(event.time) && event.time >= 0,
+                "accepted a non-finite or negative fault time");
+    FUZZ_ASSERT(event.time >= last_time, "ordered() is not time-sorted");
+    last_time = event.time;
+    if (event.kind == FaultKind::kLinkDegrade)
+      FUZZ_ASSERT(event.severity > 0 && event.severity < 1,
+                  "accepted a degrade severity outside (0, 1)");
+  }
+
+  const std::string text = script.to_text();
+  mecoff::Result<FaultScript> reparsed = FaultScript::parse(text);
+  FUZZ_ASSERT(reparsed.ok(),
+              ("to_text() output failed to reparse: " +
+               (reparsed.ok() ? std::string() : reparsed.error().message) +
+               "\n--- text ---\n" + text)
+                  .c_str());
+  FUZZ_ASSERT(reparsed.value().to_text() == text,
+              ("fault-script round trip is not a fixed point:\n"
+               "--- first ---\n" +
+               text + "--- second ---\n" + reparsed.value().to_text())
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Fuzz harness: serve::Fingerprint canonicalization (differential).
+//
+// The scheme cache keys on fingerprint_request(); a canonicalization
+// bug either splits identical problems across cache entries (missed
+// reuse) or — much worse — collides distinct problems onto one entry
+// and serves a wrong placement. canonical_request_text() renders the
+// exact scalar stream the hash consumes, so the two must agree:
+//
+//       fingerprint equal  <=>  canonical text equal
+//
+// The harness derives one request (A) from the fuzz input, then a
+// second (B) through a mode-selected transformation that is either a
+// documented no-op for the canonical form (edge insertion order, edge
+// direction, empty vs explicit all-false pin mask, -0.0 vs +0.0) or a
+// guaranteed semantic change (a weight or parameter bump). It asserts
+// the text equality the mode predicts, that the fingerprints track the
+// text on both sides, and that hashing is deterministic.
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+#include "mec/model.hpp"
+#include "serve/fingerprint.hpp"
+#include "support/fuzz_input.hpp"
+
+namespace {
+
+using mecoff::fuzz::InputReader;
+
+struct Spec {
+  std::vector<double> node_weights;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;  // u < v, unique
+  std::vector<double> edge_weights;
+  std::vector<bool> unoffloadable;          // may be empty
+  std::vector<std::uint32_t> components;    // may be empty
+  mecoff::mec::SystemParams params;
+};
+
+mecoff::mec::UserApp build(const Spec& spec, bool reverse_edges,
+                           bool flip_direction) {
+  mecoff::graph::GraphBuilder builder;
+  for (double w : spec.node_weights) builder.add_node(w);
+  const std::size_t m = spec.edges.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t at = reverse_edges ? m - 1 - i : i;
+    auto [u, v] = spec.edges[at];
+    if (flip_direction) std::swap(u, v);
+    builder.add_edge(u, v, spec.edge_weights[at]);
+  }
+  mecoff::mec::UserApp user;
+  user.graph = builder.build();
+  user.unoffloadable = spec.unoffloadable;
+  user.components = spec.components;
+  return user;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  InputReader in(data, size);
+
+  Spec spec;
+  const std::size_t n = 1 + in.take_index(8);
+  for (std::size_t i = 0; i < n; ++i)
+    spec.node_weights.push_back(in.take_weight());
+
+  // Unique undirected edges (u < v): duplicate endpoint pairs are
+  // excluded so the canonical sort order is independent of insertion
+  // order by construction — the invariance modes below rely on that.
+  const std::size_t want_edges = in.take_index(2 * n);
+  for (std::size_t i = 0; i < want_edges; ++i) {
+    std::size_t u = in.take_index(n);
+    std::size_t v = in.take_index(n);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    bool dup = false;
+    for (const auto& e : spec.edges) dup = dup || e == std::make_pair(u, v);
+    if (dup) continue;
+    spec.edges.emplace_back(u, v);
+    spec.edge_weights.push_back(in.take_weight());
+  }
+
+  const std::uint8_t pin_mode = in.take_u8() % 3;
+  if (pin_mode > 0)  // 0: empty mask (all offloadable by convention)
+    for (std::size_t i = 0; i < n; ++i)
+      spec.unoffloadable.push_back(pin_mode == 2 && (in.take_u8() & 1));
+  if (in.take_u8() & 1)
+    for (std::size_t i = 0; i < n; ++i)
+      spec.components.push_back(static_cast<std::uint32_t>(in.take_index(4)));
+  spec.params.bandwidth = 1.0 + in.take_weight();
+  spec.params.transmit_power = 1.0 + in.take_weight();
+
+  const mecoff::mec::UserApp a = build(spec, false, false);
+  const mecoff::serve::Fingerprint fp_a =
+      mecoff::serve::fingerprint_request(a, spec.params);
+  const std::string text_a =
+      mecoff::serve::canonical_request_text(a, spec.params);
+
+  FUZZ_ASSERT(mecoff::serve::fingerprint_request(a, spec.params) == fp_a,
+              "fingerprint_request is nondeterministic");
+
+  Spec spec_b = spec;
+  bool expect_equal = true;
+  switch (in.take_u8() % 6) {
+    case 0:  // identical rebuild
+      break;
+    case 1:  // edge insertion order + direction must not matter
+      break;  // handled via build() flags below
+    case 2: {  // empty mask == explicit all-false mask
+      bool any_pinned = false;
+      for (bool pin : spec.unoffloadable) any_pinned = any_pinned || pin;
+      if (!any_pinned) spec_b.unoffloadable.assign(n, false);
+      break;
+    }
+    case 3:  // -0.0 normalizes to +0.0
+      if (!spec_b.node_weights.empty() && spec_b.node_weights[0] == 0.0) {
+        spec_b.node_weights[0] = -0.0;
+      }
+      break;
+    case 4:  // a node weight bump is a different problem
+      spec_b.node_weights[in.take_index(n)] += 1.0;
+      expect_equal = false;
+      break;
+    default:  // so is a channel-parameter change
+      spec_b.params.bandwidth += 1.0;
+      expect_equal = false;
+      break;
+  }
+  const bool scramble = in.take_u8() & 1;  // legal on every mode
+  const mecoff::mec::UserApp b = build(spec_b, scramble, scramble);
+  const mecoff::serve::Fingerprint fp_b =
+      mecoff::serve::fingerprint_request(b, spec_b.params);
+  const std::string text_b =
+      mecoff::serve::canonical_request_text(b, spec_b.params);
+
+  FUZZ_ASSERT((text_a == text_b) == expect_equal,
+              expect_equal
+                  ? "documented no-op transformation changed the canonical "
+                    "text"
+                  : "semantic change left the canonical text untouched");
+  FUZZ_ASSERT((fp_a == fp_b) == (text_a == text_b),
+              "fingerprint equality diverged from canonical-text equality");
+  return 0;
+}

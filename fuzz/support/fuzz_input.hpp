@@ -1,0 +1,83 @@
+// Shared helpers for the fuzz harnesses.
+//
+// Every harness is a single translation unit exporting the libFuzzer
+// entry point `LLVMFuzzerTestOneInput`. Built with -fsanitize=fuzzer
+// (Clang) it becomes a coverage-guided fuzzer; linked against
+// support/smoke_main.cpp (any compiler) it becomes a deterministic
+// corpus-replay + mutation smoke binary that ctest runs on every
+// build. The invariants live in the harness, not the driver, so both
+// modes check exactly the same contracts.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace mecoff::fuzz {
+
+/// Invariant check for fuzz harnesses. Unlike assert(), it is active
+/// in every build mode (fuzzers compiled with NDEBUG must still trap),
+/// and it aborts so both libFuzzer and the smoke driver treat a
+/// violated contract as a crash, not a soft failure.
+#define FUZZ_ASSERT(cond, what)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FUZZ_ASSERT failed: %s\n  at %s:%d\n  %s\n",   \
+                   #cond, __FILE__, __LINE__, (what));                     \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Consumes typed values from the front of the raw fuzz input.
+/// Exhausted input yields zeros — harnesses must remain total on any
+/// byte string, so "ran out of entropy" degrades to boring values
+/// instead of an error path.
+class InputReader {
+ public:
+  InputReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t take_u8() {
+    return pos_ < size_ ? data_[pos_++] : std::uint8_t{0};
+  }
+
+  std::uint64_t take_u64() {
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) value = (value << 8) | take_u8();
+    return value;
+  }
+
+  /// Uniform-ish draw in [0, bound); bound == 0 yields 0.
+  std::size_t take_index(std::size_t bound) {
+    return bound ? static_cast<std::size_t>(take_u64() % bound) : 0;
+  }
+
+  /// A finite non-negative double in a tame range. Raw bit patterns
+  /// would mostly be NaN/inf/denormal, which the model layers reject
+  /// before the interesting code runs; a scaled integer keeps the
+  /// values inside every MECOFF_EXPECTS precondition while still
+  /// exercising zeros, exact ties and -0.0 (via the sign bit below).
+  double take_weight() {
+    const std::uint64_t raw = take_u64();
+    return static_cast<double>(raw % 1000000) / 128.0;
+  }
+
+  /// The rest of the input as a string (for text-format parsers).
+  std::string take_rest() {
+    std::string rest(reinterpret_cast<const char*>(data_) + pos_,
+                     size_ - pos_);
+    pos_ = size_;
+    return rest;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mecoff::fuzz

@@ -1,0 +1,133 @@
+// Standalone driver for the fuzz harnesses (no libFuzzer required).
+//
+// Replays every file in the given corpus directories through
+// LLVMFuzzerTestOneInput, then runs a deterministic mutation loop:
+// each iteration picks a corpus entry with a fixed-seed xorshift64,
+// applies a few byte flips / truncations / splices, and feeds the
+// mutant back in. This is NOT coverage-guided fuzzing — it is a smoke
+// test that the harness invariants hold on the committed corpus and
+// its immediate neighborhood, cheap enough to run as a ctest on every
+// build with any compiler. Real fuzzing uses the Clang-only
+// -fsanitize=fuzzer binaries that CMake adds when available.
+//
+// Usage: <binary> [--iterations=N] <corpus-dir>...
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+// xorshift64: tiny, seedable, and identical everywhere — the smoke
+// run must be reproducible across compilers and platforms.
+std::uint64_t rng_state = 0x6d656366757a7aULL;  // "mecfuzz"
+
+std::uint64_t next_rand() {
+  std::uint64_t x = rng_state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return rng_state = x;
+}
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void mutate(std::vector<std::uint8_t>& data,
+            const std::vector<std::vector<std::uint8_t>>& corpus) {
+  const std::uint64_t op = next_rand() % 5;
+  switch (op) {
+    case 0:  // flip a byte
+      if (!data.empty()) data[next_rand() % data.size()] ^= 1 << (next_rand() % 8);
+      break;
+    case 1:  // truncate
+      if (!data.empty()) data.resize(next_rand() % data.size());
+      break;
+    case 2:  // insert a random byte
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(
+                      next_rand() % (data.size() + 1)),
+                  static_cast<std::uint8_t>(next_rand()));
+      break;
+    case 3: {  // splice a tail from another corpus entry
+      const std::vector<std::uint8_t>& other =
+          corpus[next_rand() % corpus.size()];
+      const std::size_t cut = data.empty() ? 0 : next_rand() % data.size();
+      const std::size_t from = other.empty() ? 0 : next_rand() % other.size();
+      data.resize(cut);
+      data.insert(data.end(), other.begin() + static_cast<std::ptrdiff_t>(from),
+                  other.end());
+      break;
+    }
+    default:  // overwrite a byte with an interesting value
+      if (!data.empty()) {
+        static const std::uint8_t kInteresting[] = {
+            0, 1, 0x7f, 0x80, 0xff, ' ', '\n', '\r', '-', '.', '#', '0', '9'};
+        data[next_rand() % data.size()] =
+            kInteresting[next_rand() % (sizeof kInteresting)];
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t iterations = 2000;
+  std::vector<std::filesystem::path> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--iterations=", 0) == 0) {
+      iterations = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + 13, nullptr, 10));
+    } else {
+      dirs.emplace_back(arg);
+    }
+  }
+  if (dirs.empty()) {
+    std::fprintf(stderr, "usage: %s [--iterations=N] <corpus-dir>...\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (const std::filesystem::path& dir : dirs) {
+    if (!std::filesystem::is_directory(dir)) {
+      std::fprintf(stderr, "smoke: no such corpus dir: %s\n",
+                   dir.string().c_str());
+      return 2;
+    }
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(dir))
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    std::sort(files.begin(), files.end());  // deterministic replay order
+    for (const auto& file : files) corpus.push_back(read_file(file));
+  }
+  if (corpus.empty()) {
+    std::fprintf(stderr, "smoke: empty corpus\n");
+    return 2;
+  }
+
+  for (const std::vector<std::uint8_t>& entry : corpus)
+    LLVMFuzzerTestOneInput(entry.data(), entry.size());
+
+  for (std::size_t i = 0; i < iterations; ++i) {
+    std::vector<std::uint8_t> data = corpus[next_rand() % corpus.size()];
+    const std::uint64_t rounds = 1 + next_rand() % 4;
+    for (std::uint64_t r = 0; r < rounds; ++r) mutate(data, corpus);
+    LLVMFuzzerTestOneInput(data.data(), data.size());
+  }
+
+  std::printf("smoke: %zu corpus entries + %zu mutated inputs OK\n",
+              corpus.size(), iterations);
+  return 0;
+}

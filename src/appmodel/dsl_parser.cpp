@@ -1,5 +1,6 @@
 #include "appmodel/dsl_parser.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "common/strings.hpp"
@@ -63,7 +64,11 @@ Result<Application> parse_app_dsl(const std::string& text) {
         if (!split_kv(tokens[i], key, value))
           return fail("unknown function attribute '" + tokens[i] + "'");
         if (key == "compute") {
-          if (!parse_double(value, info.computation) || info.computation < 0)
+          // std::from_chars accepts "inf"/"nan"; neither compares < 0,
+          // so finiteness must be checked explicitly or a NaN compute
+          // cost flows into every downstream energy sum.
+          if (!parse_double(value, info.computation) ||
+              !std::isfinite(info.computation) || info.computation < 0)
             return fail("bad compute value '" + value + "'");
         } else {
           return fail("unknown function attribute key '" + key + "'");
@@ -85,7 +90,8 @@ Result<Application> parse_app_dsl(const std::string& text) {
       std::string value;
       double amount = 0;
       if (!split_kv(tokens[3], key, value) || key != "data" ||
-          !parse_double(value, amount) || amount < 0)
+          !parse_double(value, amount) || !std::isfinite(amount) ||
+          amount < 0)
         return fail("expected data=<non-negative amount>");
       app.add_exchange(a, b, amount);
     } else {

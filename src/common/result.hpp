@@ -24,8 +24,12 @@ struct Error {
 ///   Result<Application> app = parse(text);
 ///   if (!app.ok()) { log(app.error().message); return; }
 ///   use(app.value());
+///
+/// The class itself is [[nodiscard]]: a caller that drops a Result on
+/// the floor drops the error with it, so every ignored return is a
+/// compile warning (and a `result-contract` lint finding).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : data_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
   Result(Error error) : data_(std::move(error)) {}    // NOLINT(google-explicit-constructor)

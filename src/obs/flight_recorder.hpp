@@ -169,6 +169,7 @@ class FlightRecorder {
   /// serving-facing twin fed from the same double). Internally
   /// synchronized — always taken after mutex_, never the reverse, so
   /// the nesting order is acyclic.
+  // lock-order: FlightRecorder::mutex_ -> Quantiles::mutex_
   Quantiles latency_window_{512};
   const std::chrono::steady_clock::time_point epoch_;
 };

@@ -174,6 +174,10 @@ class MetricsRegistry {
                         std::span<const double> upper_bounds,
                         std::size_t window_capacity = 0) EXCLUDES(mutex_);
 
+  /// snapshot()/to_text()/to_json() read Quantiles instruments while
+  /// holding the registry lock, so each Quantiles' internal lock nests
+  /// under mutex_; Quantiles never calls back into the registry.
+  // lock-order: MetricsRegistry::mutex_ -> Quantiles::mutex_
   mutable Mutex mutex_;
   std::map<std::string, Entry, std::less<>> entries_ GUARDED_BY(mutex_);
 };

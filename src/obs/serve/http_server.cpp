@@ -8,18 +8,15 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <system_error>
 
+#include "obs/serve/http_parser.hpp"
+
 namespace mecoff::obs::serve {
 
 namespace {
-
-constexpr std::size_t kMaxRequestLine = 8 * 1024;
-constexpr std::size_t kMaxHeaderBlock = 64 * 1024;
-constexpr std::size_t kMaxBody = 1024 * 1024;
 
 /// The BSD socket ABI takes every address as `sockaddr*` regardless of
 /// family; the cast from the concrete sockaddr_in is required and
@@ -87,66 +84,6 @@ void set_socket_timeouts(int fd, int ms) {
   tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-/// Case-insensitive Content-Length lookup in the raw header block
-/// `[start, end)`. Returns false when absent or malformed.
-bool parse_content_length(const std::string& buffer, std::size_t start,
-                          std::size_t end, std::size_t& out) {
-  while (start < end) {
-    std::size_t eol = buffer.find("\r\n", start);
-    if (eol == std::string::npos || eol > end) eol = end;
-    const std::size_t colon = buffer.find(':', start);
-    if (colon != std::string::npos && colon < eol) {
-      std::string name = buffer.substr(start, colon - start);
-      std::transform(name.begin(), name.end(), name.begin(),
-                     [](unsigned char c) { return std::tolower(c); });
-      if (name == "content-length") {
-        std::size_t value_start = colon + 1;
-        while (value_start < eol && buffer[value_start] == ' ') ++value_start;
-        std::size_t value = 0;
-        bool any = false;
-        for (std::size_t i = value_start; i < eol; ++i) {
-          const char c = buffer[i];
-          if (c < '0' || c > '9') return false;
-          value = value * 10 + static_cast<std::size_t>(c - '0');
-          if (value > kMaxBody + 1) break;  // clamp; caller rejects > cap
-          any = true;
-        }
-        if (!any) return false;
-        out = value;
-        return true;
-      }
-    }
-    start = eol + 2;
-  }
-  return false;
-}
-
-/// Parse the raw header block `[start, end)` into name -> value with
-/// lowercased names (header names are case-insensitive; values keep
-/// their case). Malformed lines (no colon) are skipped, repeated names
-/// keep the last occurrence — tolerant parsing for a diagnostics port.
-void parse_headers(const std::string& buffer, std::size_t start,
-                   std::size_t end,
-                   std::map<std::string, std::string>& out) {
-  while (start < end) {
-    std::size_t eol = buffer.find("\r\n", start);
-    if (eol == std::string::npos || eol > end) eol = end;
-    const std::size_t colon = buffer.find(':', start);
-    if (colon != std::string::npos && colon < eol) {
-      std::string name = buffer.substr(start, colon - start);
-      std::transform(name.begin(), name.end(), name.begin(),
-                     [](unsigned char c) { return std::tolower(c); });
-      std::size_t value_start = colon + 1;
-      while (value_start < eol && buffer[value_start] == ' ') ++value_start;
-      std::size_t value_end = eol;
-      while (value_end > value_start && buffer[value_end - 1] == ' ')
-        --value_end;
-      out[std::move(name)] = buffer.substr(value_start, value_end - value_start);
-    }
-    start = eol + 2;
-  }
 }
 
 }  // namespace
@@ -337,53 +274,38 @@ void HttpServer::serve_connection(int fd) {
     buffer.append(chunk, static_cast<std::size_t>(n));
   }
 
-  const std::size_t line_end = buffer.find("\r\n");
-  if (line_end == std::string::npos || line_end > kMaxRequestLine) {
+  // Interpretation of the complete head is delegated to the pure
+  // parser (src/obs/serve/http_parser.cpp — the fuzzed surface); this
+  // function only maps its verdict onto wire responses.
+  ParsedHead head;
+  const HeadStatus status = parse_request_head(buffer, header_end, head);
+  if (status == HeadStatus::kBadRequestLine) {
     send_response(fd, HttpResponse{400, "text/plain; charset=utf-8",
                                    "malformed request line\n"});
     return;
   }
-  const std::string line = buffer.substr(0, line_end);
-
-  // "GET /path?query HTTP/1.1"
-  const std::size_t method_end = line.find(' ');
-  const std::size_t target_end =
-      method_end == std::string::npos ? std::string::npos
-                                      : line.find(' ', method_end + 1);
-  if (method_end == std::string::npos || target_end == std::string::npos) {
-    send_response(fd, HttpResponse{400, "text/plain; charset=utf-8",
-                                   "malformed request line\n"});
-    return;
-  }
-  HttpRequest request;
-  request.method = line.substr(0, method_end);
-  std::string target =
-      line.substr(method_end + 1, target_end - method_end - 1);
-  const std::size_t query_start = target.find('?');
-  if (query_start != std::string::npos) {
-    request.query = target.substr(query_start + 1);
-    target.resize(query_start);
-  }
-  request.path = std::move(target);
-  parse_headers(buffer, line_end + 2, header_end, request.headers);
 
   requests_.fetch_add(1, std::memory_order_relaxed);
 
-  if (request.method != "GET" && request.method != "HEAD" &&
-      request.method != "POST") {
+  if (status == HeadStatus::kMethodNotAllowed) {
     send_response(fd, HttpResponse{405, "text/plain; charset=utf-8",
                                    "only GET, HEAD and POST are served\n"});
     return;
   }
+  if (status == HeadStatus::kBadContentLength) {
+    send_response(fd, HttpResponse{400, "text/plain; charset=utf-8",
+                                   "malformed Content-Length\n"});
+    return;
+  }
+  if (status == HeadStatus::kBodyTooLarge) {
+    send_response(fd, HttpResponse{413, "text/plain; charset=utf-8",
+                                   "body too large\n"});
+    return;
+  }
 
+  HttpRequest& request = head.request;
   if (request.method == "POST") {
-    std::size_t content_length = 0;
-    parse_content_length(buffer, line_end + 2, header_end, content_length);
-    if (content_length > kMaxBody) {
-      send_response(fd, HttpResponse{413, "text/plain; charset=utf-8",
-                                     "body too large\n"});
-      return;
-    }
+    const std::size_t content_length = head.content_length;
     request.body = buffer.substr(header_end + 4);
     while (request.body.size() < content_length) {
       if (std::chrono::steady_clock::now() > deadline) {

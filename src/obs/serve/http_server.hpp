@@ -75,6 +75,18 @@ struct HttpRequest {
 };
 
 struct HttpResponse {
+  HttpResponse() = default;
+  // The defaulted trailer keeps `HttpResponse{503, type, body}` sites
+  // free of -Wmissing-field-initializers noise.
+  HttpResponse(int status_in, std::string content_type_in,
+               std::string body_in,
+               std::vector<std::pair<std::string, std::string>>
+                   extra_headers_in = {})
+      : status(status_in),
+        content_type(std::move(content_type_in)),
+        body(std::move(body_in)),
+        extra_headers(std::move(extra_headers_in)) {}
+
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;

@@ -119,6 +119,11 @@ class Timeline {
 
   const Options options_;
   const Stopwatch since_construction_;
+  /// sample_locked() snapshots the metrics registry while holding the
+  /// timeline lock, so the registry lock (and, through it, each
+  /// Quantiles instrument's lock) nests under mutex_. The registry
+  /// never calls back into the timeline.
+  // lock-order: Timeline::mutex_ -> MetricsRegistry::mutex_
   mutable Mutex mutex_;
   /// grows to capacity_, then wraps at head_ (same shape as Quantiles)
   std::vector<Sample> ring_ GUARDED_BY(mutex_);

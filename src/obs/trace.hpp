@@ -117,7 +117,9 @@ class TraceCollector {
 
   /// Lock order: registry_mutex_ first, then a ThreadLog::mutex —
   /// clear() and write_chrome_trace() nest that way; nothing nests the
-  /// other way around.
+  /// other way around. (The structured line below is machine-read by
+  /// tools/analyze_locks.py; keep it in sync with the prose.)
+  // lock-order: TraceCollector::registry_mutex_ -> TraceCollector::ThreadLog::mutex
   mutable Mutex registry_mutex_;
   std::deque<std::unique_ptr<ThreadLog>> logs_ GUARDED_BY(registry_mutex_);
 };

@@ -88,6 +88,17 @@ class FingerprintBuilder {
 [[nodiscard]] Fingerprint fingerprint_request(const mec::UserApp& user,
                                               const mec::SystemParams& params);
 
+/// Canonical text rendering of the EXACT scalar stream that
+/// fingerprint_request() hashes — one line per scalar, doubles spelled
+/// as the bit pattern of their normalized (-0.0 → +0.0) value. Two
+/// requests have equal fingerprints iff they have equal canonical text
+/// (up to the 2^-128 hash-collision bound); the fuzz harness in
+/// fuzz/fuzz_fingerprint.cpp enforces this differential, so any
+/// canonicalization change that touches one side but not the other is
+/// caught immediately. Debug/audit aid, not a wire format.
+[[nodiscard]] std::string canonical_request_text(
+    const mec::UserApp& user, const mec::SystemParams& params);
+
 /// Structure-only fingerprint: node count, edge endpoints (canonical
 /// order, weights EXCLUDED), pin mask, and components — everything that
 /// shapes the compressed cut graphs, nothing that merely re-prices

@@ -325,6 +325,10 @@ class SolveService {
   /// Brownout controller state. The latency window is owned directly
   /// (not via the registry) so brownout works with MECOFF_OBS=OFF too —
   /// the Quantiles class stays compiled in, only the macros vanish.
+  /// The window's internal lock nests under brownout_mutex_ (record and
+  /// quantile evaluation happen inside the controller's critical
+  /// section), never the reverse.
+  // lock-order: SolveService::brownout_mutex_ -> Quantiles::mutex_
   mutable Mutex brownout_mutex_;
   obs::Quantiles latency_window_ GUARDED_BY(brownout_mutex_);
   std::uint64_t completions_ GUARDED_BY(brownout_mutex_) = 0;

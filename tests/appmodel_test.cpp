@@ -125,6 +125,40 @@ TEST(DslParser, RejectsBadAttributes) {
           .ok());
 }
 
+TEST(DslParser, RejectsNonFiniteValues) {
+  // std::from_chars happily parses "inf"/"nan", and neither compares
+  // < 0, so without an explicit isfinite() check a NaN compute cost
+  // would flow into every downstream energy sum. Regression for the
+  // finiteness guard; the fuzz harness (fuzz/fuzz_dsl_parser.cpp)
+  // asserts the same invariant on arbitrary input.
+  EXPECT_FALSE(parse_app_dsl("app X\nfunction f compute=inf\n").ok());
+  EXPECT_FALSE(parse_app_dsl("app X\nfunction f compute=nan\n").ok());
+  EXPECT_FALSE(parse_app_dsl("app X\nfunction f compute=-inf\n").ok());
+  EXPECT_FALSE(
+      parse_app_dsl("app X\nfunction a compute=1\nfunction b compute=1\n"
+                    "call a b data=inf\n")
+          .ok());
+  EXPECT_FALSE(
+      parse_app_dsl("app X\nfunction a compute=1\nfunction b compute=1\n"
+                    "call a b data=nan\n")
+          .ok());
+}
+
+TEST(DslParser, CanonicalFormIsAFixedPoint) {
+  // The scheme cache fingerprints canonical text, so serialization
+  // must be stable: parse -> serialize -> parse -> serialize yields
+  // identical bytes even when the input is unnormalized (comments,
+  // no app directive, odd spacing).
+  const auto parsed = parse_app_dsl(
+      "# unnormalized input\nfunction   z   compute=0.5\n"
+      "function y compute=2 unoffloadable\ncall z y data=7\n");
+  ASSERT_TRUE(parsed.ok());
+  const std::string canonical = to_app_dsl(parsed.value());
+  const auto reparsed = parse_app_dsl(canonical);
+  ASSERT_TRUE(reparsed.ok()) << canonical;
+  EXPECT_EQ(to_app_dsl(reparsed.value()), canonical);
+}
+
 TEST(DslParser, RejectsDuplicateFunction) {
   const auto r =
       parse_app_dsl("app X\nfunction f compute=1\nfunction f compute=2\n");

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Self-test for tools/check_consistency.py.
+
+Runs the consistency checker over a good and a bad fixture mini-tree
+(each mimicking the repo layout: src/, docs/, tests/CMakeLists.txt,
+.github/workflows/) and asserts the exact rule counts, then runs it
+over the real tree and asserts a clean exit. Registered as the
+`consistency_selftest` ctest (label: lint); stdlib only.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+CHECKER = os.path.join(ROOT, "tools", "check_consistency.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+# fixture mini-tree -> {rule: expected finding count}
+EXPECTED = {
+    "consistency_good": {},
+    "consistency_bad": {
+        "metric-undocumented": 1,
+        "metric-kind-mismatch": 1,
+        "metric-unknown": 1,
+        "label-missing-ci-step": 1,
+        "label-unknown": 1,
+    },
+}
+
+
+def run_checker(root):
+    proc = subprocess.run(
+        [sys.executable, CHECKER, "--json", "--root", root],
+        capture_output=True, text=True, check=False)
+    if proc.returncode == 2:
+        raise AssertionError(
+            f"checker usage/IO error on {root}: {proc.stderr}")
+    payload = json.loads(proc.stdout)
+    assert payload.get("schema") == "mecoff.consistency.v1", (
+        payload.get("schema"))
+    return proc.returncode, payload
+
+
+def main():
+    failures = []
+
+    for fixture, expected in sorted(EXPECTED.items()):
+        code, payload = run_checker(os.path.join(FIXTURES, fixture))
+        by_rule = collections.Counter(
+            finding["rule"] for finding in payload["findings"])
+        if dict(by_rule) != expected:
+            failures.append(
+                f"{fixture}: expected {expected}, got {dict(by_rule)}: "
+                + "; ".join(
+                    f"{f['file']}:{f['line']} [{f['rule']}] {f['message']}"
+                    for f in payload["findings"]))
+        want_code = 1 if expected else 0
+        if code != want_code:
+            failures.append(
+                f"{fixture}: expected exit {want_code}, got {code}")
+
+    # The bad tree's undocumented key must be pinned to its record site.
+    _, payload = run_checker(os.path.join(FIXTURES, "consistency_bad"))
+    undocumented = [f for f in payload["findings"]
+                    if f["rule"] == "metric-undocumented"]
+    if (not undocumented
+            or not undocumented[0]["file"].endswith("thing.cpp")
+            or undocumented[0]["line"] != 4):
+        failures.append(
+            "consistency_bad: expected metric-undocumented at "
+            "src/thing.cpp:4, got " + json.dumps(undocumented))
+
+    # The real tree must be clean and bidirectionally covered -- the
+    # gate the CI step relies on.
+    code, payload = run_checker(ROOT)
+    if code != 0 or payload["count"] != 0:
+        failures.append(
+            f"real tree not consistent (exit {code}): " + "; ".join(
+                f"{f['file']}:{f['line']} [{f['rule']}] {f['message']}"
+                for f in payload["findings"]))
+    if set(payload["recorded_keys"]) != set(payload["documented_keys"]):
+        failures.append("recorded/documented key sets diverge")
+    if set(payload["labels"]) != set(payload["ci_labels"]):
+        failures.append(
+            f"label sets diverge: cmake={payload['labels']} "
+            f"ci={payload['ci_labels']}")
+
+    if failures:
+        print("consistency_selftest: FAIL", file=sys.stderr)
+        for failure in failures:
+            print("  - " + failure, file=sys.stderr)
+        return 1
+    print(f"consistency_selftest: OK (2 fixtures, "
+          f"{len(payload['recorded_keys'])} keys, "
+          f"{len(payload['labels'])} labels)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

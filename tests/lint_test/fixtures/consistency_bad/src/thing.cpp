@@ -1,0 +1,6 @@
+// Consistency-checker fixture (bad tree): one key never documented,
+// one documented with the wrong kind.
+void record_things(double seconds) {
+  MECOFF_COUNTER_ADD("fx.bad.undocumented", 1);
+  MECOFF_HISTOGRAM_RECORD("fx.bad.wrongkind", seconds);
+}

@@ -1,0 +1,6 @@
+// Consistency-checker fixture (good tree): both keys documented with
+// the right kinds, the one ctest label has a CI step.
+void record_things(double level) {
+  MECOFF_COUNTER_ADD("fx.good.events", 1);
+  MECOFF_GAUGE_SET("fx.good.level", level);
+}

@@ -1,0 +1,35 @@
+// Lock-order analyzer fixture: a nesting that matches the documented
+// order (member-call acquisition through a lock-owning member).
+// Expected findings: none.
+namespace fx {
+
+class Inner {
+ public:
+  void poke();
+
+ private:
+  mutable Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+class Outer {
+ public:
+  void update();
+
+ private:
+  // lock-order: Outer::mutex_ -> Inner::mutex_
+  mutable Mutex mutex_;
+  Inner inner_;
+};
+
+void Outer::update() {
+  const MutexLock lock(mutex_);
+  inner_.poke();
+}
+
+void Inner::poke() {
+  const MutexLock lock(mutex_);
+  value_ = value_ + 1;
+}
+
+}  // namespace fx

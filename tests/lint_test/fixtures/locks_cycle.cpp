@@ -1,0 +1,16 @@
+// Lock-order analyzer fixture: the documented order itself forms a
+// cycle (no code has to run for this to be a deadlock waiting to
+// happen). Expected findings: one lock-order-cycle.
+namespace fx {
+
+class Trio {
+ private:
+  // lock-order: Trio::a_ -> Trio::b_
+  // lock-order: Trio::b_ -> Trio::c_
+  // lock-order: Trio::c_ -> Trio::a_
+  Mutex a_;
+  Mutex b_;
+  Mutex c_;
+};
+
+}  // namespace fx

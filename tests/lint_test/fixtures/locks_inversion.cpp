@@ -1,0 +1,23 @@
+// Lock-order analyzer fixture: a seeded inversion. The documented
+// order is first_ -> second_, but backwards() nests the other way.
+// Expected findings: one lock-order-inversion (at the inner
+// acquisition) plus the lock-order-cycle the inverted edge creates in
+// the documented-union-observed graph.
+namespace fx {
+
+class Pair {
+ public:
+  void backwards();
+
+ private:
+  // lock-order: Pair::first_ -> Pair::second_
+  Mutex first_;
+  Mutex second_;
+};
+
+void Pair::backwards() {
+  const MutexLock hold(second_);
+  const MutexLock inverted(first_);
+}
+
+}  // namespace fx

@@ -1,0 +1,25 @@
+// Lock-order analyzer fixture: re-acquiring a mutex that is already
+// held -- once directly under an outer guard, once from inside a
+// `_locked` method whose suffix means the caller already holds it.
+// Expected findings: two self-deadlock.
+namespace fx {
+
+class Queue {
+ public:
+  void push();
+  void drain_locked() REQUIRES(mutex_);
+
+ private:
+  Mutex mutex_;
+};
+
+void Queue::push() {
+  const MutexLock lock(mutex_);
+  const MutexLock again(mutex_);
+}
+
+void Queue::drain_locked() {
+  const MutexLock oops(mutex_);
+}
+
+}  // namespace fx

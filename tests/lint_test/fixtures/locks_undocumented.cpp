@@ -1,0 +1,19 @@
+// Lock-order analyzer fixture: a real nesting nobody documented.
+// Expected findings: one undocumented-lock-nesting.
+namespace fx {
+
+class Db {
+ public:
+  void flush();
+
+ private:
+  Mutex cache_mutex_;
+  Mutex io_mutex_;
+};
+
+void Db::flush() {
+  const MutexLock cache(cache_mutex_);
+  const MutexLock io(io_mutex_);
+}
+
+}  // namespace fx

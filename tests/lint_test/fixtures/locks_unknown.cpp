@@ -1,0 +1,22 @@
+// Lock-order analyzer fixture: references to mutexes that do not
+// exist -- a lock-order comment naming a ghost class and a GUARDED_BY
+// pointing at an undeclared member. Expected findings: two
+// unknown-mutex.
+namespace fx {
+
+class Real {
+ public:
+  void touch();
+
+ private:
+  // lock-order: Ghost::mutex_ -> Real::mutex_
+  Mutex mutex_;
+  int unprotected_ GUARDED_BY(phantom_) = 0;
+};
+
+void Real::touch() {
+  const MutexLock lock(mutex_);
+  unprotected_ = unprotected_ + 1;
+}
+
+}  // namespace fx

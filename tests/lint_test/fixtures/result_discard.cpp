@@ -1,0 +1,25 @@
+// Linter fixture for the result-contract rule: a naked `.value()` on
+// a freshly returned Result (no ok() check, not a `std::move(r)
+// .value()` unwrap of a checked local), and a Result-returning call
+// whose return value is dropped at statement position.
+// Expected: 2 result-contract findings.
+#include "common/result.hpp"
+
+namespace fx {
+
+Result<int> parse_widget(int raw);
+
+int use_naked_value(int raw) {
+  return parse_widget(raw).value();
+}
+
+void drop_result(int raw) {
+  parse_widget(raw);
+}
+
+Result<int> parse_widget(int raw) {
+  if (raw < 0) return Error("negative widget");
+  return raw;
+}
+
+}  // namespace fx

@@ -28,6 +28,7 @@ EXPECTED = {
     "endl_flush.cpp": {"no-endl": 1},
     "raw_obs_macro.cpp": {"obs-facade": 2},
     "cast_party.cpp": {"reinterpret-cast": 1},
+    "result_discard.cpp": {"result-contract": 2},
     "clean.cpp": {},
 }
 

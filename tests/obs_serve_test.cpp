@@ -38,6 +38,7 @@
 #include "obs/metrics.hpp"
 #include "obs/quantiles.hpp"
 #include "obs/serve/exposition.hpp"
+#include "obs/serve/http_parser.hpp"
 #include "obs/serve/telemetry_server.hpp"
 #include "obs/timeline.hpp"
 
@@ -614,6 +615,66 @@ TEST(HttpRobustness, PostBodyRoundTripsAndOversizeIsRejected) {
   ::close(fd);
   EXPECT_NE(response.find("HTTP/1.1 413"), std::string::npos) << response;
   server.stop();
+}
+
+TEST(HttpParser, MalformedContentLengthIsDistinctFromAbsent) {
+  // A POST declaring "Content-Length: 12abc" must be answered 400, not
+  // treated as body-less: the parser's kMalformed/kAbsent distinction
+  // is what keeps a misdeclared body from being misread as a pipelined
+  // follow-up request. Regression for the tri-state contract; the fuzz
+  // harness (fuzz/fuzz_http_request.cpp) checks it on arbitrary bytes.
+  using obs::serve::ContentLengthStatus;
+  using obs::serve::HeadStatus;
+  using obs::serve::ParsedHead;
+
+  const std::string malformed =
+      "POST /solve HTTP/1.1\r\nContent-Length: 12abc\r\n\r\n";
+  std::size_t declared = 0;
+  EXPECT_EQ(obs::serve::parse_content_length(
+                malformed, malformed.find("\r\n") + 2,
+                malformed.find("\r\n\r\n"), declared),
+            ContentLengthStatus::kMalformed);
+
+  ParsedHead head;
+  EXPECT_EQ(obs::serve::parse_request_head(
+                malformed, malformed.find("\r\n\r\n"), head),
+            HeadStatus::kBadContentLength);
+
+  const std::string empty_value =
+      "POST /solve HTTP/1.1\r\nContent-Length:   \r\n\r\n";
+  EXPECT_EQ(obs::serve::parse_request_head(
+                empty_value, empty_value.find("\r\n\r\n"), head),
+            HeadStatus::kBadContentLength);
+
+  const std::string absent = "POST /solve HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(obs::serve::parse_request_head(
+                absent, absent.find("\r\n\r\n"), head),
+            HeadStatus::kOk);
+  EXPECT_EQ(head.content_length, 0u);
+}
+
+TEST(HttpParser, EmptyRequestTargetIsABadRequestLine) {
+  // "GET  HTTP/1.1" (doubled space) and "GET ? HTTP/1.1" both produce
+  // an empty path; routing an empty path makes no sense, so the parser
+  // must 400 instead of returning kOk. Found by the fuzz harness's
+  // non-empty-path invariant.
+  using obs::serve::HeadStatus;
+  obs::serve::ParsedHead head;
+  for (const std::string& line :
+       {std::string("GET  HTTP/1.1\r\n\r\n"),
+        std::string("GET ? HTTP/1.1\r\n\r\n"),
+        std::string("GET ?q=1 HTTP/1.1\r\n\r\n")}) {
+    EXPECT_EQ(obs::serve::parse_request_head(
+                  line, line.find("\r\n\r\n"), head),
+              HeadStatus::kBadRequestLine)
+        << line;
+  }
+  const std::string good = "GET /metrics?raw=1 HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(obs::serve::parse_request_head(
+                good, good.find("\r\n\r\n"), head),
+            HeadStatus::kOk);
+  EXPECT_EQ(head.request.path, "/metrics");
+  EXPECT_EQ(head.request.query, "raw=1");
 }
 
 TEST(HttpRobustness, NotFoundIsPlainAndRoutesLiveOnVarz) {

@@ -1,0 +1,614 @@
+#!/usr/bin/env python3
+"""Lock-order analyzer for the mecoff tree (stdlib only).
+
+Builds the lock-acquisition graph out of `src/` and checks it against
+the documented lock order. Inputs, all parsed statically:
+
+  * `Mutex` member/file-scope declarations (the `mecoff::Mutex`
+    wrapper from common/thread_annotations.hpp) -- the mutex
+    inventory, qualified by enclosing class (`TraceCollector::
+    ThreadLog::mutex`).
+  * `MutexLock guard(<expr>);` acquisition sites. A guard is held to
+    the end of its innermost enclosing brace scope; a second
+    acquisition inside that scope is an observed nesting edge.
+  * Method calls on members whose type owns a mutex (`latency_window_
+    .record(...)` where `Quantiles latency_window_` and `Quantiles`
+    owns `mutex_`) -- an acquisition of the callee class's mutex,
+    unless the method name ends in `_locked` (the repo's "caller
+    already holds it" convention).
+  * Thread-safety vocabulary: `GUARDED_BY(m)` / `EXCLUDES(m)`
+    references must resolve to a known mutex; `REQUIRES(m)` on a
+    function definition makes the body a hold of `m`; a `Class::
+    *_locked` method body is an implied hold of every `Class` mutex.
+  * Documented order: structured comments of the form
+        // lock-order: Outer::mutex_ -> Inner::mutex_
+    (see src/obs/trace.hpp). These are the ground truth the observed
+    graph is checked against.
+
+Checks (rule names as emitted):
+
+  lock-order-cycle         cycle in the union of documented and
+                           observed edges
+  lock-order-inversion     observed nesting A -> B while the
+                           documented order has a path B => A
+  undocumented-lock-nesting observed nesting with no documented
+                           A => B path -- every real nesting must be
+                           declared in a lock-order comment
+  self-deadlock            acquiring a mutex already held (directly,
+                           or from a `_locked`/REQUIRES context that
+                           implies it is held)
+  unknown-mutex            a lock-order comment or annotation names a
+                           mutex that does not exist in the inventory
+
+Usage:
+  analyze_locks.py [--json] [--root DIR]      # scan DIR/src (tree mode)
+  analyze_locks.py [--json] FILE...           # scan exactly FILE... (fixtures)
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+JSON schema: mecoff.locks.v1 (see --json).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from lint_mecoff import strip_comments  # noqa: E402  (same-dir tool import)
+
+SCHEMA = "mecoff.locks.v1"
+SOURCE_EXTENSIONS = (".cpp", ".cc", ".hpp", ".h")
+
+DOC_EDGE_PATTERN = re.compile(
+    r"lock-order:\s*([A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)\s*->"
+    r"\s*([A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)")
+MUTEX_DECL_PATTERN = re.compile(
+    r"(?:mecoff\s*::\s*)?\bMutex\s+([A-Za-z_]\w*)\s*[;={]")
+ACQUIRE_PATTERN = re.compile(
+    r"\b(?:mecoff\s*::\s*)?MutexLock\s+[A-Za-z_]\w*\s*\(\s*([^()]*?)\s*\)")
+ANNOTATION_PATTERN = re.compile(
+    r"\b(GUARDED_BY|REQUIRES|EXCLUDES)\s*\(([^()]*)\)")
+NAMESPACE_HEAD_PATTERN = re.compile(
+    r"\bnamespace(?:\s+[A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)?\s*$")
+CLASS_HEAD_PATTERN = re.compile(
+    r"\b(?:class|struct|union)\s+(?:\[\[[^\]]*\]\]\s*)*(?:\w+\s+)*?"
+    r"([A-Za-z_]\w*)\s*(?:final\s*)?(?::(?!:)[^;{]*)?$")
+FUNC_NAME_PATTERN = re.compile(
+    r"((?:[A-Za-z_]\w*\s*::\s*)*)(~?[A-Za-z_]\w*)\s*\(")
+
+
+class Scope:
+    __slots__ = ("start", "end", "kind", "name", "qual", "parent")
+
+    def __init__(self, start, kind, name, qual, parent):
+        self.start = start
+        self.end = None
+        self.kind = kind  # file | namespace | class | function | block
+        self.name = name
+        self.qual = qual  # qualifier components for out-of-line functions
+        self.parent = parent
+
+
+def classify_head(pending):
+    """Classify the text between the previous `{`/`}`/`;` and an
+    opening `{`: what kind of scope does this brace introduce?"""
+    text = pending.strip()
+    if NAMESPACE_HEAD_PATTERN.search(text):
+        return "namespace", None, None
+    match = CLASS_HEAD_PATTERN.search(text)
+    if match:
+        return "class", match.group(1), None
+    if "(" in text:
+        match = FUNC_NAME_PATTERN.search(text)
+        if match:
+            qual = [c.strip() for c in match.group(1).split("::") if c.strip()]
+            return "function", match.group(2), qual
+    return "block", None, None
+
+
+def parse_scopes(code):
+    """One lexical walk over comment/string-stripped code; returns the
+    scope list (root file scope first)."""
+    root = Scope(0, "file", None, None, None)
+    scopes = [root]
+    stack = [root]
+    reset = 0
+    for i, ch in enumerate(code):
+        if ch == "{":
+            kind, name, qual = classify_head(code[reset:i])
+            scope = Scope(i, kind, name, qual, stack[-1])
+            scopes.append(scope)
+            stack.append(scope)
+            reset = i + 1
+        elif ch == "}":
+            if len(stack) > 1:
+                stack.pop().end = i
+            reset = i + 1
+        elif ch == ";":
+            reset = i + 1
+    for scope in stack:
+        scope.end = len(code)
+    return scopes
+
+
+def innermost_scope(scopes, pos):
+    best = scopes[0]
+    for scope in scopes[1:]:
+        if scope.start < pos < scope.end and scope.start > best.start:
+            best = scope
+    return best
+
+
+def direct_text(code, scope, scopes):
+    """Scope body with every child scope blanked (offsets preserved),
+    so declaration regexes only see the scope's own level."""
+    start = scope.start + 1 if scope.kind != "file" else 0
+    chars = list(code[start:scope.end])
+    for child in scopes:
+        if child is scope or child.parent is not scope:
+            continue
+        for j in range(child.start, min(child.end + 1, scope.end)):
+            if chars[j - start] != "\n":
+                chars[j - start] = " "
+    return "".join(chars), start
+
+
+def line_of(code, pos):
+    return code.count("\n", 0, pos) + 1
+
+
+class FileModel:
+    def __init__(self, rel, raw):
+        self.rel = rel
+        self.code = strip_comments(raw, False)
+        self.raw = raw
+        self.scopes = parse_scopes(self.code)
+
+    def class_path(self, scope, known_classes):
+        """Chain of enclosing class names, outermost first. Out-of-line
+        method qualifiers (`TraceCollector::ThreadLog::f(`) contribute
+        their known-class components."""
+        chain = []
+        node = scope
+        path = []
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        for node in reversed(chain):
+            if node.kind == "class" and node.name:
+                path.append(node.name)
+            elif node.kind == "function" and node.qual:
+                for comp in node.qual:
+                    if comp in known_classes and comp not in path:
+                        path.append(comp)
+        return "::".join(path)
+
+
+class Mutex:
+    __slots__ = ("owner", "name", "rel", "line")
+
+    def __init__(self, owner, name, rel, line):
+        self.owner = owner  # enclosing class path, "" at file scope
+        self.name = name
+        self.rel = rel
+        self.line = line
+
+    @property
+    def qualified(self):
+        return self.owner + "::" + self.name if self.owner else self.name
+
+
+def is_preprocessor_line(code, pos):
+    line_start = code.rfind("\n", 0, pos) + 1
+    return code[line_start:pos].lstrip().startswith("#")
+
+
+class Analyzer:
+    def __init__(self):
+        self.files = []
+        self.findings = []
+        self.mutexes = []           # list[Mutex]
+        self.by_name = {}           # member name -> [Mutex]
+        self.by_qualified = {}      # qualified -> Mutex
+        self.known_classes = set()
+        self.documented = []        # (frm, to, rel, line)
+        self.observed = {}          # (frm, to) -> first (rel, line)
+
+    def finding(self, rule, rel, line, message):
+        self.findings.append(
+            {"rule": rule, "file": rel, "line": line, "message": message})
+
+    # -- pass 1: scopes, class names, mutex inventory ------------------
+
+    def load(self, path, rel):
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as fh:
+                raw = fh.read()
+        except OSError as err:
+            raise SystemExit(f"analyze_locks: cannot read {path}: {err}")
+        self.files.append(FileModel(rel, raw))
+
+    def build_inventory(self):
+        for fm in self.files:
+            for scope in fm.scopes:
+                if scope.kind == "class" and scope.name:
+                    self.known_classes.add(scope.name)
+        for fm in self.files:
+            for scope in fm.scopes:
+                if scope.kind not in ("file", "namespace", "class"):
+                    continue
+                text, offset = direct_text(fm.code, scope, fm.scopes)
+                owner = (fm.class_path(scope, self.known_classes)
+                         if scope.kind == "class" else "")
+                for match in MUTEX_DECL_PATTERN.finditer(text):
+                    pos = offset + match.start(1)
+                    mutex = Mutex(owner, match.group(1), fm.rel,
+                                  line_of(fm.code, pos))
+                    self.mutexes.append(mutex)
+                    self.by_name.setdefault(mutex.name, []).append(mutex)
+                    self.by_qualified[mutex.qualified] = mutex
+
+    def locking_classes(self):
+        return {m.owner for m in self.mutexes if m.owner}
+
+    def build_member_map(self):
+        """Member (or local) names whose type is a lock-owning class:
+        `Quantiles latency_window_` / `std::unique_ptr<Quantiles> q`.
+        Container-held instances are deliberately not tracked."""
+        owners = {}
+        for cls in self.locking_classes():
+            simple = cls.split("::")[-1]
+            decl = re.compile(
+                r"(?:\b" + re.escape(simple) + r"\s+"
+                r"|unique_ptr<\s*" + re.escape(simple) + r"\s*>\s+)"
+                r"([A-Za-z_]\w*)\s*[;={(]")
+            for fm in self.files:
+                for match in decl.finditer(fm.code):
+                    owners.setdefault(match.group(1), set()).add(cls)
+        return owners
+
+    # -- resolution ----------------------------------------------------
+
+    def resolve(self, expr, context_path):
+        """Map a MutexLock argument / annotation operand to a mutex.
+        Takes the last `.`/`->` component; disambiguates same-named
+        members by the enclosing class."""
+        name = re.split(r"->|\.", expr)[-1].strip().lstrip("!&* \t")
+        if name == "":
+            return None
+        if name in self.by_qualified:
+            return self.by_qualified[name]
+        candidates = self.by_name.get(name.split("::")[-1], [])
+        if len(candidates) == 1:
+            return candidates[0]
+        context = [p for p in context_path.split("::") if p]
+        # innermost class first
+        for depth in range(len(context), 0, -1):
+            prefix = "::".join(context[:depth])
+            for mutex in candidates:
+                if mutex.owner == prefix:
+                    return mutex
+            for mutex in candidates:
+                if mutex.owner.split("::")[-1] == context[depth - 1]:
+                    return mutex
+        return None
+
+    # -- pass 2: documented edges, holds, observed edges ---------------
+
+    def collect_documented(self):
+        for fm in self.files:
+            for match in DOC_EDGE_PATTERN.finditer(fm.raw):
+                line = line_of(fm.raw, match.start())
+                frm, to = match.group(1), match.group(2)
+                for side in (frm, to):
+                    if side not in self.by_qualified:
+                        self.finding(
+                            "unknown-mutex", fm.rel, line,
+                            f"lock-order comment names '{side}' but no "
+                            "such mutex is declared")
+                self.documented.append((frm, to, fm.rel, line))
+
+    def observe(self, frm, to, rel, line):
+        if frm == to:
+            self.finding(
+                "self-deadlock", rel, line,
+                f"'{frm}' acquired while already held")
+            return
+        self.observed.setdefault((frm, to), (rel, line))
+
+    def collect_edges(self, member_owners):
+        call_pattern = None
+        if member_owners:
+            names = "|".join(
+                re.escape(n) for n in sorted(member_owners))
+            call_pattern = re.compile(
+                r"\b(" + names + r")\s*(?:\.|->)\s*([A-Za-z_]\w*)\s*\(")
+        for fm in self.files:
+            holds = []  # (mutex, hold_start, hold_end, rel, line)
+            acquisitions = []  # (mutex, pos, line)
+
+            for match in ACQUIRE_PATTERN.finditer(fm.code):
+                pos = match.start()
+                line = line_of(fm.code, pos)
+                scope = innermost_scope(fm.scopes, pos)
+                context = fm.class_path(scope, self.known_classes)
+                mutex = self.resolve(match.group(1), context)
+                if mutex is None:
+                    self.finding(
+                        "unknown-mutex", fm.rel, line,
+                        f"cannot resolve MutexLock argument "
+                        f"'{match.group(1)}' to a declared mutex")
+                    continue
+                acquisitions.append((mutex, pos, line))
+                holds.append((mutex, pos, scope.end, fm.rel, line))
+
+            for match in ANNOTATION_PATTERN.finditer(fm.code):
+                if is_preprocessor_line(fm.code, match.start()):
+                    continue  # the macro definitions themselves
+                line = line_of(fm.code, match.start())
+                scope = innermost_scope(fm.scopes, match.start())
+                context = fm.class_path(scope, self.known_classes)
+                for operand in match.group(2).split(","):
+                    operand = operand.strip()
+                    if not operand:
+                        continue
+                    mutex = self.resolve(operand, context)
+                    if mutex is None:
+                        self.finding(
+                            "unknown-mutex", fm.rel, line,
+                            f"{match.group(1)}({operand}) does not name "
+                            "a declared mutex")
+                        continue
+                    if match.group(1) == "REQUIRES":
+                        body = self._attached_body(fm, match.end())
+                        if body is not None:
+                            holds.append((mutex, body.start, body.end,
+                                          fm.rel, line))
+
+            # `Class::*_locked` body: implied hold of Class's mutexes.
+            for scope in fm.scopes:
+                if scope.kind != "function" or not scope.name:
+                    continue
+                if not scope.name.endswith("_locked"):
+                    continue
+                context = fm.class_path(scope, self.known_classes)
+                if not context:
+                    continue
+                for mutex in self.mutexes:
+                    if mutex.owner == context:
+                        holds.append((mutex, scope.start, scope.end,
+                                      fm.rel, line_of(fm.code, scope.start)))
+
+            calls = []  # (owner classes, pos, line)
+            if call_pattern is not None:
+                for match in call_pattern.finditer(fm.code):
+                    if match.group(2).endswith("_locked"):
+                        continue
+                    calls.append((member_owners[match.group(1)],
+                                  match.start(), line_of(fm.code,
+                                                         match.start())))
+
+            for outer, start, end, _, _ in holds:
+                for inner, pos, line in acquisitions:
+                    if start < pos <= end:
+                        self.observe(outer.qualified, inner.qualified,
+                                     fm.rel, line)
+                for owner_classes, pos, line in calls:
+                    if start < pos <= end:
+                        for cls in owner_classes:
+                            for mutex in self.mutexes:
+                                if mutex.owner == cls:
+                                    self.observe(outer.qualified,
+                                                 mutex.qualified,
+                                                 fm.rel, line)
+
+    def _attached_body(self, fm, from_pos):
+        """The `{` body following a REQUIRES annotation, if the
+        annotation sits on a definition rather than a declaration."""
+        for i in range(from_pos, len(fm.code)):
+            ch = fm.code[i]
+            if ch == ";":
+                return None
+            if ch == "{":
+                for scope in fm.scopes:
+                    if scope.start == i:
+                        return scope
+                return None
+        return None
+
+    # -- graph checks --------------------------------------------------
+
+    def check_graph(self):
+        doc_adj = {}
+        for frm, to, _, _ in self.documented:
+            doc_adj.setdefault(frm, set()).add(to)
+
+        def documented_path(src, dst):
+            seen = {src}
+            queue = [src]
+            while queue:
+                node = queue.pop()
+                for nxt in doc_adj.get(node, ()):
+                    if nxt == dst:
+                        return True
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        queue.append(nxt)
+            return False
+
+        for (frm, to), (rel, line) in sorted(self.observed.items()):
+            if documented_path(frm, to):
+                continue
+            if documented_path(to, frm):
+                self.finding(
+                    "lock-order-inversion", rel, line,
+                    f"acquires '{to}' while holding '{frm}', but the "
+                    f"documented order is '{to}' -> '{frm}'")
+            else:
+                self.finding(
+                    "undocumented-lock-nesting", rel, line,
+                    f"acquires '{to}' while holding '{frm}' with no "
+                    "`// lock-order:` comment declaring that edge")
+
+        # Cycles over the union graph (self-loops reported above).
+        union_adj = {}
+        edge_site = {}
+        for frm, to, rel, line in self.documented:
+            if frm != to:
+                union_adj.setdefault(frm, set()).add(to)
+                edge_site.setdefault((frm, to), (rel, line))
+        for (frm, to), (rel, line) in self.observed.items():
+            union_adj.setdefault(frm, set()).add(to)
+            edge_site.setdefault((frm, to), (rel, line))
+        for component in strongly_connected(union_adj):
+            if len(component) < 2:
+                continue
+            members = sorted(component)
+            sites = sorted(
+                edge_site[(f, t)]
+                for f in component for t in union_adj.get(f, ())
+                if t in component and (f, t) in edge_site)
+            rel, line = sites[0] if sites else ("<graph>", 0)
+            self.finding(
+                "lock-order-cycle", rel, line,
+                "lock acquisition cycle: " + " -> ".join(members))
+
+    def report(self):
+        self.findings.sort(key=lambda f: (f["file"], f["line"], f["rule"]))
+        return {
+            "schema": SCHEMA,
+            "files_scanned": len(self.files),
+            "mutexes": sorted(m.qualified for m in self.mutexes),
+            "documented_edges": [
+                {"from": frm, "to": to, "file": rel, "line": line}
+                for frm, to, rel, line in self.documented],
+            "observed_edges": [
+                {"from": frm, "to": to, "file": rel, "line": line}
+                for (frm, to), (rel, line) in sorted(self.observed.items())],
+            "count": len(self.findings),
+            "findings": self.findings,
+        }
+
+
+def strongly_connected(adj):
+    """Iterative Tarjan SCC over a {node: set(node)} adjacency map."""
+    index = {}
+    lowlink = {}
+    on_stack = set()
+    stack = []
+    counter = [0]
+    components = []
+    nodes = set(adj)
+    for targets in adj.values():
+        nodes |= targets
+
+    for root in sorted(nodes):
+        if root in index:
+            continue
+        work = [(root, iter(sorted(adj.get(root, ()))))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = lowlink[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(adj.get(nxt, ())))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = set()
+                while True:
+                    top = stack.pop()
+                    on_stack.discard(top)
+                    component.add(top)
+                    if top == node:
+                        break
+                components.append(component)
+    return components
+
+
+def gather_tree(root):
+    paths = []
+    src = os.path.join(root, "src")
+    if not os.path.isdir(src):
+        raise SystemExit(f"analyze_locks: no src/ under {root}")
+    for dirpath, dirnames, filenames in os.walk(src):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if name.endswith(SOURCE_EXTENSIONS):
+                paths.append(os.path.join(dirpath, name))
+    return paths
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="mecoff lock-order analyzer")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a mecoff.locks.v1 JSON report")
+    parser.add_argument("--root", default=None,
+                        help="repo root; scans ROOT/src (default: the "
+                             "repo containing this script)")
+    parser.add_argument("files", nargs="*",
+                        help="explicit files to scan (fixture mode; "
+                             "overrides --root)")
+    args = parser.parse_args(argv)
+
+    if args.files:
+        paths = args.files
+        base = os.path.commonpath(
+            [os.path.dirname(os.path.abspath(p)) for p in paths])
+    else:
+        root = args.root or os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))
+        paths = gather_tree(root)
+        base = root
+
+    analyzer = Analyzer()
+    for path in paths:
+        rel = os.path.relpath(os.path.abspath(path), base)
+        analyzer.load(path, rel)
+    analyzer.build_inventory()
+    analyzer.collect_documented()
+    analyzer.collect_edges(analyzer.build_member_map())
+    analyzer.check_graph()
+    payload = analyzer.report()
+
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in payload["findings"]:
+            print(f"{finding['file']}:{finding['line']}: "
+                  f"[{finding['rule']}] {finding['message']}")
+        print(f"analyze_locks: {payload['count']} finding(s), "
+              f"{len(payload['observed_edges'])} observed / "
+              f"{len(payload['documented_edges'])} documented edge(s), "
+              f"{len(payload['mutexes'])} mutex(es)")
+    return 1 if payload["count"] else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except SystemExit:
+        raise
+    except Exception as err:  # noqa: BLE001 -- tool boundary
+        print(f"analyze_locks: internal error: {err}", file=sys.stderr)
+        sys.exit(2)

@@ -4,8 +4,9 @@
 Enforces repo-specific rules that clang-tidy cannot express:
 
   raw-sync          std::mutex / std::condition_variable / std::lock_guard
-                    and friends are banned in src/** — use the annotated
-                    wrappers in src/common/thread_annotations.hpp so clang's
+                    and friends are banned in src/, tools/ and bench/ — use
+                    the annotated wrappers in
+                    src/common/thread_annotations.hpp so clang's
                     -Wthread-safety analysis sees every lock site.
   float-format      floating-point serialization must go through
                     format_fixed/format_general (std::to_chars): no
@@ -19,10 +20,28 @@ Enforces repo-specific rules that clang-tidy cannot express:
   obs-facade        outside src/obs/, observability is reached through the
                     MECOFF_* macros (src/obs/obs.hpp), never by naming
                     TraceSpan / MetricsRegistry::global directly — direct
-                    calls break the MECOFF_OBS_DISABLED compile-out.
+                    calls break the MECOFF_OBS_DISABLED compile-out. Files
+                    that deliberately embed the obs stack (the CLI's serve
+                    modes, the bench metrics reporter) are listed in
+                    OBS_FACADE_ALLOWLIST.
   reinterpret-cast  reinterpret_cast appears only at audited sites listed
                     in CAST_ALLOWLIST (currently the sockaddr helper in
                     http_server.cpp), each confined to a named helper.
+  result-contract   Result<T> is [[nodiscard]] (common/result.hpp); this
+                    rule adds what the compiler cannot see: (a) naked
+                    .value() chained directly onto a call — the error
+                    message is thrown away untested; check ok() first or
+                    bind the Result (std::move(r).value() after an ok()
+                    check is the sanctioned unwrap spelling and is exempt);
+                    (b) a statement-position call to a function declared
+                    `Result<...> name(...)` whose return value is
+                    discarded. Deliberate discards go in
+                    RESULT_DISCARD_ALLOWLIST with a justification.
+
+Rules raw-sync, float-format, nondeterminism, reinterpret-cast and
+result-contract scan src/, tools/ and bench/; no-endl scans every tree
+(including examples/); obs-facade scans the same trees minus src/obs/
+and the allowlisted embedders.
 
 Usage:
   lint_mecoff.py [--json] [--root DIR]          # scan the source tree
@@ -59,6 +78,24 @@ CAST_ALLOWLIST = {
     # POSIX sockaddr ABI cast, confined to the as_sockaddr() helper.
     "src/obs/serve/http_server.cpp": 1,
 }
+
+# Files that deliberately embed the obs stack instead of going through
+# the MECOFF_* macros. Both are tools that EXIST to surface telemetry:
+# they are never compiled under MECOFF_OBS_DISABLED expectations — the
+# registry class itself stays compiled in either way.
+OBS_FACADE_ALLOWLIST = {
+    # The CLI's serve/serve-solve modes mount the telemetry server and
+    # print registry summaries; reading the registry directly is the
+    # feature.
+    "tools/mecoff_cli.cpp",
+    # The bench metrics reporter dumps the registry as JSON for
+    # tools/bench_gate.py; it already guards on MECOFF_OBS_DISABLED.
+    "bench/support/reporting.cpp",
+}
+
+# (path, function) pairs whose discarded Result return is deliberate.
+# Every entry needs a comment saying why ignoring the error is correct.
+RESULT_DISCARD_ALLOWLIST = set()
 
 RAW_SYNC_PATTERN = re.compile(
     r"std::(?:mutex|recursive_mutex|shared_mutex|timed_mutex|"
@@ -99,6 +136,43 @@ OBS_DIRECT_PATTERNS = (
 )
 
 CAST_PATTERN = re.compile(r"\breinterpret_cast\b")
+
+# Function (or method) names declared as `Result<...> name(...)`.
+# Harvested from EVERY scanned file before the per-file checks run, so
+# a call site in one file sees declarations from another.
+RESULT_DECL_PATTERN = re.compile(
+    r"\bResult<[^;{}()]*>\s+(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\(")
+
+# `...).value(` — .value() chained directly onto a call result.
+NAKED_VALUE_PATTERN = re.compile(r"\)\s*\.\s*value\s*\(")
+# The sanctioned unwrap: std::move(<already-checked lvalue>).value().
+STD_MOVE_TAIL_PATTERN = re.compile(r"(?:std\s*::\s*)?move\s*$")
+
+
+def find_matching_paren(code, open_idx):
+    """Index of the ')' matching code[open_idx] == '(', or None."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return None
+
+
+def find_open_paren(code, close_idx):
+    """Index of the '(' matching code[close_idx] == ')', or None."""
+    depth = 0
+    for i in range(close_idx, -1, -1):
+        if code[i] == ")":
+            depth += 1
+        elif code[i] == "(":
+            depth -= 1
+            if depth == 0:
+                return i
+    return None
 
 
 class Finding:
@@ -226,24 +300,17 @@ def in_tree_scope(rel, *prefixes):
     return any(rel == p or rel.startswith(p + "/") for p in prefixes)
 
 
-def check_file(path, rel, findings, tree_mode):
-    """Run every applicable rule over one file.
+def check_file(rel, code, code_with_literals, findings, tree_mode,
+               result_names):
+    """Run every applicable rule over one pre-stripped file.
 
     In tree mode rules apply only to their designated subtrees; with
     explicit file arguments (fixture mode) every rule applies.
+    `result_names` is the cross-file harvest of functions declared to
+    return Result<...> (see RESULT_DECL_PATTERN).
     """
-    try:
-        with open(path, "r", encoding="utf-8", errors="replace") as handle:
-            raw = handle.read()
-    except OSError as err:
-        print(f"lint_mecoff: cannot read {path}: {err}", file=sys.stderr)
-        return 2
-
-    rel = rel.replace(os.sep, "/")
-    code = strip_comments(raw, keep_literals=False)
-    code_with_literals = strip_comments(raw, keep_literals=True)
-
-    apply_src_rules = (not tree_mode) or in_tree_scope(rel, "src")
+    apply_src_rules = (not tree_mode) or in_tree_scope(
+        rel, "src", "tools", "bench")
 
     # raw-sync: wrapper-only synchronization.
     if apply_src_rules and rel != SYNC_WRAPPER:
@@ -293,9 +360,12 @@ def check_file(path, rel, findings, tree_mode):
             "no-endl", rel, line_of(code, match.start()),
             "std::endl flushes on every use — write '\\n'"))
 
-    # obs-facade: direct obs types outside src/obs/.
+    # obs-facade: direct obs types outside src/obs/, except the listed
+    # deliberate embedders.
     obs_scope = (not tree_mode) or (
-        in_tree_scope(rel, "src") and not in_tree_scope(rel, "src/obs"))
+        in_tree_scope(rel, "src", "tools", "bench")
+        and not in_tree_scope(rel, "src/obs")
+        and rel not in OBS_FACADE_ALLOWLIST)
     if obs_scope:
         for pattern, name in OBS_DIRECT_PATTERNS:
             for match in pattern.finditer(code):
@@ -317,7 +387,59 @@ def check_file(path, rel, findings, tree_mode):
                     f"({budget}) — confine the cast to a named, commented "
                     f"helper and extend CAST_ALLOWLIST in tools/"
                     f"lint_mecoff.py with the justification"))
+
+    # result-contract (a): naked .value() chained onto a call.
+    if apply_src_rules:
+        for match in NAKED_VALUE_PATTERN.finditer(code):
+            open_idx = find_open_paren(code, match.start())
+            if open_idx is not None and STD_MOVE_TAIL_PATTERN.search(
+                    code[:open_idx]):
+                continue  # std::move(checked).value() — sanctioned unwrap
+            findings.append(Finding(
+                "result-contract", rel, line_of(code, match.start()),
+                "naked .value() on a call result — the error path is "
+                "untested; bind the Result, check ok(), then unwrap with "
+                "std::move(r).value()"))
+
+    # result-contract (b): statement-position call to a Result-returning
+    # function with the return value discarded.
+    if apply_src_rules and result_names:
+        check_discarded_results(code, rel, result_names, findings)
     return 0
+
+
+def check_discarded_results(code, rel, result_names, findings):
+    """Flag `f(...);` statements where f is declared to return Result."""
+    name_alt = "|".join(sorted(re.escape(n) for n in result_names))
+    call_pattern = re.compile(
+        r"(?:[A-Za-z_]\w*\s*(?:\.|->)\s*|(?:[A-Za-z_]\w*\s*::\s*)+)?"
+        r"\b(" + name_alt + r")\s*\(")
+    for match in call_pattern.finditer(code):
+        start = match.start()
+        # Statement position: the previous non-whitespace character ends
+        # a statement or opens a block (or this is the file start).
+        j = start - 1
+        while j >= 0 and code[j] in " \t\n":
+            j -= 1
+        if j >= 0 and code[j] not in ";{}":
+            continue
+        open_idx = code.index("(", match.end(1))
+        close_idx = find_matching_paren(code, open_idx)
+        if close_idx is None:
+            continue
+        k = close_idx + 1
+        while k < len(code) and code[k] in " \t\n":
+            k += 1
+        if k >= len(code) or code[k] != ";":
+            continue  # chained / compared / part of a larger expression
+        name = match.group(1)
+        if (rel, name) in RESULT_DISCARD_ALLOWLIST:
+            continue
+        findings.append(Finding(
+            "result-contract", rel, line_of(code, start),
+            f"discarded Result from {name}(...) — handle or propagate the "
+            f"error (or add ({rel!r}, {name!r}) to RESULT_DISCARD_ALLOWLIST "
+            f"with a justification)"))
 
 
 def collect_tree_files(root):
@@ -351,26 +473,48 @@ def main(argv):
         os.path.dirname(os.path.abspath(__file__)))
     root = os.path.abspath(root)
 
-    findings = []
-    status = 0
+    tree_mode = not args.files
     if args.files:
+        paths = []
         for path in args.files:
             abspath = os.path.abspath(path)
             rel = os.path.relpath(abspath, root)
             if rel.startswith(".."):
                 rel = os.path.basename(abspath)
-            status = max(status, check_file(abspath, rel, findings,
-                                            tree_mode=False))
+            paths.append((abspath, rel))
     else:
         tree_files = collect_tree_files(root)
         if not tree_files:
             print(f"lint_mecoff: no sources found under {root}",
                   file=sys.stderr)
             return 2
-        for path in tree_files:
-            rel = os.path.relpath(path, root)
-            status = max(status, check_file(path, rel, findings,
-                                            tree_mode=True))
+        paths = [(p, os.path.relpath(p, root)) for p in tree_files]
+
+    # Phase 1: read + strip every file once, harvesting Result-returning
+    # function names across the whole scan set.
+    records = []
+    result_names = set()
+    for abspath, rel in paths:
+        try:
+            with open(abspath, "r", encoding="utf-8",
+                      errors="replace") as handle:
+                raw = handle.read()
+        except OSError as err:
+            print(f"lint_mecoff: cannot read {abspath}: {err}",
+                  file=sys.stderr)
+            return 2
+        rel = rel.replace(os.sep, "/")
+        code = strip_comments(raw, keep_literals=False)
+        code_with_literals = strip_comments(raw, keep_literals=True)
+        result_names.update(RESULT_DECL_PATTERN.findall(code))
+        records.append((rel, code, code_with_literals))
+
+    # Phase 2: the per-file rules.
+    findings = []
+    status = 0
+    for rel, code, code_with_literals in records:
+        status = max(status, check_file(rel, code, code_with_literals,
+                                        findings, tree_mode, result_names))
 
     if status == 2:
         return 2

@@ -92,7 +92,6 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -102,6 +101,7 @@
 #include "common/config.hpp"
 #include "common/stopwatch.hpp"
 #include "common/strings.hpp"
+#include "common/thread_annotations.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/metrics.hpp"
@@ -193,12 +193,15 @@ int cmd_stats(const std::string& path) {
   }
   const graph::GraphStats stats = graph::compute_stats(g.value());
   std::printf("valid graph\n");
-  std::printf("nodes: %zu  edges: %zu  avg degree: %.2f  max degree: %zu\n",
-              stats.nodes, stats.edges, stats.avg_degree, stats.max_degree);
-  std::printf("node weight: %.2f total  edge weight: %.2f total "
-              "(range %.2f..%.2f)\n",
-              stats.total_node_weight, stats.total_edge_weight,
-              stats.min_edge_weight, stats.max_edge_weight);
+  std::printf("nodes: %zu  edges: %zu  avg degree: %s  max degree: %zu\n",
+              stats.nodes, stats.edges,
+              format_fixed(stats.avg_degree, 2).c_str(), stats.max_degree);
+  std::printf("node weight: %s total  edge weight: %s total "
+              "(range %s..%s)\n",
+              format_fixed(stats.total_node_weight, 2).c_str(),
+              format_fixed(stats.total_edge_weight, 2).c_str(),
+              format_fixed(stats.min_edge_weight, 2).c_str(),
+              format_fixed(stats.max_edge_weight, 2).c_str());
   const std::vector<std::size_t> hist =
       graph::degree_histogram(g.value());
   std::printf("degree histogram:");
@@ -233,13 +236,14 @@ int cmd_compress(const std::string& path, const Config& cfg) {
   const lpa::CompressionPipelineResult result =
       lpa::compress_application(g.value(), pinned, config);
   const lpa::CompressionStats stats = result.aggregate_stats();
-  std::printf("functions:            %zu -> %zu (%.1f%% reduction)\n",
+  std::printf("functions:            %zu -> %zu (%s%% reduction)\n",
               stats.original_nodes, stats.compressed_nodes,
-              100.0 * stats.node_reduction());
+              format_fixed(100.0 * stats.node_reduction(), 1).c_str());
   std::printf("edges:                %zu -> %zu\n", stats.original_edges,
               stats.compressed_edges);
   std::printf("components:           %zu\n", result.components.size());
-  std::printf("absorbed edge weight: %.2f\n", stats.absorbed_edge_weight);
+  std::printf("absorbed edge weight: %s\n",
+              format_fixed(stats.absorbed_edge_weight, 2).c_str());
   return 0;
 }
 
@@ -276,7 +280,7 @@ int cmd_cut(const std::string& path, const Config& cfg) {
     cut = cutter->bipartition(g.value());
   }
   std::printf("algorithm:  %s\n", algo.c_str());
-  std::printf("cut weight: %.4f\n", cut.cut_weight);
+  std::printf("cut weight: %s\n", format_fixed(cut.cut_weight, 4).c_str());
   std::printf("side sizes: %zu / %zu\n", cut.size(0), cut.size(1));
   const std::string dot_path = cfg.get_string("dot", "");
   if (!dot_path.empty()) {
@@ -297,7 +301,7 @@ int cmd_kway(const std::string& path, const Config& cfg) {
   opts.parts = static_cast<std::size_t>(cfg.get_int("parts", 4));
   const spectral::KwayResult r = spectral::kway_partition(g.value(), opts);
   std::printf("parts used: %u\n", r.parts_used);
-  std::printf("total cut:  %.4f\n", r.total_cut);
+  std::printf("total cut:  %s\n", format_fixed(r.total_cut, 4).c_str());
   std::vector<std::size_t> sizes(r.parts_used, 0);
   for (const auto p : r.part_of) ++sizes[p];
   for (std::uint32_t p = 0; p < r.parts_used; ++p)
@@ -320,14 +324,16 @@ void print_obs_summary() {
               obs::TraceCollector::global().dropped_count());
   const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
   for (const auto& [name, h] : snap.histograms)
-    std::printf("obs summary: histogram %s count=%llu sum=%.6f\n",
+    std::printf("obs summary: histogram %s count=%llu sum=%s\n",
                 name.c_str(), static_cast<unsigned long long>(h.count),
-                h.sum);
+                format_fixed(h.sum, 6).c_str());
   for (const auto& [name, q] : snap.quantiles)
     std::printf("obs summary: quantiles %s count=%llu window=%zu "
-                "p50=%.6f p95=%.6f p99=%.6f\n",
+                "p50=%s p95=%s p99=%s\n",
                 name.c_str(), static_cast<unsigned long long>(q.count),
-                q.window_size, q.p50, q.p95, q.p99);
+                q.window_size, format_fixed(q.p50, 6).c_str(),
+                format_fixed(q.p95, 6).c_str(),
+                format_fixed(q.p99, 6).c_str());
 }
 
 int cmd_solve(const std::string& path, const Config& cfg, bool simulate,
@@ -339,9 +345,10 @@ int cmd_solve(const std::string& path, const Config& cfg, bool simulate,
     const Result<appmodel::TraceImport> imported =
         appmodel::import_trace(text.value());
     if (!imported.ok()) return imported.error();
-    std::printf("trace: %zu records, %zu invocations, %.3fs traced\n",
+    std::printf("trace: %zu records, %zu invocations, %ss traced\n",
                 imported.value().records, imported.value().invocations,
-                imported.value().total_traced_seconds);
+                format_fixed(imported.value().total_traced_seconds, 3)
+                    .c_str());
     return imported.value().app;
   }();
   if (!parsed.ok()) {
@@ -407,8 +414,9 @@ int cmd_solve(const std::string& path, const Config& cfg, bool simulate,
   } else {
     scheme = offloader.solve(system);
     const mec::PipelineOffloader::SolveStats& stats = offloader.last_stats();
-    std::printf("solver: %zu parts, %zu greedy moves, %.3fs\n",
-                stats.num_parts, stats.greedy_moves, stats.total_seconds);
+    std::printf("solver: %zu parts, %zu greedy moves, %ss\n",
+                stats.num_parts, stats.greedy_moves,
+                format_fixed(stats.total_seconds, 3).c_str());
     if (stats.degraded() || stats.deadline_expired)
       std::printf("solver degraded: %zu non-converged eigensolves, "
                   "%zu KL recuts, %zu all-remote fallbacks%s\n",
@@ -427,8 +435,10 @@ int cmd_solve(const std::string& path, const Config& cfg, bool simulate,
                                                                  : "server",
                 fn.unoffloadable ? " (pinned)" : "");
   }
-  std::printf("analytic bill: E = %.3f  T = %.3f  E+T = %.3f\n",
-              cost.total_energy, cost.total_time, cost.objective());
+  std::printf("analytic bill: E = %s  T = %s  E+T = %s\n",
+              format_fixed(cost.total_energy, 3).c_str(),
+              format_fixed(cost.total_time, 3).c_str(),
+              format_fixed(cost.objective(), 3).c_str());
 
   const std::string out_path = cfg.get_string("out", "");
   if (!out_path.empty()) {
@@ -439,16 +449,18 @@ int cmd_solve(const std::string& path, const Config& cfg, bool simulate,
 
   if (simulate) {
     const sim::SimReport batch = sim::simulate_scheme(system, scheme);
-    std::printf("batch DES:     energy = %.3f  makespan = %.3f  "
+    std::printf("batch DES:     energy = %s  makespan = %s  "
                 "(events: %zu)\n",
-                batch.total_energy, batch.makespan, batch.events);
+                format_fixed(batch.total_energy, 3).c_str(),
+                format_fixed(batch.makespan, 3).c_str(), batch.events);
     if (sim::call_graph_is_acyclic(app)) {
       const std::vector<appmodel::Application> apps(system.users.size(), app);
       const auto dag = sim::execute_dag(system, apps, scheme);
       if (dag.ok())
-        std::printf("task-DAG DES:  energy = %.3f  makespan = %.3f  "
+        std::printf("task-DAG DES:  energy = %s  makespan = %s  "
                     "(events: %zu)\n",
-                    dag.value().total_energy, dag.value().makespan,
+                    format_fixed(dag.value().total_energy, 3).c_str(),
+                    format_fixed(dag.value().makespan, 3).c_str(),
                     dag.value().events);
     } else {
       std::printf("task-DAG DES:  skipped (cyclic call structure)\n");
@@ -556,7 +568,7 @@ int cmd_serve(const std::string& path, const Config& cfg) {
   // /healthz source. The callback runs on the server thread, so it only
   // copies this snapshot; the loop below refreshes it after every fault
   // (the controller itself is not thread-safe).
-  std::mutex health_mutex;
+  mecoff::Mutex health_mutex;
   obs::serve::HealthStatus health;
   const auto refresh_health = [&] {
     obs::serve::HealthStatus fresh;
@@ -570,14 +582,14 @@ int cmd_serve(const std::string& path, const Config& cfg) {
       fresh.reason = "degraded: " + std::to_string(alive) + "/" +
                      std::to_string(num_servers) + " servers alive";
     }
-    const std::lock_guard<std::mutex> lock(health_mutex);
+    const mecoff::MutexLock lock(health_mutex);
     health = std::move(fresh);
   };
   refresh_health();
 
   obs::serve::TelemetryServer server;
   server.set_health_callback([&health_mutex, &health] {
-    const std::lock_guard<std::mutex> lock(health_mutex);
+    const mecoff::MutexLock lock(health_mutex);
     return health;
   });
   const auto port_arg = cfg.get_int("port", 0);
